@@ -1,0 +1,16 @@
+"""A1 — energy per corrected frame across the machine park."""
+
+from repro.bench.ablations import a1_energy
+
+from conftest import run_once
+
+
+def test_a1_energy(benchmark, record_table):
+    table = run_once(benchmark, a1_energy, res="720p")
+    record_table("A1", table)
+    eff = dict(zip(table.column("platform"), table.column("mpx_per_joule")))
+    watts = dict(zip(table.column("platform"), table.column("watts_avg")))
+    # accelerators beat CPUs of their era on energy efficiency
+    assert eff["cell"] > eff["xeon4"] > eff["sequential"]
+    # the FPGA draws an order of magnitude less power than the GPU
+    assert watts["fpga"] * 4 < watts["gtx280"]

@@ -1,0 +1,15 @@
+"""A2 — output supersampling quality/cost ablation."""
+
+from repro.bench.ablations import a2_antialias
+
+from conftest import run_once
+
+
+def test_a2_antialias(benchmark, record_table):
+    table = run_once(benchmark, a2_antialias, res="VGA")
+    record_table("A2", table)
+    psnrs = table.column("psnr_vs_ssaa4_db")
+    costs = table.column("host_ms")
+    assert psnrs[0] < psnrs[1] < psnrs[2]   # quality rises with factor
+    assert costs[0] < costs[1] < costs[2]   # and so does cost
+    assert psnrs[1] - psnrs[0] > 5.0        # 2x2 buys a big step

@@ -1,0 +1,19 @@
+"""A3 — stream prefetcher vs blocked traversal (negative result)."""
+
+from repro.bench.ablations import a3_prefetch
+
+from conftest import run_once
+
+
+def test_a3_prefetch(benchmark, record_table):
+    table = run_once(benchmark, a3_prefetch, res="720p")
+    record_table("A3", table)
+    rows = list(zip(table.column("cache_kb"), table.column("config"),
+                    table.column("hit_rate"), table.column("dram_bytes_per_px")))
+    for kb in (4, 8, 16, 32):
+        plain = next(r for r in rows if r[0] == kb and r[1] == "no prefetch")
+        pf = next(r for r in rows if r[0] == kb and r[1] != "no prefetch")
+        # the prefetcher never transforms the hit rate...
+        assert abs(pf[2] - plain[2]) < 0.06
+        # ...but always inflates traffic
+        assert pf[3] > plain[3]

@@ -1,0 +1,20 @@
+"""A4 — end-to-end application pipeline: kernel vs app speedup."""
+
+from repro.bench.ablations import a4_application
+
+from conftest import run_once
+
+
+def test_a4_application(benchmark, record_table):
+    table = run_once(benchmark, a4_application, res="720p")
+    record_table("A4", table)
+    rows = {p: (ks, as_) for p, kf, af, ks, as_, b in zip(
+        table.column("platform"), table.column("kernel_fps"),
+        table.column("app_fps"), table.column("kernel_speedup"),
+        table.column("app_speedup"), table.column("app_bottleneck"))}
+    # app speedup compresses below kernel speedup for every accelerator
+    for name in ("cell", "gtx280"):
+        kernel_s, app_s = rows[name]
+        assert app_s < kernel_s
+    # but acceleration still helps end-to-end
+    assert rows["gtx280"][1] > 1.5

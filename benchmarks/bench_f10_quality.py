@@ -1,0 +1,15 @@
+"""F10 — correction-model geometric quality (exact vs Brown-Conrady)."""
+
+from repro.bench.experiments import f10_model_quality
+
+from conftest import run_once
+
+
+def test_f10_model_quality(benchmark, record_table):
+    table = run_once(benchmark, f10_model_quality, size=512)
+    record_table("F10", table)
+    med = dict(zip(table.column("model"), table.column("median_err_px")))
+    assert med["exact(equidistant)"] < 0.05
+    assert all(v > 1.0 for k, v in med.items() if k.startswith("brown"))
+    # the angle-polynomial comparator recovers sub-pixel accuracy
+    assert med["kannala_brandt(k4)"] < 0.1

@@ -1,0 +1,17 @@
+"""F11 — strong-scaling efficiency and Amdahl serial-fraction fit."""
+
+from repro.bench.experiments import f11_scaling_efficiency
+
+from conftest import run_once
+
+
+def test_f11_scaling_efficiency(benchmark, record_table):
+    table = run_once(benchmark, f11_scaling_efficiency, res="1080p")
+    record_table("F11", table)
+    rows = list(zip(table.column("schedule"), table.column("threads"),
+                    table.column("speedup")))
+    top = max(t for _, t, _ in rows)
+    static = [s for sched, t, s in rows if sched == "static" and t == top][0]
+    dynamic = [s for sched, t, s in rows if sched == "dynamic" and t == top][0]
+    # dynamic scheduling absorbs the tilted view's imbalance
+    assert dynamic > static

@@ -1,0 +1,14 @@
+"""F12 — fixed-point LUT precision sweep."""
+
+from repro.bench.experiments import f12_fixed_point
+
+from conftest import run_once
+
+
+def test_f12_fixed_point(benchmark, record_table):
+    table = run_once(benchmark, f12_fixed_point, res="VGA")
+    record_table("F12", table)
+    psnrs = table.column("psnr_vs_float_db")
+    fps = table.column("cell_fps")
+    assert all(a < b for a, b in zip(psnrs, psnrs[1:]))   # quality up with bits
+    assert all(a >= b for a, b in zip(fps, fps[1:]))      # throughput down

@@ -1,0 +1,23 @@
+"""F1 — SMP speedup vs thread count, per resolution."""
+
+from repro.bench.experiments import f1_multicore_scaling
+
+from conftest import run_once
+
+
+def test_f1_multicore_scaling(benchmark, record_table):
+    table = run_once(benchmark, f1_multicore_scaling,
+                     resolutions=("VGA", "720p", "1080p"))
+    record_table("F1", table)
+    speedups = table.column("speedup")
+    threads = table.column("threads")
+    # monotone within each resolution block
+    for i in range(1, len(speedups)):
+        if threads[i] > threads[i - 1]:
+            assert speedups[i] >= speedups[i - 1] - 1e-9
+    # larger frames scale better (serial fraction amortizes)
+    per_res = {}
+    for res, t, s in zip(table.column("resolution"), threads, speedups):
+        if t == max(threads):
+            per_res[res] = s
+    assert per_res["1080p"] >= per_res["VGA"]

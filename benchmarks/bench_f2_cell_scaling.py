@@ -1,0 +1,19 @@
+"""F2 — Cell speedup vs SPE count, single vs double buffering."""
+
+from repro.bench.experiments import f2_cell_scaling
+
+from conftest import run_once
+
+
+def test_f2_cell_scaling(benchmark, record_table):
+    table = run_once(benchmark, f2_cell_scaling, res="720p", mode="otf")
+    record_table("F2", table)
+    rows = list(zip(table.column("spes"), table.column("buffering"),
+                    table.column("fps")))
+    single = {s: f for s, b, f in rows if b == "single"}
+    double = {s: f for s, b, f in rows if b == "double"}
+    # compute-bound OTF kernel: double buffering wins at full SPE count
+    top = max(single)
+    assert double[top] > single[top]
+    # and scaling is close to linear for the first doubling
+    assert single[2] / single[1] > 1.6

@@ -1,0 +1,20 @@
+"""F3 — GPU block-size / occupancy sweep."""
+
+from repro.bench.experiments import f3_gpu_block_sweep
+
+from conftest import run_once
+
+
+def test_f3_gpu_block_sweep(benchmark, record_table):
+    table = run_once(benchmark, f3_gpu_block_sweep, res="720p")
+    record_table("F3", table)
+    rows = list(zip(table.column("block"), table.column("regs/thread"),
+                    table.column("occupancy"), table.column("kernel_ms")))
+    # tiny blocks starve the SMs
+    k32 = [k for b, r, o, k in rows if b == 32 and r == 16][0]
+    k256 = [k for b, r, o, k in rows if b == 256 and r == 16][0]
+    assert k32 > k256
+    # register pressure lowers occupancy
+    occ16 = [o for b, r, o, k in rows if b == 256 and r == 16][0]
+    occ32 = [o for b, r, o, k in rows if b == 256 and r == 32][0]
+    assert occ32 < occ16

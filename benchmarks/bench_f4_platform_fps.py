@@ -1,0 +1,20 @@
+"""F4 — headline cross-platform frames-per-second comparison."""
+
+from repro.bench.experiments import f4_platform_fps
+
+from conftest import run_once
+
+
+def test_f4_platform_fps(benchmark, record_table):
+    table = run_once(benchmark, f4_platform_fps,
+                     resolutions=["VGA", "720p", "1080p"])
+    record_table("F4", table)
+    at_1080 = {p: f for r, p, m, f, s, b in table.rows if r == "1080p"
+               for p, f in [(p, f)]}
+    # the paper's ordering: accelerators and SMP beat sequential...
+    assert at_1080["xeon4"] > at_1080["sequential"]
+    assert at_1080["cell"] > at_1080["xeon4"]
+    assert at_1080["gtx280"] > at_1080["xeon4"]
+    # ...and everything clears real-time (30 fps) at 1080p except
+    # the fallback-mode FPGA
+    assert at_1080["fpga"] < at_1080["sequential"]

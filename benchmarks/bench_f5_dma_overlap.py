@@ -1,0 +1,19 @@
+"""F5 — Cell DMA/compute overlap vs tile size."""
+
+from repro.bench.experiments import f5_dma_overlap
+
+from conftest import run_once
+
+
+def test_f5_dma_overlap(benchmark, record_table):
+    table = run_once(benchmark, f5_dma_overlap, res="720p")
+    record_table("F5", table)
+    rows = list(zip(table.column("tile_rows"), table.column("buffering"),
+                    table.column("frame_ms"), table.column("overlap_gain")))
+    gains = [g for _, b, _, g in rows if b == "double" and g == g]
+    # somewhere in the sweep double buffering actually overlaps
+    assert max(gains) > 1.05
+    # one-row tiles drown in DMA setup: the worst configuration
+    t1 = min(t for r, b, t, _ in rows if r == 1)
+    best = min(t for _, _, t, _ in rows)
+    assert t1 > best

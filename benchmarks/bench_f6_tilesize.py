@@ -1,0 +1,18 @@
+"""F6 — gather locality: cache-size sweep, row-major vs blocked."""
+
+from repro.bench.experiments import f6_tile_size_cache
+
+from conftest import run_once
+
+
+def test_f6_tile_size_cache(benchmark, record_table):
+    table = run_once(benchmark, f6_tile_size_cache, res="720p")
+    record_table("F6", table)
+    rows = list(zip(table.column("cache_kb"), table.column("traversal"),
+                    table.column("hit_rate")))
+    blocked = {kb: hr for kb, tv, hr in rows if tv == "blocked"}
+    rowmajor = {kb: hr for kb, tv, hr in rows if tv == "row-major"}
+    # blocking reaches the plateau with a smaller cache
+    assert blocked[16] > rowmajor[16]
+    # both converge once the cache swallows the working set
+    assert abs(blocked[64] - rowmajor[64]) < 0.05

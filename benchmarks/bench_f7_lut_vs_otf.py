@@ -1,0 +1,16 @@
+"""F7 — LUT vs on-the-fly mapping, all platforms + host measurement."""
+
+from repro.bench.experiments import f7_lut_vs_otf
+
+from conftest import run_once
+
+
+def test_f7_lut_vs_otf(benchmark, record_table):
+    table = run_once(benchmark, f7_lut_vs_otf, res="720p")
+    record_table("F7", table)
+    adv = dict(zip(table.column("platform"), table.column("lut_advantage")))
+    # single-core hosts love the LUT (it amortizes the trigonometry)...
+    assert adv["sequential"] > 1.5
+    assert adv["host(numpy)"] > 1.5
+    # ...while the bandwidth-rich many-core prefers recomputation
+    assert adv["xeon16"] < 1.0

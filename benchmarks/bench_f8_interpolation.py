@@ -1,0 +1,18 @@
+"""F8 — interpolation method cost vs quality."""
+
+from repro.bench.experiments import f8_interpolation
+
+from conftest import run_once
+
+
+def test_f8_interpolation(benchmark, record_table):
+    table = run_once(benchmark, f8_interpolation, res="VGA")
+    record_table("F8", table)
+    rows = {m: (c, q) for m, t, c, f, q in zip(
+        table.column("method"), table.column("taps"), table.column("host_ms"),
+        table.column("model_fps_smp"), table.column("psnr_db"))}
+    # cost ladder: nearest < bilinear < bicubic
+    assert rows["nearest"][0] < rows["bilinear"][0] < rows["bicubic"][0]
+    # quality ladder: bilinear clearly beats nearest; bicubic >= bilinear
+    assert rows["bilinear"][1] > rows["nearest"][1] + 1.0
+    assert rows["bicubic"][1] >= rows["bilinear"][1] - 0.2

@@ -1,0 +1,15 @@
+"""F9 — roofline placement of the kernel variants."""
+
+from repro.bench.experiments import f9_roofline
+
+from conftest import run_once
+
+
+def test_f9_roofline(benchmark, record_table):
+    table = run_once(benchmark, f9_roofline)
+    record_table("F9", table)
+    for platform, kernel, bound in zip(table.column("platform"),
+                                       table.column("kernel"),
+                                       table.column("bound")):
+        if kernel == "bilinear/lut" and platform != "fpga":
+            assert bound == "memory"

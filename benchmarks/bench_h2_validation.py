@@ -1,0 +1,14 @@
+"""H2 — model-vs-host validation of kernel cost ratios."""
+
+from repro.bench.ablations import h2_model_validation
+
+from conftest import run_once
+
+
+def test_h2_model_validation(benchmark, record_table):
+    table = run_once(benchmark, h2_model_validation, res="VGA")
+    record_table("H2", table)
+    for direction, agreement in zip(table.column("same_direction"),
+                                    table.column("agreement_factor")):
+        assert direction is True          # model and host agree who wins
+        assert agreement < 5.0            # and on the order of magnitude

@@ -1,0 +1,11 @@
+"""T1 — platform characteristics table."""
+
+from repro.bench.experiments import t1_platforms
+
+from conftest import run_once
+
+
+def test_t1_platforms(benchmark, record_table):
+    table = run_once(benchmark, t1_platforms)
+    record_table("T1", table)
+    assert len(table.rows) == 6

@@ -1,0 +1,13 @@
+"""T2 — sequential stage profile (host-measured)."""
+
+from repro.bench.experiments import t2_sequential_profile
+
+from conftest import run_once
+
+
+def test_t2_sequential_profile(benchmark, record_table):
+    table = run_once(benchmark, t2_sequential_profile, res="720p")
+    record_table("T2", table)
+    ms = dict(zip(table.column("stage"), table.column("ms")))
+    # the gather is the dominant per-frame stage of the LUT kernel
+    assert ms["gather"] > ms["store"]

@@ -1,0 +1,39 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark runs its experiment once (the experiments are
+deterministic model evaluations or single host-kernel timings — there
+is no run-to-run noise worth averaging away) and writes the rendered
+table to ``benchmarks/results/<id>.txt`` so EXPERIMENTS.md can quote
+the artifact.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_table(results_dir):
+    """Return a writer: record_table(exp_id, table) -> table."""
+
+    def _write(exp_id, table):
+        path = os.path.join(results_dir, f"{exp_id.lower()}.txt")
+        with open(path, "w") as fh:
+            fh.write(table.render() + "\n")
+        return table
+
+    return _write
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1,
+                              warmup_rounds=0)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Security-camera scenario: streaming correction with virtual PTZ.
+
+The motivating application of the target paper: a ceiling-mounted
+180-degree camera replaces several narrow ones, and software carves
+*virtual pan/tilt/zoom views* out of the fisheye stream in real time.
+
+This example builds a synthetic street scene, streams distorted frames
+through three simultaneous virtual views (wide overview, tilted-down
+entrance view, zoomed detail view), measures per-view throughput on
+the host, and prints what the platform models predict for the same
+workload on the paper's machine park.
+
+Run:  python examples/security_camera.py [output_dir]
+"""
+
+import os
+import sys
+
+import numpy as np
+
+from repro import EquidistantLens, FisheyeCorrector, FisheyeIntrinsics, StreamStats
+from repro.accel import Workload, cell_ps3, gtx280, sequential_reference, xeon_2010
+from repro.video import FisheyeRenderer, SyntheticStream, scene_camera_for_sensor, urban, write_pgm
+
+SENSOR = 640
+FRAMES = 12
+
+
+def main(out_dir: str = "security_output") -> int:
+    os.makedirs(out_dir, exist_ok=True)
+
+    circle = SENSOR / 2.0 - 1.0
+    sensor = FisheyeIntrinsics.centered(SENSOR, SENSOR,
+                                        focal=circle / (np.pi / 2.0))
+    lens = EquidistantLens(sensor.focal)
+
+    # A deterministic "street" world, panned under the camera.
+    scene_cam = scene_camera_for_sensor(sensor, lens, SENSOR, SENSOR)
+    renderer = FisheyeRenderer(scene_cam, lens, sensor)
+    world = urban(SENSOR * 2, SENSOR * 2, buildings=120, seed=42)
+    stream = SyntheticStream(renderer, world, frames=FRAMES, fps=30.0, step=12)
+
+    # Three virtual views sharing the one physical camera.
+    views = {
+        "overview": dict(out_width=640, out_height=480, zoom=0.5),
+        "entrance": dict(out_width=480, out_height=360, zoom=0.8,
+                         pitch=np.deg2rad(35.0), yaw=np.deg2rad(-20.0)),
+        "detail": dict(out_width=320, out_height=240, zoom=2.0,
+                       yaw=np.deg2rad(30.0)),
+    }
+    correctors = {
+        name: FisheyeCorrector.for_sensor(sensor, lens, method="bilinear", **spec)
+        for name, spec in views.items()
+    }
+    for name, c in correctors.items():
+        print(f"view {name:>9}: {c.out_shape[1]}x{c.out_shape[0]}, "
+              f"coverage {c.coverage():.1%}")
+
+    # Stream all frames through all views, reusing buffers per view.
+    stats = {name: StreamStats() for name in views}
+    frames = list(stream)  # materialize so each view sees the same input
+    for name, corrector in correctors.items():
+        last = None
+        for out in corrector.correct_stream(frames, stats=stats[name]):
+            last = out
+        write_pgm(os.path.join(out_dir, f"{name}_last.pgm"), last.data)
+
+    print("\nhost throughput (numpy kernels, this machine):")
+    for name, s in stats.items():
+        print(f"  {name:>9}: {s.fps:7.1f} fps  ({s.mpixels_per_s:6.1f} Mpx/s)")
+
+    # What would the paper's platforms do with the overview workload?
+    print("\nmodelled per-platform throughput for the overview view:")
+    workload = Workload.from_field(correctors["overview"].field, mode="otf")
+    for platform in (sequential_reference(), xeon_2010(), cell_ps3(), gtx280()):
+        rep = (platform.simulate(workload) if hasattr(platform, "simulate")
+               else platform.estimate_frame(workload))
+        rt = "real-time" if rep.fps >= 30.0 else "below 30 fps"
+        print(f"  {rep.platform:>16}: {rep.fps:8.1f} fps  "
+              f"[{rep.bottleneck}-bound, {rt}]")
+    print(f"\nwrote final frames per view to {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:2]))

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Video wall: quad-view mosaic with full radiometric correction.
+
+The complete production chain for one monitor of a surveillance wall:
+
+1. a synthetic street scene is rendered through the fisheye lens,
+2. sensor noise and lens vignetting are applied (the realistic input),
+3. a single composed coordinate field carves four virtual views
+   (overview + three PTZ close-ups) out of the stream — one LUT, one
+   kernel pass for the whole mosaic,
+4. the vignetting is undone with gains evaluated per *output* pixel
+   (fused with the geometric correction),
+5. the mosaic streams at measured host throughput.
+
+Run:  python examples/video_wall.py [output_dir]
+"""
+
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro import (
+    EquidistantLens,
+    FisheyeIntrinsics,
+    RemapLUT,
+    VignetteModel,
+    correct_vignette,
+    quad_view,
+)
+from repro.video import (
+    FisheyeRenderer,
+    SensorNoise,
+    panning_crops,
+    scene_camera_for_sensor,
+    urban,
+    write_pgm,
+)
+
+SENSOR = 512
+FRAMES = 10
+
+
+def main(out_dir: str = "videowall_output") -> int:
+    os.makedirs(out_dir, exist_ok=True)
+
+    circle = SENSOR / 2.0 - 1.0
+    sensor = FisheyeIntrinsics.centered(SENSOR, SENSOR,
+                                        focal=circle / (np.pi / 2.0))
+    lens = EquidistantLens(sensor.focal)
+
+    # realistic input chain: scene -> lens geometry -> vignetting -> noise
+    scene_cam = scene_camera_for_sensor(sensor, lens, SENSOR, SENSOR)
+    renderer = FisheyeRenderer(scene_cam, lens, sensor)
+    vignette = VignetteModel(lens, sensor, alpha=3.0)
+    noise = SensorNoise(full_well=3000.0, read_noise=6.0, seed=17)
+    world = urban(SENSOR * 2, SENSOR * 2, buildings=90, seed=4)
+
+    # one coordinate field for the whole quad mosaic
+    field = quad_view(sensor, lens, 512, 384, overview_zoom=0.5,
+                      detail_zoom=1.6, detail_pitch=np.deg2rad(30.0))
+    lut = RemapLUT(field, method="bilinear")
+    gains = vignette.gain_for_field(field, max_gain=5.0)
+    print(f"quad mosaic 512x384, coverage {field.coverage():.1%}, "
+          f"LUT {lut.nbytes / 1e6:.1f} MB, "
+          f"peak devignetting gain {gains.max():.2f}x")
+
+    total = 0.0
+    last = None
+    for k, crop in enumerate(panning_crops(world, SENSOR, SENSOR, FRAMES, step=10)):
+        captured = noise.apply(vignette.apply(renderer.render(crop)),
+                               frame_index=k)
+        t0 = time.perf_counter()
+        mosaic = correct_vignette(lut.apply(captured), gains)
+        total += time.perf_counter() - t0
+        last = (captured, mosaic)
+
+    captured, mosaic = last
+    write_pgm(os.path.join(out_dir, "captured.pgm"), captured)
+    write_pgm(os.path.join(out_dir, "mosaic.pgm"), mosaic)
+    fps = FRAMES / total
+    print(f"host throughput: {fps:.1f} mosaic fps "
+          f"({fps * 512 * 384 / 1e6:.1f} Mpx/s, remap + devignette)")
+    print(f"wrote captured.pgm and mosaic.pgm to {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:2]))

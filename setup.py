@@ -1,0 +1,6 @@
+"""Legacy shim so editable installs work offline (no `wheel` package
+available in this environment; metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

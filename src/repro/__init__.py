@@ -1,0 +1,30 @@
+"""repro — fisheye lens distortion correction on multicore and
+hardware accelerator platforms.
+
+A from-scratch reproduction of the IPPS/IPDPS 2010 parallelization
+study: the correction kernel itself (:mod:`repro.core`), domain
+decomposition and scheduling (:mod:`repro.parallel`), deterministic
+platform models for multicore SMP / Cell BE / SIMT GPU / FPGA
+(:mod:`repro.accel` on top of :mod:`repro.sim`), synthetic fisheye
+video workloads (:mod:`repro.video`) and the benchmark harness that
+regenerates every table and figure (:mod:`repro.bench`).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import EquidistantLens, FisheyeIntrinsics, FisheyeCorrector
+>>> sensor = FisheyeIntrinsics.centered(512, 512, focal=162.0)
+>>> lens = EquidistantLens(sensor.focal)
+>>> corrector = FisheyeCorrector.for_sensor(sensor, lens, 512, 512, zoom=0.5)
+>>> frame = np.zeros((512, 512), dtype=np.uint8)
+>>> corrected = corrector.correct(frame)
+>>> corrected.shape
+(512, 512)
+"""
+
+from ._version import __version__
+from .core import *  # noqa: F401,F403 — curated re-export, see core.__all__
+from .core import __all__ as _core_all
+from .errors import ReproError
+
+__all__ = ["__version__", "ReproError", *_core_all]

@@ -1,0 +1,65 @@
+"""Hardware platform models: multicore SMP, Cell BE, SIMT GPU, FPGA.
+
+Each model prices the same :class:`~repro.accel.platform.Workload`
+(built from a real remap field when available) and returns a
+:class:`~repro.accel.platform.PerfReport` with a phase breakdown.  The
+presets in :mod:`~repro.accel.presets` form the evaluation's machine
+park.
+"""
+
+from .cellbe import CellModel, TileJob
+from .energy import POWER_SPECS, EnergyReport, PowerSpec, energy_report
+from .fpga import FPGAModel
+from .gpu import GPUModel, Occupancy
+from .hetero import PipelineModel, Stage, gpu_application_pipeline
+from .kernels import MODES, TRANSCENDENTAL_FLOPS, KernelSpec, kernel_spec
+from .multicore import SMPModel
+from .platform import STANDARD_RESOLUTIONS, PerfReport, PlatformModel, Workload
+from .presets import (
+    all_platforms,
+    cell_ps3,
+    fpga_midrange,
+    gtx280,
+    sequential_reference,
+    xeon_2010,
+    xeon_modern,
+)
+from .roofline import RooflinePoint, attainable_gflops, place, ridge_point
+from .validation import ValidationCase, validate_kernel_ratios
+
+__all__ = [
+    "KernelSpec",
+    "kernel_spec",
+    "MODES",
+    "TRANSCENDENTAL_FLOPS",
+    "Workload",
+    "PerfReport",
+    "PlatformModel",
+    "STANDARD_RESOLUTIONS",
+    "SMPModel",
+    "CellModel",
+    "TileJob",
+    "GPUModel",
+    "Occupancy",
+    "FPGAModel",
+    "RooflinePoint",
+    "attainable_gflops",
+    "ridge_point",
+    "place",
+    "PowerSpec",
+    "POWER_SPECS",
+    "EnergyReport",
+    "energy_report",
+    "Stage",
+    "PipelineModel",
+    "gpu_application_pipeline",
+    "ValidationCase",
+    "validate_kernel_ratios",
+    "sequential_reference",
+    "xeon_2010",
+    "xeon_modern",
+    "cell_ps3",
+    "gtx280",
+    "fpga_midrange",
+    "all_platforms",
+]

@@ -1,0 +1,100 @@
+"""Energy accounting: joules per corrected frame, frames per joule.
+
+The 2010 accelerator literature reports energy efficiency alongside raw
+throughput — it is the metric where the Cell and FPGA entries justify
+themselves against the GPU.  The model is the standard two-term one:
+
+    E_frame = P_active * t_busy + P_idle * t_exposed
+
+where the busy/exposed split comes from the platform's
+:class:`~repro.sim.stats.Breakdown` (a platform waiting on DMA or PCIe
+burns idle power, not active power).  Power envelopes are late-2000s
+datasheet values for the modelled parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PlatformError
+from .platform import PerfReport
+
+__all__ = ["PowerSpec", "POWER_SPECS", "EnergyReport", "energy_report"]
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Active/idle power envelope of one platform (watts)."""
+
+    name: str
+    active_w: float
+    idle_w: float
+
+    def __post_init__(self):
+        if self.active_w <= 0 or self.idle_w < 0:
+            raise PlatformError(f"{self.name}: invalid power envelope")
+        if self.idle_w > self.active_w:
+            raise PlatformError(f"{self.name}: idle power exceeds active power")
+
+
+#: late-2000s datasheet envelopes for the modelled parts (board-level
+#: for the accelerators, socket-level for the CPUs)
+POWER_SPECS = {
+    "sequential": PowerSpec("sequential", active_w=65.0, idle_w=25.0),
+    "xeon4": PowerSpec("xeon4", active_w=120.0, idle_w=40.0),
+    "xeon16": PowerSpec("xeon16", active_w=150.0, idle_w=45.0),
+    "cell": PowerSpec("cell", active_w=95.0, idle_w=30.0),
+    "gtx280": PowerSpec("gtx280", active_w=236.0, idle_w=50.0),
+    "fpga": PowerSpec("fpga", active_w=12.0, idle_w=3.0),
+}
+
+#: breakdown phases during which the platform is stalled, not computing
+_IDLE_PHASES = ("dma_exposed", "memory_exposed", "kernel_memory_exposed",
+                "h2d", "d2h", "ddr_exposed", "sync", "serial")
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy profile of one workload on one platform."""
+
+    platform: str
+    joules_per_frame: float
+    watts_average: float
+    mpixels_per_joule: float
+    fps: float
+
+    @property
+    def frames_per_joule(self) -> float:
+        return 1.0 / self.joules_per_frame if self.joules_per_frame > 0 else float("inf")
+
+
+def energy_report(perf: PerfReport, spec: PowerSpec | None = None) -> EnergyReport:
+    """Price a :class:`~repro.accel.platform.PerfReport` in joules.
+
+    ``spec`` defaults to the :data:`POWER_SPECS` entry matching the
+    report's platform name prefix.
+    """
+    if spec is None:
+        base = perf.platform.split("[", 1)[0]
+        try:
+            spec = POWER_SPECS[base]
+        except KeyError:
+            raise PlatformError(
+                f"no power spec for platform {base!r}; known: {sorted(POWER_SPECS)}"
+            ) from None
+    frame_s = perf.frame_ns / 1e9
+    if frame_s <= 0:
+        raise PlatformError("cannot price a zero-duration frame")
+
+    idle_ns = sum(perf.breakdown.phases.get(p, 0) for p in _IDLE_PHASES)
+    idle_s = min(frame_s, idle_ns / 1e9)
+    active_s = frame_s - idle_s
+    joules = spec.active_w * active_s + spec.idle_w * idle_s
+    mpix = perf.workload.pixels / 1e6
+    return EnergyReport(
+        platform=perf.platform,
+        joules_per_frame=joules,
+        watts_average=joules / frame_s,
+        mpixels_per_joule=mpix / joules if joules > 0 else float("inf"),
+        fps=perf.fps,
+    )

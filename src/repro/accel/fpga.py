@@ -1,0 +1,141 @@
+"""FPGA streaming-pipeline platform model.
+
+A hardware implementation of the corrector is a deep pixel pipeline:
+output pixels stream out one per ``II`` clock cycles, while the source
+frame streams in through on-chip **line buffers**.  The feasibility
+condition is the interesting part: the pipeline can only produce
+output row ``i`` once every source row it samples is resident, so the
+line-buffer RAM must hold the largest *vertical span* the remap needs
+(plus the interpolation margin).  Fisheye maps have small spans near
+the centre and large ones near the frame's top/bottom edges, so the
+span is measured from the real coordinate field.
+
+When the span fits, throughput is simply ``clock / II`` pixels/s —
+independent of the map.  When it does not fit, the design must fall
+back to random access into external DDR, and the model prices that
+mode with the measured gather traffic instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CapacityError, PlatformError
+from ..sim.stats import Breakdown
+from .platform import PerfReport, PlatformModel, Workload
+
+__all__ = ["FPGAModel"]
+
+
+@dataclass
+class FPGAModel(PlatformModel):
+    """A streaming correction pipeline on an FPGA-class device.
+
+    Defaults approximate a mid-size 2010 part: 150 MHz pixel clock,
+    II = 1, ~1.5 Mb of block RAM usable for line buffers, 3.2 GB/s
+    external DDR.
+    """
+
+    clock_mhz: float = 150.0
+    initiation_interval: int = 1
+    pixels_per_cycle: int = 1
+    line_buffer_bytes: int = 192 * 1024
+    ddr_bw_gbps: float = 3.2
+    frame_sync_ns: int = 20_000
+    interp_margin_rows: int = 4
+    name: str = "fpga"
+
+    def __post_init__(self):
+        if self.clock_mhz <= 0 or self.ddr_bw_gbps <= 0:
+            raise PlatformError("clock and bandwidth must be positive")
+        if self.initiation_interval < 1 or self.pixels_per_cycle < 1:
+            raise PlatformError("II and pixels_per_cycle must be >= 1")
+        if self.line_buffer_bytes <= 0:
+            raise PlatformError("line buffer capacity must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def peak_gflops(self) -> float:
+        # A fully unrolled pipeline commits one pixel's whole arithmetic
+        # per initiation interval; report the bilinear-LUT equivalent.
+        return (self.clock_mhz * 1e6 * self.pixels_per_cycle
+                / self.initiation_interval) * 11.0 / 1e9
+
+    @property
+    def mem_bw_gbps(self) -> float:
+        return self.ddr_bw_gbps
+
+    def describe(self) -> dict:
+        d = super().describe()
+        d.update(clock_ghz=self.clock_mhz / 1000.0, simd="pipeline",
+                 line_buffer_kb=self.line_buffer_bytes // 1024)
+        return d
+
+    # ------------------------------------------------------------------
+    def required_line_buffer_rows(self, workload: Workload) -> int:
+        """Rows of source the streaming mode must keep resident."""
+        if workload.field is not None:
+            span = float(workload.field.row_span().max())
+        else:
+            # Conservative default: a fisheye map can fold ~1/4 of the
+            # source height into one output row near the edges.
+            span = workload.src_height / 4.0
+        return int(np.ceil(span)) + self.interp_margin_rows
+
+    def streaming_feasible(self, workload: Workload) -> bool:
+        """Does the required window fit the on-chip line buffers?"""
+        rows = self.required_line_buffer_rows(workload)
+        need = rows * workload.src_width * workload.spec.out_bytes
+        return need <= self.line_buffer_bytes
+
+    def estimate_frame(self, workload: Workload) -> PerfReport:
+        rows = self.required_line_buffer_rows(workload)
+        window_bytes = int(rows * workload.src_width * workload.spec.out_bytes)
+        breakdown = Breakdown()
+        breakdown.add("sync", self.frame_sync_ns)
+
+        if window_bytes <= self.line_buffer_bytes:
+            cycles = workload.pixels * self.initiation_interval / self.pixels_per_cycle
+            pipe_ns = cycles / (self.clock_mhz / 1000.0)  # MHz -> cycles/ns
+            # the source must still stream in from DDR once
+            src_bytes = workload.src_width * workload.src_height * workload.spec.out_bytes
+            stream_ns = src_bytes / self.ddr_bw_gbps
+            frame_ns = self.frame_sync_ns + max(pipe_ns, stream_ns)
+            breakdown.add("pipeline", int(round(pipe_ns)))
+            breakdown.add("ddr_exposed", int(round(max(0.0, stream_ns - pipe_ns))))
+            mode = "streaming"
+            bottleneck = "ddr" if stream_ns > pipe_ns else "pipeline"
+        else:
+            # Random-access fallback: every tap is an external read burst.
+            taps = workload.pixels * workload.coverage * workload.spec.taps
+            burst = 32  # DDR burst granularity per scattered access
+            traffic = taps * burst + workload.frame_out_bytes() + workload.frame_lut_bytes()
+            frame_ns = self.frame_sync_ns + traffic / self.ddr_bw_gbps
+            breakdown.add("ddr_random", int(round(traffic / self.ddr_bw_gbps)))
+            mode = "random_access"
+            bottleneck = "ddr"
+
+        return PerfReport(
+            platform=f"{self.name}[{mode}]",
+            workload=workload,
+            frame_ns=int(round(frame_ns)),
+            breakdown=breakdown,
+            bottleneck=bottleneck,
+            notes={
+                "mode": mode,
+                "line_buffer_rows_required": rows,
+                "line_buffer_bytes_required": window_bytes,
+                "line_buffer_bytes_available": self.line_buffer_bytes,
+            },
+        )
+
+    def require_streaming(self, workload: Workload):
+        """Raise :class:`~repro.errors.CapacityError` if streaming won't fit."""
+        if not self.streaming_feasible(workload):
+            rows = self.required_line_buffer_rows(workload)
+            need = rows * workload.src_width * workload.spec.out_bytes
+            raise CapacityError(
+                f"line buffer needs {need} B ({rows} rows) but only "
+                f"{self.line_buffer_bytes} B are available")

@@ -1,0 +1,232 @@
+"""SIMT GPU platform model (CUDA-class, circa GTX 200 and later).
+
+The GPU version of the kernel assigns one output pixel per thread.
+Three effects dominate, and all three are modelled from first
+principles (and from the *actual* remap table when available):
+
+occupancy
+    Threads-per-block, register and shared-memory budgets limit how
+    many warps an SM can keep in flight; below the latency-hiding
+    threshold, achievable throughput scales with occupancy.  The F3
+    benchmark sweeps block size exactly as a CUDA tuning session would.
+
+memory coalescing
+    Output writes are perfectly coalesced; LUT reads are streamed; but
+    the *source gathers are data-dependent*.  A warp's 32 reads touch
+    ``k`` distinct 128-byte segments and cost ``k`` transactions —
+    ``k`` is measured per warp from the coordinate field
+    (:meth:`repro.core.mapping.RemapField.gather_lines`).
+
+host transfers
+    Frames cross PCIe twice (in and out) unless streamed/overlapped;
+    for 2010-era parts this regularly beats the kernel itself — the
+    classic "GPU wins on kernel time, loses end-to-end" crossover the
+    paper's end-to-end numbers show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PlatformError
+from ..sim.memory import Link
+from ..sim.stats import Breakdown
+from .platform import PerfReport, PlatformModel, Workload
+
+__all__ = ["GPUModel", "Occupancy"]
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Occupancy calculation result for one launch configuration."""
+
+    block_size: int
+    blocks_per_sm: int
+    active_warps: int
+    max_warps: int
+    limiter: str
+
+    @property
+    def value(self) -> float:
+        return self.active_warps / self.max_warps if self.max_warps else 0.0
+
+
+@dataclass
+class GPUModel(PlatformModel):
+    """A streaming-multiprocessor GPU with explicit host transfers.
+
+    Defaults approximate a GTX 280-class device (the 2010 study's
+    hardware generation): 30 SMs x 8 lanes at 1.3 GHz, 141 GB/s DRAM,
+    PCIe 1.1 x16 host link.
+    """
+
+    sms: int = 30
+    lanes_per_sm: int = 8
+    clock_ghz: float = 1.3
+    dram_bw_gbps: float = 141.0
+    warp_size: int = 32
+    max_warps_per_sm: int = 32
+    max_blocks_per_sm: int = 8
+    max_threads_per_block: int = 512
+    registers_per_sm: int = 16384
+    shared_per_sm: int = 16384
+    line_bytes: int = 128
+    launch_ns: int = 8_000
+    pcie: Link = None
+    latency_hiding_occupancy: float = 0.5
+    name: str = "gpu"
+
+    def __post_init__(self):
+        if self.pcie is None:
+            self.pcie = Link("pcie", bandwidth_gbps=5.0, setup_ns=10_000)
+        for label, v in (("sms", self.sms), ("lanes_per_sm", self.lanes_per_sm),
+                         ("warp_size", self.warp_size),
+                         ("max_warps_per_sm", self.max_warps_per_sm)):
+            if v < 1:
+                raise PlatformError(f"{label} must be >= 1, got {v}")
+        if self.clock_ghz <= 0 or self.dram_bw_gbps <= 0:
+            raise PlatformError("clock and bandwidth must be positive")
+        if not 0 < self.latency_hiding_occupancy <= 1:
+            raise PlatformError("latency_hiding_occupancy must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    @property
+    def peak_gflops(self) -> float:
+        # one FMA per lane per clock
+        return self.sms * self.lanes_per_sm * self.clock_ghz * 2.0
+
+    @property
+    def mem_bw_gbps(self) -> float:
+        return self.dram_bw_gbps
+
+    def describe(self) -> dict:
+        d = super().describe()
+        d.update(cores=self.sms * self.lanes_per_sm, clock_ghz=self.clock_ghz,
+                 simd=f"simt{self.warp_size}",
+                 pcie_gbps=self.pcie.bandwidth_gbps)
+        return d
+
+    # ------------------------------------------------------------------
+    def occupancy(self, block_size: int, registers_per_thread: int = 16,
+                  shared_per_block: int = 2048) -> Occupancy:
+        """CUDA-style occupancy from the launch configuration."""
+        if not 1 <= block_size <= self.max_threads_per_block:
+            raise PlatformError(
+                f"block_size must be in [1, {self.max_threads_per_block}], got {block_size}")
+        if registers_per_thread < 1 or shared_per_block < 0:
+            raise PlatformError("invalid per-thread resource request")
+        warps_per_block = -(-block_size // self.warp_size)
+        limits = {
+            "warps": self.max_warps_per_sm // warps_per_block,
+            "blocks": self.max_blocks_per_sm,
+            "registers": self.registers_per_sm // (registers_per_thread * block_size),
+            "shared": (self.shared_per_sm // shared_per_block
+                       if shared_per_block > 0 else self.max_blocks_per_sm),
+        }
+        limiter = min(limits, key=limits.get)
+        blocks = max(0, limits[limiter])
+        return Occupancy(
+            block_size=block_size,
+            blocks_per_sm=blocks,
+            active_warps=min(self.max_warps_per_sm, blocks * warps_per_block),
+            max_warps=self.max_warps_per_sm,
+            limiter=limiter,
+        )
+
+    # ------------------------------------------------------------------
+    def kernel_time_ns(self, workload: Workload, occupancy_value: float) -> dict:
+        """Compute and memory phase times for the device kernel alone."""
+        spec = workload.spec
+        flops = workload.frame_flops()
+        eff = min(1.0, occupancy_value / self.latency_hiding_occupancy)
+        if eff <= 0:
+            raise PlatformError("zero occupancy: kernel cannot launch")
+        compute_ns = flops / (self.peak_gflops * eff)  # GFLOP/s == flops/ns
+        # Low occupancy also starves the memory system: with too few
+        # warps in flight there are not enough outstanding transactions
+        # to cover DRAM latency, so achievable bandwidth scales the same
+        # way (Little's law).
+        achievable_bw = self.dram_bw_gbps * eff
+
+        # Memory transactions: coalesced writes + streamed LUT + measured
+        # scatter factor on the source gathers.
+        out_bytes = workload.frame_out_bytes()
+        lut_bytes = workload.frame_lut_bytes()
+        warps = workload.pixels / self.warp_size
+        lines_per_warp = workload.gather_lines_per_warp
+        # each tap of each warp costs ~lines_per_warp transactions; taps of
+        # one pixel are adjacent, so extra taps mostly hit the same lines —
+        # charge the footprint ratio of extra rows for multi-tap kernels.
+        tap_rows = 1 if spec.taps == 1 else (2 if spec.taps == 4 else 4)
+        src_bytes = warps * lines_per_warp * tap_rows * self.line_bytes
+        memory_ns = (out_bytes + lut_bytes + src_bytes) / achievable_bw
+        return {
+            "compute_ns": compute_ns,
+            "memory_ns": memory_ns,
+            "src_transaction_bytes": src_bytes,
+        }
+
+    def estimate_frame(self, workload: Workload, block_size: int = 256,
+                       registers_per_thread: int = 16,
+                       shared_per_block: int = 2048,
+                       overlap_transfers: bool = False) -> PerfReport:
+        """End-to-end frame time: H2D + kernel + D2H (+ launch).
+
+        ``overlap_transfers`` models stream-pipelined execution where
+        transfers of frame ``k+1`` hide under the kernel of frame
+        ``k`` (steady-state cost = max of the three phases).
+        """
+        occ = self.occupancy(block_size, registers_per_thread, shared_per_block)
+        if occ.blocks_per_sm == 0:
+            raise PlatformError(
+                f"launch config infeasible: block_size={block_size}, "
+                f"regs={registers_per_thread}, shared={shared_per_block}")
+        phases = self.kernel_time_ns(workload, occ.value)
+        kernel_ns = self.launch_ns + max(phases["compute_ns"], phases["memory_ns"])
+
+        src_frame_bytes = (workload.src_width * workload.src_height
+                           * workload.spec.out_bytes)
+        h2d_ns = self.pcie.transfer_ns(int(src_frame_bytes))
+        d2h_ns = self.pcie.transfer_ns(int(workload.frame_out_bytes()))
+
+        if overlap_transfers:
+            frame_ns = max(kernel_ns, h2d_ns, d2h_ns) + self.launch_ns
+        else:
+            frame_ns = h2d_ns + kernel_ns + d2h_ns
+
+        breakdown = Breakdown()
+        breakdown.add("h2d", int(h2d_ns))
+        breakdown.add("kernel_compute", int(round(phases["compute_ns"])))
+        breakdown.add("kernel_memory_exposed",
+                      int(round(max(0.0, phases["memory_ns"] - phases["compute_ns"]))))
+        breakdown.add("launch", self.launch_ns)
+        breakdown.add("d2h", int(d2h_ns))
+
+        kernel_bound = ("memory" if phases["memory_ns"] > phases["compute_ns"]
+                        else "compute")
+        transfers = h2d_ns + d2h_ns
+        bottleneck = "pcie" if (not overlap_transfers and transfers > kernel_ns) else kernel_bound
+
+        return PerfReport(
+            platform=f"{self.name}[b{block_size}{'+ovl' if overlap_transfers else ''}]",
+            workload=workload,
+            frame_ns=int(round(frame_ns)),
+            breakdown=breakdown,
+            bottleneck=bottleneck,
+            notes={
+                "block_size": block_size,
+                "occupancy": round(occ.value, 3),
+                "occupancy_limiter": occ.limiter,
+                "kernel_ns": int(round(kernel_ns)),
+                "h2d_ns": int(h2d_ns),
+                "d2h_ns": int(d2h_ns),
+                "lines_per_warp": round(workload.gather_lines_per_warp, 2),
+                "overlap_transfers": overlap_transfers,
+            },
+        )
+
+    def block_size_sweep(self, workload: Workload, block_sizes=(32, 64, 128, 192, 256, 384, 512),
+                         **kwargs):
+        """F3 sweep: one report per launch configuration."""
+        return [self.estimate_frame(workload, block_size=b, **kwargs)
+                for b in block_sizes]

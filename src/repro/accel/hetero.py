@@ -1,0 +1,134 @@
+"""End-to-end application pipeline model (host + accelerator).
+
+Kernel speedup is not application speedup: the paper's real-time
+system is *capture -> host pre-process -> transfer -> correct ->
+transfer -> encode*, and once the kernel is accelerated the pipeline
+bottleneck moves to transfers or the host stages.  This module models
+a steady-state software pipeline:
+
+- each :class:`Stage` consumes a named resource for a fixed time per
+  frame;
+- stages bound to the *same* resource serialize (e.g. h2d and d2h on a
+  half-duplex PCIe link, or decode and encode on the same host core);
+- with enough frames in flight, sustained throughput is set by the
+  busiest resource, and per-frame latency by the stage-time sum.
+
+This is exact for the fixed-time, in-order case (a direct consequence
+of utilization bounds), so no event simulation is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PlatformError
+from .gpu import GPUModel
+from .platform import Workload
+
+__all__ = ["Stage", "PipelineModel", "gpu_application_pipeline"]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pipeline stage: ``time_ns`` per frame on ``resource``."""
+
+    name: str
+    time_ns: int
+    resource: str
+
+    def __post_init__(self):
+        if self.time_ns < 0:
+            raise PlatformError(f"stage {self.name}: negative time")
+        if not self.resource:
+            raise PlatformError(f"stage {self.name}: empty resource name")
+
+
+@dataclass
+class PipelineModel:
+    """A linear frame pipeline with per-resource serialization."""
+
+    stages: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.stages:
+            raise PlatformError("pipeline needs at least one stage")
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise PlatformError(f"duplicate stage names: {names}")
+
+    # ------------------------------------------------------------------
+    def resource_busy_ns(self) -> dict:
+        """Per-frame busy time of each resource."""
+        busy: dict = {}
+        for s in self.stages:
+            busy[s.resource] = busy.get(s.resource, 0) + s.time_ns
+        return busy
+
+    @property
+    def bottleneck(self) -> str:
+        """The resource that caps steady-state throughput."""
+        busy = self.resource_busy_ns()
+        return max(busy, key=lambda r: (busy[r], r))
+
+    @property
+    def interval_ns(self) -> int:
+        """Steady-state frame interval (1 / throughput)."""
+        return max(self.resource_busy_ns().values())
+
+    @property
+    def fps(self) -> float:
+        return 1e9 / self.interval_ns if self.interval_ns > 0 else float("inf")
+
+    @property
+    def latency_ns(self) -> int:
+        """Capture-to-output latency of one frame (stage-time sum)."""
+        return sum(s.time_ns for s in self.stages)
+
+    @property
+    def frames_in_flight(self) -> int:
+        """Frames concurrently in the pipe at steady state (ceil)."""
+        if self.interval_ns == 0:
+            return 1
+        return -(-self.latency_ns // self.interval_ns)
+
+    def utilization(self) -> dict:
+        """Per-resource utilization at steady state."""
+        interval = self.interval_ns
+        return {r: b / interval for r, b in self.resource_busy_ns().items()}
+
+    def describe(self) -> str:
+        lines = [f"{'stage':>12} {'ms/frame':>9} {'resource':>10}"]
+        for s in self.stages:
+            lines.append(f"{s.name:>12} {s.time_ns / 1e6:>9.3f} {s.resource:>10}")
+        lines.append(f"steady state: {self.fps:.1f} fps "
+                     f"(bottleneck {self.bottleneck}), latency "
+                     f"{self.latency_ns / 1e6:.2f} ms, "
+                     f"{self.frames_in_flight} frames in flight")
+        return "\n".join(lines)
+
+
+def gpu_application_pipeline(gpu: GPUModel, workload: Workload,
+                             decode_ns: int, encode_ns: int,
+                             block_size: int = 256,
+                             full_duplex_pcie: bool = False) -> PipelineModel:
+    """The paper's end-to-end GPU application as a pipeline model.
+
+    Stages: host decode -> h2d -> device kernel -> d2h -> host encode.
+    ``full_duplex_pcie`` gives h2d and d2h independent link resources
+    (PCIe is full duplex; 2010 drivers often serialized anyway).
+    """
+    if decode_ns < 0 or encode_ns < 0:
+        raise PlatformError("codec stage times must be >= 0")
+    rep = gpu.estimate_frame(workload, block_size=block_size)
+    h2d = rep.notes["h2d_ns"]
+    d2h = rep.notes["d2h_ns"]
+    kernel = rep.notes["kernel_ns"]
+    up = "pcie_up" if full_duplex_pcie else "pcie"
+    down = "pcie_down" if full_duplex_pcie else "pcie"
+    return PipelineModel([
+        Stage("decode", decode_ns, "host"),
+        Stage("h2d", h2d, up),
+        Stage("kernel", kernel, "device"),
+        Stage("d2h", d2h, down),
+        Stage("encode", encode_ns, "host"),
+    ])

@@ -1,0 +1,167 @@
+"""Shared-memory multicore (SMP) platform model.
+
+Prices the tiled remap kernel on a cache-coherent multicore the way
+the paper's pthreads/OpenMP versions behave:
+
+- arithmetic scales with threads (SIMD factor from
+  :mod:`repro.parallel.simd` applied per core),
+- DRAM traffic does **not** scale — the shared memory controller is a
+  single :class:`~repro.sim.memory.SharedBus`-style capacity, so the
+  frame time is ``serial + max(compute/threads, traffic/bandwidth)``
+  plus synchronization, and the speedup curve bends exactly where the
+  kernel crosses from compute- to bandwidth-bound,
+- load imbalance is measured, not assumed: when the workload carries a
+  real coordinate field, tile costs (out-of-FOV tiles are nearly free)
+  are replayed through the requested loop schedule and the resulting
+  makespan inflation is applied to the compute term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PlatformError
+from ..parallel.partition import row_bands, tile_weights
+from ..parallel.schedule import Assignment, simulate
+from ..parallel.simd import VectorISA, simd_speedup
+from ..sim.stats import Breakdown
+from .platform import PerfReport, PlatformModel, Workload
+
+__all__ = ["SMPModel"]
+
+
+@dataclass
+class SMPModel(PlatformModel):
+    """A symmetric multicore with shared memory bandwidth.
+
+    Attributes
+    ----------
+    cores:
+        Physical cores.
+    clock_ghz:
+        Core clock.
+    flops_per_cycle:
+        Scalar arithmetic issue width (flop equivalents per cycle).
+    isa:
+        Optional SIMD ISA; ``None`` prices the scalar kernel.
+    mem_bw_gbps:
+        Sustained shared memory bandwidth.
+    serial_ns:
+        Per-frame serial section (frame acquisition, dispatch).
+    sync_ns:
+        Cost of one barrier/join involving all participating threads.
+    schedule:
+        Loop schedule replayed for the imbalance factor
+        (``static``/``dynamic``/``guided``).
+    tiles_per_thread:
+        Work units per thread used for the imbalance replay.
+    tap_cycles:
+        Average core cycles per scattered source load (cache-hierarchy
+        latency seen by the in-order address stream; 1 would mean every
+        gather hits L1).
+    """
+
+    cores: int = 4
+    clock_ghz: float = 3.0
+    flops_per_cycle: float = 2.0
+    isa: VectorISA | None = None
+    mem_bw_gbps: float = 10.0
+    serial_ns: int = 50_000
+    sync_ns: int = 5_000
+    schedule: str = "dynamic"
+    tiles_per_thread: int = 8
+    tap_cycles: float = 4.0
+    name: str = "smp"
+
+    def __post_init__(self):
+        if self.cores < 1:
+            raise PlatformError(f"cores must be >= 1, got {self.cores}")
+        if self.clock_ghz <= 0 or self.flops_per_cycle <= 0 or self.mem_bw_gbps <= 0:
+            raise PlatformError("clock, issue width and bandwidth must be positive")
+        if self.serial_ns < 0 or self.sync_ns < 0:
+            raise PlatformError("overheads must be >= 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def peak_gflops(self) -> float:
+        lanes = self.isa.lanes if self.isa else 1
+        return self.cores * self.clock_ghz * self.flops_per_cycle * lanes
+
+    def describe(self) -> dict:
+        d = super().describe()
+        d.update(cores=self.cores, clock_ghz=self.clock_ghz,
+                 simd=self.isa.name if self.isa else "scalar")
+        return d
+
+    # ------------------------------------------------------------------
+    def _per_pixel_cycles(self, workload: Workload) -> float:
+        """Cycles per *valid* output pixel on one core."""
+        spec = workload.spec
+        cycles = spec.flops / self.flops_per_cycle + spec.taps * self.tap_cycles
+        if self.isa is not None:
+            cycles /= simd_speedup(self.isa, spec.flops, spec.taps)
+        return cycles
+
+    def imbalance_factor(self, workload: Workload, threads: int) -> tuple[float, Assignment | None]:
+        """Makespan inflation of the configured schedule on real tiles."""
+        if workload.field is None or threads == 1:
+            return 1.0, None
+        n_tiles = min(workload.out_height, threads * self.tiles_per_thread)
+        tiles = row_bands(workload.out_height, workload.out_width, n_tiles)
+        weights = tile_weights(workload.field.valid_mask(), tiles)
+        assignment = simulate(weights, threads, schedule=self.schedule)
+        ideal = weights.sum() / threads
+        factor = assignment.makespan / ideal if ideal > 0 else 1.0
+        return max(1.0, factor), assignment
+
+    def estimate_frame(self, workload: Workload, threads: int | None = None) -> PerfReport:
+        """Price one frame with ``threads`` workers (default: all cores)."""
+        threads = self.cores if threads is None else threads
+        if not 1 <= threads <= self.cores:
+            raise PlatformError(f"threads must be in [1, {self.cores}], got {threads}")
+
+        cycles = workload.pixels * workload.coverage * self._per_pixel_cycles(workload)
+        cycles += workload.pixels * (1.0 - workload.coverage) * 1.0  # fill stores
+        compute_ns = cycles / (self.clock_ghz * threads)
+
+        imb, assignment = self.imbalance_factor(workload, threads)
+        compute_ns *= imb
+
+        traffic = (workload.frame_out_bytes() + workload.frame_lut_bytes()
+                   + workload.frame_src_bytes(reuse=True))
+        memory_ns = traffic / self.mem_bw_gbps  # GB/s == bytes/ns
+
+        parallel_ns = max(compute_ns, memory_ns)
+        sync_total = self.sync_ns * (1 if threads > 1 else 0)
+        frame_ns = int(round(self.serial_ns + parallel_ns + sync_total))
+
+        breakdown = Breakdown()
+        breakdown.add("serial", self.serial_ns)
+        breakdown.add("compute", int(round(compute_ns)))
+        breakdown.add("memory_exposed", int(round(max(0.0, memory_ns - compute_ns))))
+        breakdown.add("sync", sync_total)
+
+        report = PerfReport(
+            platform=f"{self.name}[{threads}t]",
+            workload=workload,
+            frame_ns=frame_ns,
+            breakdown=breakdown,
+            bottleneck="memory" if memory_ns > compute_ns else "compute",
+            notes={
+                "threads": threads,
+                "imbalance": round(imb, 4),
+                "traffic_bytes": int(traffic),
+                "compute_ns": int(round(compute_ns)),
+                "memory_ns": int(round(memory_ns)),
+            },
+        )
+        if assignment is not None:
+            report.notes["dispatches"] = assignment.dispatches
+        return report
+
+    def scaling(self, workload: Workload, thread_counts=None):
+        """Speedup sweep: list of reports for increasing thread counts."""
+        if thread_counts is None:
+            thread_counts = [t for t in (1, 2, 4, 8, 16, 32) if t <= self.cores]
+        reports = [self.estimate_frame(workload, threads=t) for t in thread_counts]
+        return reports

@@ -1,0 +1,78 @@
+"""Platform presets: the evaluation's machine park (T1).
+
+Numbers are the published characteristics of the 2010-era hardware
+class the study spans (and one modern SMP reference point).  They are
+model *parameters*, not measurements — EXPERIMENTS.md records how the
+resulting shapes compare to the paper's.
+"""
+
+from __future__ import annotations
+
+from ..parallel.simd import AVX2, SSE2
+from .cellbe import CellModel
+from .fpga import FPGAModel
+from .gpu import GPUModel
+from .multicore import SMPModel
+
+__all__ = [
+    "sequential_reference",
+    "xeon_2010",
+    "xeon_modern",
+    "cell_ps3",
+    "gtx280",
+    "fpga_midrange",
+    "all_platforms",
+]
+
+
+def sequential_reference() -> SMPModel:
+    """Single-core scalar baseline (the study's reference point)."""
+    return SMPModel(cores=1, clock_ghz=3.0, flops_per_cycle=2.0, isa=None,
+                    mem_bw_gbps=6.0, serial_ns=50_000, sync_ns=0,
+                    name="sequential")
+
+
+def xeon_2010() -> SMPModel:
+    """Quad-core Harpertown-class Xeon with SSE (the paper's SMP)."""
+    return SMPModel(cores=4, clock_ghz=3.0, flops_per_cycle=2.0, isa=SSE2,
+                    mem_bw_gbps=10.0, serial_ns=50_000, sync_ns=5_000,
+                    name="xeon4")
+
+
+def xeon_modern() -> SMPModel:
+    """16-core AVX2 server — the 'what about today' reference point."""
+    return SMPModel(cores=16, clock_ghz=2.6, flops_per_cycle=2.0, isa=AVX2,
+                    mem_bw_gbps=80.0, serial_ns=30_000, sync_ns=3_000,
+                    name="xeon16")
+
+
+def cell_ps3() -> CellModel:
+    """PS3-class Cell BE: 6 usable SPEs, 256 KB local stores."""
+    return CellModel(spes=6, clock_ghz=3.2, flops_per_cycle=8.0,
+                     local_store_bytes=256 * 1024, eib_bw_gbps=25.6,
+                     dma_setup_ns=500, ppe_serial_ns=80_000, name="cell")
+
+
+def gtx280() -> GPUModel:
+    """GTX 280-class CUDA device with PCIe 1.1 x16 host link."""
+    return GPUModel(sms=30, lanes_per_sm=8, clock_ghz=1.3, dram_bw_gbps=141.0,
+                    name="gtx280")
+
+
+def fpga_midrange() -> FPGAModel:
+    """Mid-size FPGA streaming pipeline at 150 MHz, II = 1."""
+    return FPGAModel(clock_mhz=150.0, initiation_interval=1,
+                     line_buffer_bytes=192 * 1024, ddr_bw_gbps=3.2,
+                     name="fpga")
+
+
+def all_platforms():
+    """The full machine park, reference first."""
+    return [
+        sequential_reference(),
+        xeon_2010(),
+        xeon_modern(),
+        cell_ps3(),
+        gtx280(),
+        fpga_midrange(),
+    ]

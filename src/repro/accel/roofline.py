@@ -1,0 +1,66 @@
+"""Roofline placement of the correction kernel (F9).
+
+``attainable = min(peak_flops, bandwidth * arithmetic_intensity)`` —
+the standard visual argument for *why* each platform lands where it
+does: the LUT kernel's intensity is far below every ridge point, so
+every platform is bandwidth-bound on it, while the on-the-fly kernel
+(heavy trigonometry, no table traffic) climbs toward compute-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PlatformError
+from .kernels import KernelSpec
+from .platform import PlatformModel
+
+__all__ = ["RooflinePoint", "attainable_gflops", "ridge_point", "place"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on one platform's roofline."""
+
+    platform: str
+    kernel: str
+    intensity: float          # flops / DRAM byte
+    attainable_gflops: float
+    peak_gflops: float
+    bound: str                # "memory" | "compute"
+
+    @property
+    def efficiency(self) -> float:
+        """Attainable as a fraction of peak."""
+        return self.attainable_gflops / self.peak_gflops if self.peak_gflops else 0.0
+
+
+def attainable_gflops(peak_gflops: float, bw_gbps: float, intensity: float) -> float:
+    """The roofline min() itself."""
+    if peak_gflops <= 0 or bw_gbps <= 0:
+        raise PlatformError("peak and bandwidth must be positive")
+    if intensity < 0:
+        raise PlatformError(f"intensity must be >= 0, got {intensity}")
+    return min(peak_gflops, bw_gbps * intensity)
+
+
+def ridge_point(peak_gflops: float, bw_gbps: float) -> float:
+    """Intensity (flops/byte) where the platform turns compute-bound."""
+    if bw_gbps <= 0:
+        raise PlatformError("bandwidth must be positive")
+    return peak_gflops / bw_gbps
+
+
+def place(platform: PlatformModel, spec: KernelSpec) -> RooflinePoint:
+    """Place one kernel configuration on one platform's roofline."""
+    intensity = spec.arithmetic_intensity
+    att = attainable_gflops(platform.peak_gflops, platform.mem_bw_gbps, intensity)
+    return RooflinePoint(
+        platform=platform.name,
+        kernel=f"{spec.method}/{spec.mode}",
+        intensity=intensity,
+        attainable_gflops=att,
+        peak_gflops=platform.peak_gflops,
+        bound="compute" if intensity >= ridge_point(platform.peak_gflops,
+                                                    platform.mem_bw_gbps) else "memory",
+    )

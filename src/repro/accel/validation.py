@@ -1,0 +1,120 @@
+"""Model-vs-host validation: do the model's *shape* claims hold on
+real hardware?
+
+Absolute times from the platform models describe 2010 hardware and
+cannot be checked here; but several of the model's **ratios** are
+host-independent claims about the kernel itself, and those can be
+validated against wall-clock measurements on whatever machine runs the
+suite:
+
+- on-the-fly vs LUT cost (the trigonometry premium),
+- bicubic vs bilinear vs nearest (the interpolation ladder),
+
+Each :class:`ValidationCase` pairs the sequential model's predicted
+ratio with the measured one; ``agreement`` is the factor between them.
+Python/numpy constant factors differ from compiled kernels, so the
+bar is directional agreement and same order of magnitude — the H2
+bench asserts exactly that, no more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import BenchmarkError
+from ..core.remap import RemapLUT, remap
+from .platform import Workload
+from .presets import sequential_reference
+
+__all__ = ["ValidationCase", "validate_kernel_ratios"]
+
+
+@dataclass(frozen=True)
+class ValidationCase:
+    """One predicted-vs-measured ratio."""
+
+    name: str
+    predicted: float
+    measured: float
+
+    @property
+    def agreement(self) -> float:
+        """max(p/m, m/p) — 1.0 is perfect, 2.0 is within a factor of 2."""
+        if self.predicted <= 0 or self.measured <= 0:
+            return float("inf")
+        r = self.predicted / self.measured
+        return max(r, 1.0 / r)
+
+    @property
+    def same_direction(self) -> bool:
+        """Do model and host agree on *which side is faster*?"""
+        return (self.predicted >= 1.0) == (self.measured >= 1.0)
+
+
+def _median_time(thunk, repeats: int = 5) -> float:
+    from ..bench.stats import repeat_timing
+
+    return float(np.median(repeat_timing(thunk, repeats=repeats, warmup=1)))
+
+
+def validate_kernel_ratios(field, frame, repeats: int = 5):
+    """Measure kernel-cost ratios on this host and compare to the model.
+
+    Parameters
+    ----------
+    field:
+        A :class:`~repro.core.mapping.RemapField` (the workload).
+    frame:
+        A matching uint8 source frame.
+    repeats:
+        Timing repetitions (median taken).
+
+    Returns
+    -------
+    list of :class:`ValidationCase`
+    """
+    frame = np.asarray(frame)
+    if frame.shape[:2] != (field.src_height, field.src_width):
+        raise BenchmarkError(
+            f"frame {frame.shape[:2]} does not match field source "
+            f"{(field.src_height, field.src_width)}")
+
+    model = sequential_reference()
+
+    def predict(method, mode):
+        w = Workload.from_field(field, method=method, mode=mode)
+        return model.estimate_frame(w, threads=1).frame_ns
+
+    luts = {m: RemapLUT(field, method=m)
+            for m in ("nearest", "bilinear", "bicubic")}
+    measured = {
+        ("bilinear", "lut"): _median_time(lambda: luts["bilinear"].apply(frame),
+                                          repeats),
+        ("bilinear", "otf"): _median_time(
+            lambda: remap(frame, field, method="bilinear"), repeats),
+        ("nearest", "lut"): _median_time(lambda: luts["nearest"].apply(frame),
+                                         repeats),
+        ("bicubic", "lut"): _median_time(lambda: luts["bicubic"].apply(frame),
+                                         repeats),
+    }
+
+    cases = [
+        ValidationCase(
+            "otf_vs_lut(bilinear)",
+            predicted=predict("bilinear", "otf") / predict("bilinear", "lut"),
+            measured=measured[("bilinear", "otf")] / measured[("bilinear", "lut")],
+        ),
+        ValidationCase(
+            "bicubic_vs_bilinear(lut)",
+            predicted=predict("bicubic", "lut") / predict("bilinear", "lut"),
+            measured=measured[("bicubic", "lut")] / measured[("bilinear", "lut")],
+        ),
+        ValidationCase(
+            "bilinear_vs_nearest(lut)",
+            predicted=predict("bilinear", "lut") / predict("nearest", "lut"),
+            measured=measured[("bilinear", "lut")] / measured[("nearest", "lut")],
+        ),
+    ]
+    return cases

@@ -1,0 +1,18 @@
+"""Benchmark harness: experiment registry, workload cache, reporting."""
+
+from .experiments import EXPERIMENTS, run_experiment
+from .harness import amdahl_fit, resolution, standard_field, standard_sensor, standard_workload
+from .report import Table, ascii_series, format_value
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "Table",
+    "ascii_series",
+    "format_value",
+    "standard_sensor",
+    "standard_field",
+    "standard_workload",
+    "resolution",
+    "amdahl_fit",
+]

@@ -1,0 +1,96 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+Every experiment ends in a :class:`Table`; ``str(table)`` is the
+artifact EXPERIMENTS.md quotes.  Rendering rules: columns auto-sized,
+floats shown with a per-column format, a separator under the header —
+boring on purpose, so diffs between runs are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import BenchmarkError
+
+__all__ = ["Table", "format_value", "ascii_series"]
+
+
+def format_value(value, float_fmt: str = "{:.2f}") -> str:
+    """Render one cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "-"
+        if value == float("inf"):
+            return "inf"
+        return float_fmt.format(value)
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled result table.
+
+    Attributes
+    ----------
+    title:
+        Experiment id + description ("F1: speedup vs threads ...").
+    headers:
+        Column names.
+    rows:
+        Lists matching ``headers`` in length.
+    notes:
+        Free-form caption lines printed under the table.
+    """
+
+    title: str
+    headers: list
+    rows: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+    float_fmt: str = "{:.2f}"
+
+    def add_row(self, *values):
+        if len(values) != len(self.headers):
+            raise BenchmarkError(
+                f"row has {len(values)} cells but table has {len(self.headers)} columns")
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list:
+        """Extract one column by header name."""
+        try:
+            idx = self.headers.index(name)
+        except ValueError:
+            raise BenchmarkError(f"no column {name!r} in {self.headers}") from None
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        cells = [[format_value(v, self.float_fmt) for v in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(parts):
+            return "  ".join(p.rjust(w) for p, w in zip(parts, widths))
+
+        out = [self.title, line(self.headers), line(["-" * w for w in widths])]
+        out.extend(line(row) for row in cells)
+        out.extend(f"  {note}" for note in self.notes)
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def ascii_series(xs, ys, width: int = 48, label: str = "") -> str:
+    """A one-line-per-point ASCII bar series (quick visual for figures)."""
+    if len(xs) != len(ys) or not xs:
+        raise BenchmarkError("series needs matching, non-empty x/y sequences")
+    peak = max(ys)
+    scale = (width / peak) if peak > 0 else 0.0
+    lines = [label] if label else []
+    for x, y in zip(xs, ys):
+        bar = "#" * max(0, int(round(y * scale)))
+        lines.append(f"{str(x):>10} | {bar} {format_value(float(y))}")
+    return "\n".join(lines)

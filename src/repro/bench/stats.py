@@ -1,0 +1,80 @@
+"""Robust statistics for host-measured benchmark rows.
+
+Wall-clock timings on a shared machine are contaminated by scheduler
+noise; single-shot numbers (and means) mislead.  The helpers here are
+the standard robust kit:
+
+- :func:`repeat_timing` — run a thunk ``n`` times, return all samples,
+- :func:`robust_summary` — median + MAD-derived spread + a
+  percentile-bootstrap confidence interval for the median.
+
+Bootstrap resampling uses an explicit seed: the *analysis* is
+deterministic even though the timings are not.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import BenchmarkError
+
+__all__ = ["TimingSummary", "repeat_timing", "robust_summary"]
+
+
+@dataclass(frozen=True)
+class TimingSummary:
+    """Robust summary of one timing sample set (seconds)."""
+
+    samples: int
+    median: float
+    mad: float              # median absolute deviation (raw, not scaled)
+    ci_low: float           # bootstrap 95% CI for the median
+    ci_high: float
+
+    @property
+    def spread_normalized(self) -> float:
+        """MAD / median — the robust coefficient of variation."""
+        return self.mad / self.median if self.median > 0 else float("inf")
+
+    def format_ms(self) -> str:
+        return (f"{self.median * 1e3:.2f} ms "
+                f"[{self.ci_low * 1e3:.2f}, {self.ci_high * 1e3:.2f}]")
+
+
+def repeat_timing(thunk, repeats: int = 7, warmup: int = 1) -> np.ndarray:
+    """Time ``thunk()`` ``repeats`` times after ``warmup`` discarded runs."""
+    if repeats < 1 or warmup < 0:
+        raise BenchmarkError(f"need repeats >= 1 and warmup >= 0, got "
+                             f"{repeats}/{warmup}")
+    for _ in range(warmup):
+        thunk()
+    out = np.empty(repeats)
+    for i in range(repeats):
+        t0 = time.perf_counter()
+        thunk()
+        out[i] = time.perf_counter() - t0
+    return out
+
+
+def robust_summary(samples, confidence: float = 0.95,
+                   bootstrap: int = 2000, seed: int = 0) -> TimingSummary:
+    """Median / MAD / bootstrap CI of a sample set."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 1 or samples.size == 0:
+        raise BenchmarkError(f"need a non-empty 1-D sample array, got {samples.shape}")
+    if not 0.5 < confidence < 1.0:
+        raise BenchmarkError(f"confidence must be in (0.5, 1), got {confidence}")
+    if bootstrap < 10:
+        raise BenchmarkError(f"bootstrap must be >= 10, got {bootstrap}")
+    med = float(np.median(samples))
+    mad = float(np.median(np.abs(samples - med)))
+    rng = np.random.default_rng(seed)
+    resamples = rng.choice(samples, size=(bootstrap, samples.size), replace=True)
+    medians = np.median(resamples, axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(medians, [alpha, 1.0 - alpha])
+    return TimingSummary(samples=samples.size, median=med, mad=mad,
+                         ci_low=float(lo), ci_high=float(hi))

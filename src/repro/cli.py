@@ -1,0 +1,292 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``synth``
+    Generate a test scene, optionally rendered through a fisheye lens
+    (the way this repo substitutes for a physical camera).
+``correct``
+    Correct a fisheye PGM image to a perspective view.
+``calibrate``
+    Estimate the lens (family + focal + centre) from a rendered
+    circle-grid target and print the fit.
+``bench``
+    Run evaluation experiments by id (``T1``, ``F1``.. ``A3``, ``all``).
+``info``
+    Print the platform park (T1) and the library version.
+
+All commands are plain functions over argparse namespaces so the test
+suite drives them in-process via :func:`main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import __version__
+from .core.intrinsics import FisheyeIntrinsics
+from .core.lens import LENS_MODELS, make_lens
+from .core.pipeline import FisheyeCorrector
+from .errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _sensor_for(image, focal, cx=None, cy=None):
+    h, w = image.shape[:2]
+    if focal is None:
+        focal = (min(w, h) / 2.0 - 1.0) / (np.pi / 2.0)
+    return FisheyeIntrinsics(
+        width=w, height=h,
+        cx=(w - 1) / 2.0 if cx is None else cx,
+        cy=(h - 1) / 2.0 if cy is None else cy,
+        focal=focal,
+    )
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def cmd_synth(args) -> int:
+    from .video import io as vio
+    from .video import synth
+    from .video.distort import FisheyeRenderer, scene_camera_for_sensor
+
+    generators = {
+        "checkerboard": lambda: synth.checkerboard(args.width, args.height,
+                                                   square=args.square),
+        "circles": lambda: synth.radial_circles(args.width, args.height),
+        "urban": lambda: synth.urban(args.width, args.height, seed=args.seed),
+        "gradient": lambda: synth.gradient(args.width, args.height),
+        "grid": lambda: synth.circle_grid(args.width, args.height)[0],
+    }
+    image = generators[args.scene]()
+    if args.distort:
+        sensor = _sensor_for(image, args.focal)
+        lens = make_lens(args.model, sensor.focal)
+        scene_cam = scene_camera_for_sensor(sensor, lens, args.width, args.height)
+        image = FisheyeRenderer(scene_cam, lens, sensor).render(image)
+    vio.write_pgm(args.output, image.astype(np.uint8))
+    print(f"wrote {args.scene}{' (fisheye-rendered)' if args.distort else ''} "
+          f"{args.width}x{args.height} to {args.output}")
+    return 0
+
+
+def cmd_correct(args) -> int:
+    from .video import io as vio
+
+    image = vio.read_pgm(args.input)
+    sensor = _sensor_for(image, args.focal, args.cx, args.cy)
+    lens = make_lens(args.model, sensor.focal)
+    out_w = args.out_width or sensor.width
+    out_h = args.out_height or sensor.height
+    corrector = FisheyeCorrector.for_sensor(
+        sensor, lens, out_w, out_h, zoom=args.zoom, method=args.method,
+        yaw=np.deg2rad(args.yaw), pitch=np.deg2rad(args.pitch),
+        roll=np.deg2rad(args.roll))
+    corrected = corrector.correct(image)
+    vio.write_pgm(args.output, corrected)
+    print(f"corrected {args.input} -> {args.output} "
+          f"({out_w}x{out_h}, {args.model}, zoom {args.zoom}, "
+          f"coverage {corrector.coverage():.1%})")
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    from .core.calibration import calibrate, detect_blobs
+    from .video import io as vio
+    from .video.distort import scene_camera_for_sensor
+
+    image = vio.read_pgm(args.input)
+    sensor_guess = _sensor_for(image, None)
+    lens_guess = make_lens("equidistant", sensor_guess.focal)
+    scene_cam = scene_camera_for_sensor(sensor_guess, lens_guess,
+                                        image.shape[1], image.shape[0])
+    from .video.synth import circle_grid
+
+    _, scene_points = circle_grid(image.shape[1], image.shape[0],
+                                  rings=args.rings, spokes=args.spokes)
+    xn, yn = scene_cam.normalize(scene_points[:, 0], scene_points[:, 1])
+    true_thetas = np.arctan(np.hypot(xn, yn))
+
+    blobs = detect_blobs(image.astype(float), min_area=2)
+    if len(blobs) != len(scene_points):
+        print(f"error: detected {len(blobs)} markers, target has "
+              f"{len(scene_points)} — is this a rendered circle-grid target "
+              f"with matching --rings/--spokes?")
+        return 1
+    pts = np.array([[b.x, b.y] for b in blobs])
+    guess = pts.mean(axis=0)
+    order = np.argsort(np.hypot(pts[:, 0] - guess[0], pts[:, 1] - guess[1]))
+    result = calibrate(pts[order][1:], np.sort(true_thetas)[1:],
+                       center_guess=tuple(guess))
+    print(f"model:  {result.model}")
+    print(f"focal:  {result.focal:.2f} px")
+    print(f"centre: ({result.cx:.2f}, {result.cy:.2f})")
+    print(f"rms:    {result.rms_residual:.4f} px")
+    for fit in result.fits:
+        print(f"  {fit.model:>14}: rms {fit.rms_residual:.4f} px "
+              f"(focal {fit.focal:.2f})")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from .bench import EXPERIMENTS, run_experiment
+
+    if args.ids == ["all"]:
+        ids = sorted(EXPERIMENTS, key=lambda k: ({"T": 0, "F": 1, "A": 2}[k[0]],
+                                                 int(k[1:])))
+    else:
+        ids = [i.upper() for i in args.ids]
+    for exp_id in ids:
+        print(run_experiment(exp_id))
+        print()
+    return 0
+
+
+def cmd_map_info(args) -> int:
+    """Print the measured properties of a correction map — the numbers
+    the platform models consume."""
+    import numpy as np
+
+    from .accel.platform import Workload
+    from .core.intrinsics import CameraIntrinsics
+
+    w, h = args.width, args.height
+    circle = min(w, h) / 2.0 - 1.0
+    focal = args.focal or circle / (np.pi / 2.0)
+    sensor = FisheyeIntrinsics.centered(w, h, focal=focal)
+    lens = make_lens(args.model, focal)
+    focal_out = float(lens.magnification(1e-4)) * args.zoom
+    out = CameraIntrinsics(fx=focal_out, fy=focal_out, cx=(w - 1) / 2.0,
+                           cy=(h - 1) / 2.0, width=w, height=h)
+    from .core.mapping import perspective_map
+
+    field = perspective_map(sensor, lens, out,
+                            yaw=np.deg2rad(args.yaw), pitch=np.deg2rad(args.pitch))
+    workload = Workload.from_field(field, method=args.method)
+    spans = field.row_span()
+    print(f"map: {args.model} f={focal:.1f}px zoom={args.zoom} "
+          f"yaw={args.yaw} pitch={args.pitch} -> {w}x{h}")
+    print(f"  coverage:           {workload.coverage:.1%}")
+    print(f"  source footprint:   {workload.source_footprint:.1%} of frame")
+    print(f"  gather lines/warp:  {workload.gather_lines_per_warp:.2f} "
+          f"(1.0 = perfectly coalesced)")
+    print(f"  row span (max/avg): {spans.max():.1f} / {spans.mean():.1f} rows")
+    bbox = field.source_bbox(0, min(32, h), 0, w)
+    if bbox:
+        sy0, sy1, sx0, sx1 = bbox
+        print(f"  top-band src bbox:  {sx1 - sx0}x{sy1 - sy0} px")
+    from .core.antialias import minification_map
+
+    m = minification_map(field)
+    print(f"  minification:       centre {m[h // 2, w // 2]:.2f}, "
+          f"peak {np.nanmax(m):.2f} src px/out px")
+    return 0
+
+
+def cmd_info(args) -> int:
+    from .bench.experiments import t1_platforms
+
+    print(f"repro {__version__} — fisheye distortion correction on multicore "
+          f"and hardware accelerator platforms")
+    print(f"lens models: {', '.join(sorted(LENS_MODELS))}")
+    print()
+    print(t1_platforms())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="fisheye distortion correction toolkit")
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("synth", help="generate a (optionally distorted) test scene")
+    p.add_argument("output")
+    p.add_argument("--scene", choices=["checkerboard", "circles", "urban",
+                                       "gradient", "grid"],
+                   default="checkerboard")
+    p.add_argument("--width", type=int, default=512)
+    p.add_argument("--height", type=int, default=512)
+    p.add_argument("--square", type=int, default=32)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--distort", action="store_true",
+                   help="render the scene through the fisheye lens")
+    p.add_argument("--model", choices=sorted(LENS_MODELS), default="equidistant")
+    p.add_argument("--focal", type=float, default=None,
+                   help="lens focal in px (default: 180-deg inscribed circle)")
+    p.set_defaults(func=cmd_synth)
+
+    p = sub.add_parser("correct", help="correct a fisheye PGM image")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--model", choices=sorted(LENS_MODELS), default="equidistant")
+    p.add_argument("--focal", type=float, default=None)
+    p.add_argument("--cx", type=float, default=None)
+    p.add_argument("--cy", type=float, default=None)
+    p.add_argument("--zoom", type=float, default=0.5)
+    p.add_argument("--method", choices=["nearest", "bilinear", "bicubic"],
+                   default="bilinear")
+    p.add_argument("--yaw", type=float, default=0.0, help="degrees")
+    p.add_argument("--pitch", type=float, default=0.0, help="degrees")
+    p.add_argument("--roll", type=float, default=0.0, help="degrees")
+    p.add_argument("--out-width", type=int, default=None)
+    p.add_argument("--out-height", type=int, default=None)
+    p.set_defaults(func=cmd_correct)
+
+    p = sub.add_parser("calibrate",
+                       help="estimate the lens from a rendered circle-grid target")
+    p.add_argument("input")
+    p.add_argument("--rings", type=int, default=4)
+    p.add_argument("--spokes", type=int, default=8)
+    p.set_defaults(func=cmd_calibrate)
+
+    p = sub.add_parser("bench", help="run evaluation experiments")
+    p.add_argument("ids", nargs="+", metavar="ID",
+                   help="experiment ids (T1, F1..F12, A1..A3) or 'all'")
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("map-info",
+                       help="print measured properties of a correction map")
+    p.add_argument("--model", choices=sorted(LENS_MODELS), default="equidistant")
+    p.add_argument("--width", type=int, default=1280)
+    p.add_argument("--height", type=int, default=720)
+    p.add_argument("--focal", type=float, default=None)
+    p.add_argument("--zoom", type=float, default=0.5)
+    p.add_argument("--yaw", type=float, default=0.0, help="degrees")
+    p.add_argument("--pitch", type=float, default=0.0, help="degrees")
+    p.add_argument("--method", choices=["nearest", "bilinear", "bicubic"],
+                   default="bilinear")
+    p.set_defaults(func=cmd_map_info)
+
+    p = sub.add_parser("info", help="print version, lens models, platform park")
+    p.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

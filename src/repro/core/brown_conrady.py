@@ -1,0 +1,189 @@
+"""Brown–Conrady polynomial distortion model — the classical baseline.
+
+The Brown–Conrady model expresses the *distorted* normalized image
+coordinates as a polynomial perturbation of the *undistorted*
+(perspective) ones::
+
+    x_d = x_u * (1 + k1 r^2 + k2 r^4 + k3 r^6) + 2 p1 x_u y_u + p2 (r^2 + 2 x_u^2)
+    y_d = y_u * (1 + k1 r^2 + k2 r^4 + k3 r^6) + p1 (r^2 + 2 y_u^2) + 2 p2 x_u y_u
+
+with ``r^2 = x_u^2 + y_u^2``.  For a radially symmetric fisheye the
+tangential coefficients ``p1, p2`` are zero and the model reduces to a
+radial polynomial in the perspective radius ``r_u = tan(theta)``.
+
+The model is included as the *comparator*: because ``tan(theta)``
+diverges as the field angle approaches 90 degrees, no finite polynomial
+in ``r_u`` can represent a 180-degree fisheye, and the F10 quality
+benchmark quantifies exactly how the polynomial fit degrades toward the
+image periphery while the exact trigonometric models stay lossless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CalibrationError, LensModelError
+from .lens import LensModel
+
+__all__ = ["BrownConrady", "fit_brown_conrady"]
+
+
+@dataclass(frozen=True)
+class BrownConrady:
+    """Brown–Conrady coefficients acting on normalized coordinates.
+
+    Attributes
+    ----------
+    k1, k2, k3:
+        Radial polynomial coefficients.
+    p1, p2:
+        Tangential (decentering) coefficients.
+    """
+
+    k1: float = 0.0
+    k2: float = 0.0
+    k3: float = 0.0
+    p1: float = 0.0
+    p2: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Forward: undistorted -> distorted
+    # ------------------------------------------------------------------
+    def distort(self, xu, yu):
+        """Apply the model: perspective coords -> distorted coords."""
+        xu = np.asarray(xu, dtype=np.float64)
+        yu = np.asarray(yu, dtype=np.float64)
+        r2 = xu * xu + yu * yu
+        radial = 1.0 + r2 * (self.k1 + r2 * (self.k2 + r2 * self.k3))
+        xd = xu * radial + 2.0 * self.p1 * xu * yu + self.p2 * (r2 + 2.0 * xu * xu)
+        yd = yu * radial + self.p1 * (r2 + 2.0 * yu * yu) + 2.0 * self.p2 * xu * yu
+        return xd, yd
+
+    def distort_radius(self, ru):
+        """Radial-only forward map ``r_u -> r_d`` (p1 = p2 = 0 assumed)."""
+        ru = np.asarray(ru, dtype=np.float64)
+        r2 = ru * ru
+        return ru * (1.0 + r2 * (self.k1 + r2 * (self.k2 + r2 * self.k3)))
+
+    # ------------------------------------------------------------------
+    # Inverse: distorted -> undistorted (Newton iteration on the radius)
+    # ------------------------------------------------------------------
+    def undistort_radius(self, rd, iterations: int = 20, tol: float = 1e-12):
+        """Invert the radial polynomial with damped Newton iteration.
+
+        Starts from ``r_u = r_d`` (the identity guess) and iterates
+        ``r_u <- r_u - (g(r_u) - r_d) / g'(r_u)``.  Convergence is only
+        guaranteed while the forward map is monotonic; radii beyond the
+        monotonic range return ``nan``, which the mapping layer renders
+        as out-of-FOV black — mirroring the real failure mode of the
+        classical model on wide-angle lenses.
+        """
+        rd = np.asarray(rd, dtype=np.float64)
+        ru = rd.copy().astype(np.float64)
+        for _ in range(max(1, iterations)):
+            r2 = ru * ru
+            poly = 1.0 + r2 * (self.k1 + r2 * (self.k2 + r2 * self.k3))
+            dpoly = ru * (2.0 * self.k1 + r2 * (4.0 * self.k2 + 6.0 * self.k3 * r2))
+            g = ru * poly
+            dg = poly + ru * dpoly
+            step = np.where(np.abs(dg) > 1e-12, (g - rd) / np.where(dg == 0, 1.0, dg), 0.0)
+            # Damp to keep the iterate in the positive half-line.
+            ru_next = ru - step
+            ru = np.where(ru_next > 0, ru_next, ru * 0.5)
+            if np.all(np.abs(step) < tol):
+                break
+        # Reject non-converged / non-monotonic points.
+        check = self.distort_radius(ru)
+        bad = ~np.isfinite(check) | (np.abs(check - rd) > 1e-6 * np.maximum(1.0, np.abs(rd)))
+        return np.where(bad, np.nan, ru)
+
+
+class BrownConradyLens(LensModel):
+    """Adapter exposing a fitted Brown–Conrady polynomial as a lens model.
+
+    ``angle_to_radius`` composes the perspective projection with the
+    radial polynomial: ``r = f * poly(tan(theta))``; the model domain is
+    truncated just below 90 degrees where ``tan`` diverges.
+    """
+
+    name = "brown_conrady"
+
+    def __init__(self, focal: float, coeffs: BrownConrady, max_theta: float = np.deg2rad(89.0)):
+        super().__init__(focal)
+        if not 0.0 < max_theta < np.pi / 2.0:
+            raise LensModelError(f"max_theta must be in (0, pi/2), got {max_theta}")
+        self.coeffs = coeffs
+        self._max_theta = float(max_theta)
+
+    def angle_to_radius(self, theta):
+        theta = np.asarray(theta, dtype=np.float64)
+        ok = (theta >= 0) & (theta <= self._max_theta)
+        safe = np.where(ok, theta, 0.0)
+        r = self.focal * self.coeffs.distort_radius(np.tan(safe))
+        return np.where(ok, r, np.nan)
+
+    def radius_to_angle(self, r):
+        r = np.asarray(r, dtype=np.float64)
+        ru = self.coeffs.undistort_radius(r / self.focal)
+        theta = np.arctan(ru)
+        ok = (r >= 0) & np.isfinite(theta) & (theta <= self._max_theta)
+        return np.where(ok, theta, np.nan)
+
+    @property
+    def max_theta(self) -> float:
+        return self._max_theta
+
+
+def fit_brown_conrady(lens: LensModel, max_theta: float = np.deg2rad(80.0),
+                      samples: int = 256, order: int = 3) -> BrownConradyLens:
+    """Least-squares fit of a Brown–Conrady polynomial to a fisheye lens.
+
+    Samples the exact relation ``r_d / f = m(theta)`` vs
+    ``r_u = tan(theta)`` over ``theta in (0, max_theta]`` and solves the
+    linear system for ``(k1, k2, k3)`` (radial coefficients up to
+    ``order``; tangential terms are zero by symmetry).
+
+    Parameters
+    ----------
+    lens:
+        The exact lens model to approximate.
+    max_theta:
+        Largest field angle included in the fit; must stay below 90
+        degrees because the perspective radius diverges there.
+    samples:
+        Number of sample angles (>= order + 1).
+    order:
+        Number of radial coefficients (1..3).
+
+    Returns
+    -------
+    BrownConradyLens
+        A lens-model adapter around the fitted coefficients with the
+        same focal as ``lens``.
+    """
+    if not 0.0 < max_theta < np.pi / 2.0:
+        raise CalibrationError(f"max_theta must be in (0, pi/2), got {max_theta}")
+    if not 1 <= order <= 3:
+        raise CalibrationError(f"order must be 1..3, got {order}")
+    if samples < order + 1:
+        raise CalibrationError(f"need at least {order + 1} samples, got {samples}")
+
+    theta = np.linspace(max_theta / samples, max_theta, samples)
+    ru = np.tan(theta)
+    rd = np.asarray(lens.angle_to_radius(theta), dtype=np.float64) / lens.focal
+    if not np.all(np.isfinite(rd)):
+        raise CalibrationError("lens model returned non-finite radii inside the fit range")
+
+    # rd = ru * (1 + k1 ru^2 + k2 ru^4 + k3 ru^6)  =>
+    # (rd / ru - 1) = [ru^2, ru^4, ru^6] @ [k1, k2, k3]
+    target = rd / ru - 1.0
+    basis = np.stack([ru ** (2 * (i + 1)) for i in range(order)], axis=1)
+    coeffs, *_ = np.linalg.lstsq(basis, target, rcond=None)
+    ks = list(coeffs) + [0.0] * (3 - order)
+    bc = BrownConrady(k1=ks[0], k2=ks[1], k3=ks[2])
+    return BrownConradyLens(lens.focal, bc, max_theta=min(np.deg2rad(89.0), lens.max_theta))
+
+
+__all__.append("BrownConradyLens")

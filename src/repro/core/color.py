@@ -1,0 +1,93 @@
+"""Colour-space conversions used by the video pipeline.
+
+Security/automotive fisheye cameras deliver YUV; correction normally
+runs per-plane on Y (full resolution) and the subsampled chroma planes.
+The conversions here follow BT.601 studio-swing coefficients with
+full-range variants, all vectorized and round-trip tested.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ImageFormatError
+
+__all__ = [
+    "rgb_to_gray",
+    "rgb_to_yuv",
+    "yuv_to_rgb",
+    "subsample_420",
+    "upsample_420",
+]
+
+# BT.601 full-range analog coefficients
+_KR, _KG, _KB = 0.299, 0.587, 0.114
+
+
+def _check_rgb(rgb):
+    rgb = np.asarray(rgb)
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise ImageFormatError(f"expected (H, W, 3) RGB, got shape {rgb.shape}")
+    return rgb
+
+
+def rgb_to_gray(rgb):
+    """Luma from RGB (BT.601 weights), preserving the input dtype."""
+    rgb = _check_rgb(rgb)
+    y = _KR * rgb[..., 0].astype(np.float64) + _KG * rgb[..., 1] + _KB * rgb[..., 2]
+    if np.issubdtype(rgb.dtype, np.integer):
+        info = np.iinfo(rgb.dtype)
+        y = np.clip(np.rint(y), info.min, info.max)
+    return y.astype(rgb.dtype)
+
+
+def rgb_to_yuv(rgb):
+    """Full-range BT.601 RGB -> YUV (float64, U/V centred on 0).
+
+    ``Y`` in ``[0, max]`` of the input range; ``U = 0.492 (B - Y)``,
+    ``V = 0.877 (R - Y)``.
+    """
+    rgb = _check_rgb(rgb).astype(np.float64)
+    y = _KR * rgb[..., 0] + _KG * rgb[..., 1] + _KB * rgb[..., 2]
+    u = 0.492 * (rgb[..., 2] - y)
+    v = 0.877 * (rgb[..., 0] - y)
+    return np.stack([y, u, v], axis=-1)
+
+
+def yuv_to_rgb(yuv, dtype=np.float64):
+    """Inverse of :func:`rgb_to_yuv`; clips to the dtype range if integer."""
+    yuv = np.asarray(yuv, dtype=np.float64)
+    if yuv.ndim != 3 or yuv.shape[2] != 3:
+        raise ImageFormatError(f"expected (H, W, 3) YUV, got shape {yuv.shape}")
+    y, u, v = yuv[..., 0], yuv[..., 1], yuv[..., 2]
+    r = y + v / 0.877
+    b = y + u / 0.492
+    g = (y - _KR * r - _KB * b) / _KG
+    rgb = np.stack([r, g, b], axis=-1)
+    if np.issubdtype(np.dtype(dtype), np.integer):
+        info = np.iinfo(dtype)
+        rgb = np.clip(np.rint(rgb), info.min, info.max)
+    return rgb.astype(dtype)
+
+
+def subsample_420(plane):
+    """2x2 box-filter chroma subsampling (the '420' in YUV420).
+
+    Requires even dimensions — real 4:2:0 hardware does too.
+    """
+    plane = np.asarray(plane, dtype=np.float64)
+    if plane.ndim != 2:
+        raise ImageFormatError(f"expected a 2-D plane, got shape {plane.shape}")
+    h, w = plane.shape
+    if h % 2 or w % 2:
+        raise ImageFormatError(f"4:2:0 subsampling needs even dimensions, got {w}x{h}")
+    return 0.25 * (plane[0::2, 0::2] + plane[0::2, 1::2]
+                   + plane[1::2, 0::2] + plane[1::2, 1::2])
+
+
+def upsample_420(plane):
+    """Nearest-neighbour 2x chroma upsampling (inverse of subsampling)."""
+    plane = np.asarray(plane)
+    if plane.ndim != 2:
+        raise ImageFormatError(f"expected a 2-D plane, got shape {plane.shape}")
+    return np.repeat(np.repeat(plane, 2, axis=0), 2, axis=1)

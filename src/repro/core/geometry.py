@@ -1,0 +1,168 @@
+"""Low-level geometric helpers shared by the lens and mapping modules.
+
+Everything in this module is dtype-stable, vectorized numpy with no
+Python-level loops over pixels; scalar inputs come back as scalars and
+array inputs come back as arrays of the same shape (standard ufunc-like
+behaviour).  Angles are radians throughout the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GeometryError
+
+__all__ = [
+    "pixel_grid",
+    "radius_from_center",
+    "polar_from_cartesian",
+    "cartesian_from_polar",
+    "rotation_matrix_ypr",
+    "rays_from_pixels",
+    "angles_from_rays",
+    "normalize_rows",
+    "deg2rad",
+    "rad2deg",
+]
+
+
+def deg2rad(deg):
+    """Degrees to radians (thin alias kept for API symmetry)."""
+    return np.deg2rad(deg)
+
+
+def rad2deg(rad):
+    """Radians to degrees (thin alias kept for API symmetry)."""
+    return np.rad2deg(rad)
+
+
+def pixel_grid(height: int, width: int, dtype=np.float64):
+    """Return ``(xs, ys)`` coordinate arrays for an image of the given size.
+
+    ``xs[i, j] == j`` and ``ys[i, j] == i``; pixel centres sit on integer
+    coordinates (the convention used by the whole library: the centre of
+    the top-left pixel is ``(0, 0)``).
+
+    Parameters
+    ----------
+    height, width:
+        Image size in pixels; must both be positive.
+    dtype:
+        Floating dtype of the returned arrays.
+
+    Returns
+    -------
+    tuple of ndarray
+        Two ``(height, width)`` arrays ``(xs, ys)``.
+    """
+    if height <= 0 or width <= 0:
+        raise GeometryError(f"pixel_grid requires positive size, got {height}x{width}")
+    ys, xs = np.meshgrid(
+        np.arange(height, dtype=dtype),
+        np.arange(width, dtype=dtype),
+        indexing="ij",
+    )
+    return xs, ys
+
+
+def radius_from_center(xs, ys, cx: float, cy: float):
+    """Euclidean distance of each ``(x, y)`` point from centre ``(cx, cy)``."""
+    dx = np.asarray(xs, dtype=np.float64) - cx
+    dy = np.asarray(ys, dtype=np.float64) - cy
+    return np.hypot(dx, dy)
+
+
+def polar_from_cartesian(xs, ys, cx: float = 0.0, cy: float = 0.0):
+    """Convert image coordinates to polar ``(r, phi)`` about a centre.
+
+    ``phi`` is ``atan2(y - cy, x - cx)`` in ``(-pi, pi]``.
+    """
+    dx = np.asarray(xs, dtype=np.float64) - cx
+    dy = np.asarray(ys, dtype=np.float64) - cy
+    return np.hypot(dx, dy), np.arctan2(dy, dx)
+
+
+def cartesian_from_polar(r, phi, cx: float = 0.0, cy: float = 0.0):
+    """Inverse of :func:`polar_from_cartesian`."""
+    r = np.asarray(r, dtype=np.float64)
+    phi = np.asarray(phi, dtype=np.float64)
+    return cx + r * np.cos(phi), cy + r * np.sin(phi)
+
+
+def rotation_matrix_ypr(yaw: float = 0.0, pitch: float = 0.0, roll: float = 0.0):
+    """Build a 3x3 rotation matrix from yaw/pitch/roll (radians).
+
+    Axes follow the camera convention used throughout the library:
+    ``+x`` right, ``+y`` down, ``+z`` forward (into the scene).  Yaw
+    rotates about ``y`` (pan left/right), pitch about ``x`` (tilt
+    up/down), roll about ``z``.  The combined matrix is
+    ``R = Rz(roll) @ Rx(pitch) @ Ry(yaw)``.
+    """
+    cy_, sy = np.cos(yaw), np.sin(yaw)
+    cx_, sx = np.cos(pitch), np.sin(pitch)
+    cz, sz = np.cos(roll), np.sin(roll)
+    ry = np.array([[cy_, 0.0, sy], [0.0, 1.0, 0.0], [-sy, 0.0, cy_]])
+    rx = np.array([[1.0, 0.0, 0.0], [0.0, cx_, -sx], [0.0, sx, cx_]])
+    rz = np.array([[cz, -sz, 0.0], [sz, cz, 0.0], [0.0, 0.0, 1.0]])
+    return rz @ rx @ ry
+
+
+def rays_from_pixels(xs, ys, fx: float, fy: float, cx: float, cy: float,
+                     rotation=None):
+    """Back-project pixels of a *perspective* view into unit rays.
+
+    Parameters
+    ----------
+    xs, ys:
+        Pixel coordinates (any matching shapes).
+    fx, fy:
+        Focal lengths in pixels; must be positive.
+    cx, cy:
+        Principal point in pixels.
+    rotation:
+        Optional 3x3 rotation applied to the rays (camera-to-world);
+        use :func:`rotation_matrix_ypr` for pan/tilt/roll view windows.
+
+    Returns
+    -------
+    ndarray
+        Array of shape ``xs.shape + (3,)`` holding unit direction
+        vectors ``(dx, dy, dz)``.
+    """
+    if fx <= 0 or fy <= 0:
+        raise GeometryError(f"focal lengths must be positive, got fx={fx}, fy={fy}")
+    x = (np.asarray(xs, dtype=np.float64) - cx) / fx
+    y = (np.asarray(ys, dtype=np.float64) - cy) / fy
+    z = np.ones_like(x)
+    rays = np.stack([x, y, z], axis=-1)
+    if rotation is not None:
+        rotation = np.asarray(rotation, dtype=np.float64)
+        if rotation.shape != (3, 3):
+            raise GeometryError(f"rotation must be 3x3, got {rotation.shape}")
+        rays = rays @ rotation.T
+    return normalize_rows(rays)
+
+
+def angles_from_rays(rays):
+    """Split unit rays into ``(theta, phi)``.
+
+    ``theta`` is the angle from the optical axis (``+z``), in
+    ``[0, pi]``; ``phi`` is the azimuth in the image plane,
+    ``atan2(dy, dx)``.
+    """
+    rays = np.asarray(rays, dtype=np.float64)
+    if rays.shape[-1] != 3:
+        raise GeometryError(f"rays must have a trailing dimension of 3, got {rays.shape}")
+    dx, dy, dz = rays[..., 0], rays[..., 1], rays[..., 2]
+    theta = np.arctan2(np.hypot(dx, dy), dz)
+    phi = np.arctan2(dy, dx)
+    return theta, phi
+
+
+def normalize_rows(vectors):
+    """Normalize vectors along the last axis, leaving zero vectors zero."""
+    vectors = np.asarray(vectors, dtype=np.float64)
+    norms = np.linalg.norm(vectors, axis=-1, keepdims=True)
+    # Avoid a divide-by-zero warning for degenerate rows; they stay zero.
+    safe = np.where(norms == 0.0, 1.0, norms)
+    return vectors / safe

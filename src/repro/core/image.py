@@ -1,0 +1,117 @@
+"""Image container with explicit pixel-format metadata.
+
+The library's kernels accept bare numpy arrays; :class:`Frame` is the
+thin metadata wrapper the *pipeline* level uses so colour space, bit
+depth and frame indices travel with the data through a video stream.
+It deliberately does not subclass ``ndarray`` — the array is a plain
+attribute, keeping all numpy semantics unambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ImageFormatError
+
+__all__ = ["PixelFormat", "Frame", "GRAY8", "GRAY16", "RGB8", "RGBF32"]
+
+
+@dataclass(frozen=True)
+class PixelFormat:
+    """A named pixel layout: channel count + dtype + colour space tag."""
+
+    name: str
+    channels: int
+    dtype: np.dtype
+    colorspace: str  # "gray" | "rgb" | "yuv"
+
+    def __post_init__(self):
+        object.__setattr__(self, "dtype", np.dtype(self.dtype))
+        if self.channels not in (1, 3):
+            raise ImageFormatError(f"unsupported channel count {self.channels}")
+        if self.colorspace not in ("gray", "rgb", "yuv"):
+            raise ImageFormatError(f"unsupported colorspace {self.colorspace!r}")
+
+    @property
+    def bytes_per_pixel(self) -> int:
+        return self.channels * self.dtype.itemsize
+
+
+GRAY8 = PixelFormat("gray8", 1, np.uint8, "gray")
+GRAY16 = PixelFormat("gray16", 1, np.uint16, "gray")
+RGB8 = PixelFormat("rgb8", 3, np.uint8, "rgb")
+RGBF32 = PixelFormat("rgbf32", 3, np.float32, "rgb")
+
+_FORMATS = {f.name: f for f in (GRAY8, GRAY16, RGB8, RGBF32)}
+
+
+@dataclass
+class Frame:
+    """One video frame: pixel data + format + stream position.
+
+    Attributes
+    ----------
+    data:
+        ``(H, W)`` for single-channel or ``(H, W, C)`` array whose dtype
+        and channel count match ``fmt``.
+    fmt:
+        The declared :class:`PixelFormat`.
+    index:
+        Position in the originating stream (0-based).
+    timestamp:
+        Presentation time in seconds (``index / fps`` for synthetic
+        streams).
+    """
+
+    data: np.ndarray
+    fmt: PixelFormat = GRAY8
+    index: int = 0
+    timestamp: float = 0.0
+
+    def __post_init__(self):
+        self.data = np.asarray(self.data)
+        expected_ndim = 2 if self.fmt.channels == 1 else 3
+        if self.data.ndim != expected_ndim:
+            raise ImageFormatError(
+                f"{self.fmt.name} frame must be {expected_ndim}-D, got shape {self.data.shape}")
+        if expected_ndim == 3 and self.data.shape[2] != self.fmt.channels:
+            raise ImageFormatError(
+                f"{self.fmt.name} expects {self.fmt.channels} channels, got {self.data.shape[2]}")
+        if self.data.dtype != self.fmt.dtype:
+            raise ImageFormatError(
+                f"{self.fmt.name} expects dtype {self.fmt.dtype}, got {self.data.dtype}")
+
+    @property
+    def height(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def width(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    @classmethod
+    def zeros(cls, height: int, width: int, fmt: PixelFormat = GRAY8,
+              index: int = 0, timestamp: float = 0.0) -> "Frame":
+        """A black frame of the given size and format."""
+        if height <= 0 or width <= 0:
+            raise ImageFormatError(f"frame size must be positive: {width}x{height}")
+        shape = (height, width) if fmt.channels == 1 else (height, width, fmt.channels)
+        return cls(np.zeros(shape, dtype=fmt.dtype), fmt, index, timestamp)
+
+    def with_data(self, data: np.ndarray) -> "Frame":
+        """Same metadata, new pixel data (shape may change, format not)."""
+        return Frame(data, self.fmt, self.index, self.timestamp)
+
+    @staticmethod
+    def format_by_name(name: str) -> PixelFormat:
+        try:
+            return _FORMATS[name]
+        except KeyError:
+            raise ImageFormatError(
+                f"unknown pixel format {name!r}; known: {sorted(_FORMATS)}") from None

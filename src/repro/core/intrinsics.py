@@ -1,0 +1,203 @@
+"""Camera intrinsics: pixel <-> normalized coordinate bookkeeping.
+
+:class:`CameraIntrinsics` models the classic pinhole intrinsic matrix
+
+::
+
+        [ fx  s  cx ]
+    K = [  0  fy cy ]
+        [  0  0   1 ]
+
+and provides the conversions that the mapping builders need.  Fisheye
+*sensors* are described by :class:`FisheyeIntrinsics`, which couples a
+principal point with the radius at which the lens reaches a reference
+field angle (the ``r0``/``R0`` parametrization common in fisheye
+data sheets: ``r0`` pixels at 45 degrees, ``R0 = 2 * r0`` pixels at 90
+degrees for an equidistant lens).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..errors import GeometryError
+
+__all__ = ["CameraIntrinsics", "FisheyeIntrinsics"]
+
+
+@dataclass(frozen=True)
+class CameraIntrinsics:
+    """Pinhole intrinsic parameters for a perspective view.
+
+    Attributes
+    ----------
+    fx, fy:
+        Focal lengths in pixels (positive).
+    cx, cy:
+        Principal point in pixels.
+    skew:
+        Axis skew coefficient (almost always 0).
+    width, height:
+        Image size in pixels (positive).
+    """
+
+    fx: float
+    fy: float
+    cx: float
+    cy: float
+    width: int
+    height: int
+    skew: float = 0.0
+
+    def __post_init__(self):
+        if self.fx <= 0 or self.fy <= 0:
+            raise GeometryError(f"focal lengths must be positive: fx={self.fx} fy={self.fy}")
+        if self.width <= 0 or self.height <= 0:
+            raise GeometryError(f"image size must be positive: {self.width}x{self.height}")
+
+    @classmethod
+    def from_fov(cls, width: int, height: int, hfov: float,
+                 square_pixels: bool = True) -> "CameraIntrinsics":
+        """Build intrinsics from a horizontal field of view (radians).
+
+        The focal length is chosen so a perspective (rectilinear) camera
+        of the given width spans ``hfov``:  ``fx = (width/2) / tan(hfov/2)``.
+        ``hfov`` must lie strictly inside ``(0, pi)`` — a rectilinear
+        camera cannot reach 180 degrees.
+        """
+        if not 0.0 < hfov < np.pi:
+            raise GeometryError(f"perspective hfov must be in (0, pi), got {hfov}")
+        fx = (width / 2.0) / np.tan(hfov / 2.0)
+        fy = fx if square_pixels else fx * (height / width)
+        return cls(fx=fx, fy=fy, cx=(width - 1) / 2.0, cy=(height - 1) / 2.0,
+                   width=width, height=height)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The 3x3 intrinsic matrix ``K``."""
+        return np.array([
+            [self.fx, self.skew, self.cx],
+            [0.0, self.fy, self.cy],
+            [0.0, 0.0, 1.0],
+        ])
+
+    @property
+    def hfov(self) -> float:
+        """Horizontal field of view (radians) of the perspective view."""
+        return 2.0 * np.arctan((self.width / 2.0) / self.fx)
+
+    @property
+    def vfov(self) -> float:
+        """Vertical field of view (radians) of the perspective view."""
+        return 2.0 * np.arctan((self.height / 2.0) / self.fy)
+
+    def scaled(self, factor: float) -> "CameraIntrinsics":
+        """Return intrinsics for an image scaled uniformly by ``factor``."""
+        if factor <= 0:
+            raise GeometryError(f"scale factor must be positive, got {factor}")
+        return replace(
+            self,
+            fx=self.fx * factor,
+            fy=self.fy * factor,
+            cx=self.cx * factor,
+            cy=self.cy * factor,
+            width=int(round(self.width * factor)),
+            height=int(round(self.height * factor)),
+        )
+
+    def normalize(self, xs, ys):
+        """Pixel coordinates -> normalized image-plane coordinates."""
+        ys_n = (np.asarray(ys, dtype=np.float64) - self.cy) / self.fy
+        xs_n = (np.asarray(xs, dtype=np.float64) - self.cx - self.skew * ys_n) / self.fx
+        return xs_n, ys_n
+
+    def denormalize(self, xs_n, ys_n):
+        """Normalized image-plane coordinates -> pixel coordinates."""
+        xs_n = np.asarray(xs_n, dtype=np.float64)
+        ys_n = np.asarray(ys_n, dtype=np.float64)
+        return self.fx * xs_n + self.skew * ys_n + self.cx, self.fy * ys_n + self.cy
+
+
+@dataclass(frozen=True)
+class FisheyeIntrinsics:
+    """Geometry of a fisheye *sensor* image.
+
+    Attributes
+    ----------
+    width, height:
+        Sensor image size in pixels.
+    cx, cy:
+        Distortion centre (lens axis) in pixels.
+    focal:
+        The lens model's focal parameter ``f`` in pixels.  For an
+        equidistant lens ``r = f * theta``, so a lens whose 180-degree
+        image circle has radius ``R`` has ``focal = R / (pi / 2)``.
+    """
+
+    width: int
+    height: int
+    cx: float
+    cy: float
+    focal: float
+
+    def __post_init__(self):
+        if self.width <= 0 or self.height <= 0:
+            raise GeometryError(f"image size must be positive: {self.width}x{self.height}")
+        if self.focal <= 0:
+            raise GeometryError(f"focal must be positive, got {self.focal}")
+
+    @classmethod
+    def centered(cls, width: int, height: int, focal: float) -> "FisheyeIntrinsics":
+        """Intrinsics with the lens axis at the image centre."""
+        return cls(width=width, height=height,
+                   cx=(width - 1) / 2.0, cy=(height - 1) / 2.0, focal=focal)
+
+    @classmethod
+    def from_image_circle(cls, width: int, height: int, circle_radius: float,
+                          max_angle: float = np.pi / 2.0,
+                          model_radius_at=None) -> "FisheyeIntrinsics":
+        """Build intrinsics from the radius of the lens's image circle.
+
+        Parameters
+        ----------
+        circle_radius:
+            Radius (pixels) at which the lens reaches ``max_angle``.
+        max_angle:
+            Field angle (radians) at the image-circle edge; pi/2 for a
+            180-degree lens.
+        model_radius_at:
+            Optional callable ``theta -> r/f`` giving the lens model's
+            normalized radius (e.g. ``lambda t: t`` for equidistant).
+            Defaults to equidistant.
+        """
+        if circle_radius <= 0:
+            raise GeometryError(f"circle radius must be positive, got {circle_radius}")
+        if not 0.0 < max_angle <= np.pi:
+            raise GeometryError(f"max_angle must be in (0, pi], got {max_angle}")
+        unit = max_angle if model_radius_at is None else float(model_radius_at(max_angle))
+        if unit <= 0:
+            raise GeometryError("model_radius_at(max_angle) must be positive")
+        return cls.centered(width, height, focal=circle_radius / unit)
+
+    @property
+    def r0(self) -> float:
+        """Equidistant-convention radius (pixels) at 45 degrees."""
+        return self.focal * (np.pi / 4.0)
+
+    @property
+    def image_circle_radius_180(self) -> float:
+        """Equidistant-convention radius (pixels) at 90 degrees."""
+        return self.focal * (np.pi / 2.0)
+
+    @property
+    def max_inscribed_radius(self) -> float:
+        """Largest centred radius fully inside the sensor rectangle."""
+        return min(self.cx, self.cy, self.width - 1 - self.cx, self.height - 1 - self.cy)
+
+    def contains(self, xs, ys):
+        """Boolean mask: do ``(xs, ys)`` fall inside the sensor image?"""
+        xs = np.asarray(xs)
+        ys = np.asarray(ys)
+        return (xs >= 0) & (xs <= self.width - 1) & (ys >= 0) & (ys <= self.height - 1)

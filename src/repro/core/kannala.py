@@ -1,0 +1,128 @@
+"""Kannala–Brandt fisheye model — the modern polynomial comparator.
+
+Brown–Conrady (F10's classical baseline) is a polynomial in the
+*perspective* radius ``tan(theta)`` and therefore structurally cannot
+represent a 180-degree lens.  Kannala & Brandt's fix — now the standard
+"fisheye model" of OpenCV and Kalibr — is a polynomial in the *angle*
+itself::
+
+    r(theta) = f * (theta + k1 theta^3 + k2 theta^5 + k3 theta^7 + k4 theta^9)
+
+which stays finite over the whole hemisphere and subsumes every
+classical family to high accuracy with 2-4 coefficients.  Including it
+makes the F10 story complete: the failure is not "polynomials", it is
+*the wrong expansion variable*.
+
+The inverse (radius -> angle) is a guarded Newton iteration, like the
+Brown–Conrady one, but here the forward map is monotone for all
+physically sensible coefficient sets, so convergence is routine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CalibrationError, LensModelError
+from .lens import LensModel
+
+__all__ = ["KannalaBrandtLens", "fit_kannala_brandt"]
+
+
+class KannalaBrandtLens(LensModel):
+    """Angle-polynomial fisheye: ``r = f * poly(theta)``."""
+
+    name = "kannala_brandt"
+
+    def __init__(self, focal: float, k1: float = 0.0, k2: float = 0.0,
+                 k3: float = 0.0, k4: float = 0.0,
+                 max_theta: float = np.pi / 2.0):
+        super().__init__(focal)
+        if not 0.0 < max_theta <= np.pi:
+            raise LensModelError(f"max_theta must be in (0, pi], got {max_theta}")
+        self.coeffs = (float(k1), float(k2), float(k3), float(k4))
+        self._max_theta = float(max_theta)
+        # Monotonicity check over the domain: a non-monotone forward map
+        # would make the model useless as a lens (folded image).
+        theta = np.linspace(0.0, self._max_theta, 512)
+        if np.any(np.diff(self._poly(theta)) <= 0):
+            raise LensModelError(
+                f"coefficients {self.coeffs} make r(theta) non-monotone on "
+                f"[0, {max_theta:.3f}]")
+
+    # ------------------------------------------------------------------
+    def _poly(self, theta):
+        k1, k2, k3, k4 = self.coeffs
+        t2 = theta * theta
+        return theta * (1.0 + t2 * (k1 + t2 * (k2 + t2 * (k3 + t2 * k4))))
+
+    def _dpoly(self, theta):
+        k1, k2, k3, k4 = self.coeffs
+        t2 = theta * theta
+        return (1.0 + t2 * (3.0 * k1 + t2 * (5.0 * k2
+                + t2 * (7.0 * k3 + t2 * 9.0 * k4))))
+
+    # ------------------------------------------------------------------
+    def angle_to_radius(self, theta):
+        theta = np.asarray(theta, dtype=np.float64)
+        ok = (theta >= 0) & (theta <= self._max_theta)
+        safe = np.where(ok, theta, 0.0)
+        return np.where(ok, self.focal * self._poly(safe), np.nan)
+
+    def radius_to_angle(self, r, iterations: int = 25, tol: float = 1e-12):
+        r = np.asarray(r, dtype=np.float64)
+        target = r / self.focal
+        max_target = self._poly(np.array(self._max_theta))
+        # Initial guess: the equidistant inverse.
+        theta = np.clip(target, 0.0, self._max_theta)
+        for _ in range(max(1, iterations)):
+            g = self._poly(theta) - target
+            dg = self._dpoly(theta)
+            step = g / np.where(np.abs(dg) < 1e-12, 1.0, dg)
+            theta = np.clip(theta - step, 0.0, self._max_theta)
+            if np.all(np.abs(step) < tol):
+                break
+        ok = (r >= 0) & (target <= max_target + 1e-12)
+        return np.where(ok, theta, np.nan)
+
+    @property
+    def max_theta(self) -> float:
+        return self._max_theta
+
+
+def fit_kannala_brandt(lens: LensModel, max_theta: float | None = None,
+                       samples: int = 256, order: int = 4) -> KannalaBrandtLens:
+    """Least-squares Kannala–Brandt fit to any lens model.
+
+    Linear in the coefficients: ``m(theta)/theta - 1`` is regressed on
+    ``theta^2, theta^4, ...``.  Unlike the Brown–Conrady fit this works
+    over the lens's *entire* domain, including 180 degrees.
+
+    Parameters
+    ----------
+    lens:
+        The exact model to approximate.
+    max_theta:
+        Fit range; defaults to the lens's full domain (capped at pi/2
+        for lenses that extend beyond the hemisphere).
+    samples, order:
+        Sample count and number of coefficients (1..4).
+    """
+    if not 1 <= order <= 4:
+        raise CalibrationError(f"order must be 1..4, got {order}")
+    if max_theta is None:
+        max_theta = min(lens.max_theta, np.pi / 2.0)
+    if not 0.0 < max_theta <= lens.max_theta:
+        raise CalibrationError(
+            f"max_theta must be in (0, {lens.max_theta:.3f}], got {max_theta}")
+    if samples < order + 1:
+        raise CalibrationError(f"need at least {order + 1} samples, got {samples}")
+
+    theta = np.linspace(max_theta / samples, max_theta, samples)
+    m = np.asarray(lens.angle_to_radius(theta), dtype=np.float64) / lens.focal
+    if not np.all(np.isfinite(m)):
+        raise CalibrationError("lens model returned non-finite radii in the fit range")
+    target = m / theta - 1.0
+    basis = np.stack([theta ** (2 * (i + 1)) for i in range(order)], axis=1)
+    coeffs, *_ = np.linalg.lstsq(basis, target, rcond=None)
+    ks = list(coeffs) + [0.0] * (4 - order)
+    return KannalaBrandtLens(lens.focal, *ks, max_theta=max_theta)

@@ -1,0 +1,249 @@
+"""Fisheye lens projection models.
+
+A radially symmetric lens is fully described by its *mapping function*
+``r = f * m(theta)`` relating the field angle ``theta`` (between an
+incoming ray and the optical axis) to the image radius ``r`` in pixels.
+The classical families implemented here are
+
+=============== ======================= =========================
+model           mapping ``r(theta)``    inverse ``theta(r)``
+=============== ======================= =========================
+equidistant     ``f * theta``           ``r / f``
+equisolid       ``2 f sin(theta/2)``    ``2 asin(r / 2f)``
+orthographic    ``f sin(theta)``        ``asin(r / f)``
+stereographic   ``2 f tan(theta/2)``    ``2 atan(r / 2f)``
+perspective     ``f tan(theta)``        ``atan(r / f)``
+=============== ======================= =========================
+
+(Equidistant is by far the most common scheme for security/automotive
+fisheye cameras and is the scheme the target paper's kernel corrects.)
+
+Every model exposes vectorized forward/inverse maps plus domain
+metadata (the largest representable field angle), which the mapping
+builders use to mask out-of-FOV output pixels.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import LensModelError
+
+__all__ = [
+    "LensModel",
+    "EquidistantLens",
+    "EquisolidLens",
+    "OrthographicLens",
+    "StereographicLens",
+    "PerspectiveLens",
+    "make_lens",
+    "LENS_MODELS",
+]
+
+
+class LensModel(ABC):
+    """Abstract radially-symmetric lens model with focal ``f`` in pixels."""
+
+    #: short identifier used by :func:`make_lens` and in reports
+    name: str = "abstract"
+
+    def __init__(self, focal: float):
+        if focal <= 0:
+            raise LensModelError(f"{type(self).__name__}: focal must be positive, got {focal}")
+        self.focal = float(focal)
+
+    # ------------------------------------------------------------------
+    # The two primitive maps; everything else derives from these.
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def angle_to_radius(self, theta):
+        """Image radius (pixels) for field angle ``theta`` (radians).
+
+        Angles outside the model's domain map to ``nan``.
+        """
+
+    @abstractmethod
+    def radius_to_angle(self, r):
+        """Field angle (radians) for image radius ``r`` (pixels).
+
+        Radii outside the model's range map to ``nan``.
+        """
+
+    # ------------------------------------------------------------------
+    # Domain metadata
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def max_theta(self) -> float:
+        """Largest field angle (radians) the model can represent."""
+
+    @property
+    def max_radius(self) -> float:
+        """Image radius (pixels) at :attr:`max_theta` (may be ``inf``)."""
+        return float(self.angle_to_radius(self.max_theta))
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def magnification(self, theta, eps: float = 1e-6):
+        """Radial magnification ``dr/dtheta`` via central differences.
+
+        Used by the quality metrics to measure how strongly a model
+        compresses the image periphery relative to the centre.
+        """
+        theta = np.asarray(theta, dtype=np.float64)
+        lo = np.clip(theta - eps, 0.0, self.max_theta)
+        hi = np.clip(theta + eps, 0.0, self.max_theta)
+        span = hi - lo
+        span = np.where(span <= 0, np.nan, span)
+        return (self.angle_to_radius(hi) - self.angle_to_radius(lo)) / span
+
+    def __repr__(self):
+        return f"{type(self).__name__}(focal={self.focal:g})"
+
+
+def _as_float(x):
+    return np.asarray(x, dtype=np.float64)
+
+
+class EquidistantLens(LensModel):
+    """Equidistant (f-theta) fisheye: ``r = f * theta``."""
+
+    name = "equidistant"
+
+    def angle_to_radius(self, theta):
+        theta = _as_float(theta)
+        r = self.focal * theta
+        return np.where((theta >= 0) & (theta <= self.max_theta), r, np.nan)
+
+    def radius_to_angle(self, r):
+        r = _as_float(r)
+        theta = r / self.focal
+        return np.where((r >= 0) & (theta <= self.max_theta), theta, np.nan)
+
+    @property
+    def max_theta(self) -> float:
+        return np.pi
+
+
+class EquisolidLens(LensModel):
+    """Equisolid-angle fisheye: ``r = 2 f sin(theta / 2)``."""
+
+    name = "equisolid"
+
+    def angle_to_radius(self, theta):
+        theta = _as_float(theta)
+        r = 2.0 * self.focal * np.sin(theta / 2.0)
+        return np.where((theta >= 0) & (theta <= self.max_theta), r, np.nan)
+
+    def radius_to_angle(self, r):
+        r = _as_float(r)
+        arg = r / (2.0 * self.focal)
+        theta = 2.0 * np.arcsin(np.clip(arg, -1.0, 1.0))
+        return np.where((r >= 0) & (arg <= 1.0), theta, np.nan)
+
+    @property
+    def max_theta(self) -> float:
+        return np.pi
+
+
+class OrthographicLens(LensModel):
+    """Orthographic fisheye: ``r = f sin(theta)`` (domain theta <= pi/2)."""
+
+    name = "orthographic"
+
+    def angle_to_radius(self, theta):
+        theta = _as_float(theta)
+        r = self.focal * np.sin(theta)
+        return np.where((theta >= 0) & (theta <= self.max_theta), r, np.nan)
+
+    def radius_to_angle(self, r):
+        r = _as_float(r)
+        arg = r / self.focal
+        theta = np.arcsin(np.clip(arg, -1.0, 1.0))
+        return np.where((r >= 0) & (arg <= 1.0), theta, np.nan)
+
+    @property
+    def max_theta(self) -> float:
+        return np.pi / 2.0
+
+
+class StereographicLens(LensModel):
+    """Stereographic fisheye: ``r = 2 f tan(theta / 2)``."""
+
+    name = "stereographic"
+
+    def angle_to_radius(self, theta):
+        theta = _as_float(theta)
+        # tan(pi/2) explodes; mask first to keep the ufunc warning-free.
+        ok = (theta >= 0) & (theta < self.max_theta)
+        safe = np.where(ok, theta, 0.0)
+        r = 2.0 * self.focal * np.tan(safe / 2.0)
+        return np.where(ok, r, np.nan)
+
+    def radius_to_angle(self, r):
+        r = _as_float(r)
+        theta = 2.0 * np.arctan(r / (2.0 * self.focal))
+        return np.where(r >= 0, theta, np.nan)
+
+    @property
+    def max_theta(self) -> float:
+        return np.pi
+
+
+class PerspectiveLens(LensModel):
+    """Rectilinear (pinhole) projection: ``r = f tan(theta)``.
+
+    Not a fisheye — included because the *output* of distortion
+    correction is a perspective view, and because it doubles as the
+    identity comparator in the quality benchmarks.
+    """
+
+    name = "perspective"
+
+    def angle_to_radius(self, theta):
+        theta = _as_float(theta)
+        ok = (theta >= 0) & (theta < self.max_theta)
+        safe = np.where(ok, theta, 0.0)
+        r = self.focal * np.tan(safe)
+        return np.where(ok, r, np.nan)
+
+    def radius_to_angle(self, r):
+        r = _as_float(r)
+        theta = np.arctan(r / self.focal)
+        return np.where(r >= 0, theta, np.nan)
+
+    @property
+    def max_theta(self) -> float:
+        return np.pi / 2.0
+
+
+#: registry used by :func:`make_lens` and the CLI-ish bench harness
+LENS_MODELS = {
+    cls.name: cls
+    for cls in (
+        EquidistantLens,
+        EquisolidLens,
+        OrthographicLens,
+        StereographicLens,
+        PerspectiveLens,
+    )
+}
+
+
+def make_lens(name: str, focal: float) -> LensModel:
+    """Instantiate a lens model by registry name.
+
+    Raises
+    ------
+    LensModelError
+        If ``name`` is not one of :data:`LENS_MODELS`.
+    """
+    try:
+        cls = LENS_MODELS[name]
+    except KeyError:
+        known = ", ".join(sorted(LENS_MODELS))
+        raise LensModelError(f"unknown lens model {name!r}; known models: {known}") from None
+    return cls(focal)

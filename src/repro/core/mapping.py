@@ -1,0 +1,298 @@
+"""Remap construction: where does each corrected pixel come from?
+
+Distortion correction is *backward* warping: for every pixel of the
+corrected output view we compute the fractional source coordinate on
+the fisheye sensor image, then interpolate.  This module builds those
+coordinate fields for three output geometries,
+
+- :func:`perspective_map` — rectilinear view (the paper's kernel),
+  with optional pan/tilt/roll/zoom "virtual PTZ" windows,
+- :func:`cylindrical_map` — cylindrical panorama,
+- :func:`equirectangular_map` — full spherical panorama,
+
+plus :func:`fisheye_forward_map`, the inverse construction used by the
+synthetic-workload generator to *create* fisheye imagery from an ideal
+perspective scene (ground truth for quality metrics).
+
+The result type :class:`RemapField` also carries the analysis methods
+the accelerator models need: per-tile source bounding boxes (Cell-BE
+local-store sizing), row-span statistics (FPGA line buffering), and
+cache-line gather counts (GPU coalescing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MappingError
+from . import geometry
+from .intrinsics import CameraIntrinsics, FisheyeIntrinsics
+from .lens import LensModel
+
+__all__ = [
+    "RemapField",
+    "perspective_map",
+    "cylindrical_map",
+    "equirectangular_map",
+    "fisheye_forward_map",
+    "identity_map",
+]
+
+
+@dataclass
+class RemapField:
+    """A backward-warp coordinate field plus its source geometry.
+
+    Attributes
+    ----------
+    map_x, map_y:
+        ``(H_out, W_out)`` float64 arrays of fractional source
+        coordinates; ``nan`` marks output pixels with no source
+        (outside the lens FOV or outside the source frame).
+    src_width, src_height:
+        Size of the source image the maps index into.
+    """
+
+    map_x: np.ndarray
+    map_y: np.ndarray
+    src_width: int
+    src_height: int
+
+    def __post_init__(self):
+        self.map_x = np.asarray(self.map_x, dtype=np.float64)
+        self.map_y = np.asarray(self.map_y, dtype=np.float64)
+        if self.map_x.shape != self.map_y.shape or self.map_x.ndim != 2:
+            raise MappingError(
+                f"map_x/map_y must be matching 2-D arrays, got {self.map_x.shape} / {self.map_y.shape}")
+        if self.src_width <= 0 or self.src_height <= 0:
+            raise MappingError(f"source size must be positive: {self.src_width}x{self.src_height}")
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        """Output shape ``(H_out, W_out)``."""
+        return self.map_x.shape
+
+    def valid_mask(self) -> np.ndarray:
+        """Boolean mask of output pixels with an in-source sample point.
+
+        Cached after the first call — fields are treated as immutable
+        once constructed (mutate ``map_x``/``map_y`` and the cache is
+        stale; build a new field instead).
+        """
+        cached = getattr(self, "_valid_mask", None)
+        if cached is None:
+            with np.errstate(invalid="ignore"):
+                cached = (
+                    np.isfinite(self.map_x) & np.isfinite(self.map_y)
+                    & (self.map_x >= 0) & (self.map_x <= self.src_width - 1)
+                    & (self.map_y >= 0) & (self.map_y <= self.src_height - 1)
+                )
+            self._valid_mask = cached
+        return cached
+
+    def coverage(self) -> float:
+        """Fraction of output pixels that receive source data."""
+        return float(self.valid_mask().mean())
+
+    # ------------------------------------------------------------------
+    # Analyses consumed by the platform models
+    # ------------------------------------------------------------------
+    def source_bbox(self, row0: int, row1: int, col0: int, col1: int,
+                    margin: int = 2):
+        """Bounding box of source pixels needed by an output tile.
+
+        Returns ``(sy0, sy1, sx0, sx1)`` (half-open, clamped to the
+        source frame) or ``None`` when the tile is entirely out-of-FOV.
+        ``margin`` accounts for the interpolation footprint.
+        """
+        sub_x = self.map_x[row0:row1, col0:col1]
+        sub_y = self.map_y[row0:row1, col0:col1]
+        # Only samples that will actually be fetched count (out-of-FOV
+        # pixels are filled, not gathered).
+        fetched = self.valid_mask()[row0:row1, col0:col1]
+        if not fetched.any():
+            return None
+        xs = sub_x[fetched]
+        ys = sub_y[fetched]
+        sx0 = int(np.floor(xs.min())) - margin
+        sx1 = int(np.ceil(xs.max())) + margin + 1
+        sy0 = int(np.floor(ys.min())) - margin
+        sy1 = int(np.ceil(ys.max())) + margin + 1
+        return (
+            max(0, sy0), min(self.src_height, sy1),
+            max(0, sx0), min(self.src_width, sx1),
+        )
+
+    def row_span(self) -> np.ndarray:
+        """Vertical source span (rows) required per output row.
+
+        Entry ``i`` is ``max(map_y[i]) - min(map_y[i])`` over finite
+        samples (0 for fully-invalid rows).  The maximum over the image
+        bounds the line-buffer depth a streaming (FPGA-style)
+        implementation must provision.
+        """
+        spans = np.zeros(self.map_y.shape[0], dtype=np.float64)
+        finite = np.isfinite(self.map_y)
+        for i in range(self.map_y.shape[0]):
+            row = self.map_y[i][finite[i]]
+            if row.size:
+                spans[i] = float(row.max() - row.min())
+        return spans
+
+    def gather_lines(self, group: int = 32, line_bytes: int = 128,
+                     pixel_bytes: int = 1) -> np.ndarray:
+        """Distinct cache lines touched by each ``group`` of output pixels.
+
+        Models a GPU warp (or SIMD gather) of ``group`` consecutive
+        output pixels reading their *nearest* source pixel: the number
+        of distinct ``line_bytes``-sized memory segments those reads
+        hit.  1.0 means perfectly coalesced, ``group`` means fully
+        scattered.  Out-of-FOV lanes issue no transaction.
+
+        Returns a 1-D array with one entry per complete group in
+        row-major output order.
+        """
+        if group <= 0 or line_bytes <= 0 or pixel_bytes <= 0:
+            raise MappingError("group, line_bytes and pixel_bytes must be positive")
+        mask = self.valid_mask().ravel()
+        xs = np.clip(np.nan_to_num(self.map_x.ravel()), 0, self.src_width - 1)
+        ys = np.clip(np.nan_to_num(self.map_y.ravel()), 0, self.src_height - 1)
+        addr = (np.rint(ys).astype(np.int64) * self.src_width
+                + np.rint(xs).astype(np.int64)) * pixel_bytes
+        line = addr // line_bytes
+        n = (line.size // group) * group
+        if n == 0:
+            return np.zeros(0, dtype=np.float64)
+        line = line[:n].reshape(-1, group)
+        mask = mask[:n].reshape(-1, group)
+        counts = np.empty(line.shape[0], dtype=np.float64)
+        for k in range(line.shape[0]):
+            active = line[k][mask[k]]
+            counts[k] = float(np.unique(active).size) if active.size else 0.0
+        return counts
+
+    def astype32(self):
+        """Return ``(map_x, map_y)`` as C-contiguous float32 arrays."""
+        return (
+            np.ascontiguousarray(self.map_x, dtype=np.float32),
+            np.ascontiguousarray(self.map_y, dtype=np.float32),
+        )
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def _source_coords_from_rays(rays, lens: LensModel, sensor: FisheyeIntrinsics):
+    """Shared tail: rays -> (theta, phi) -> fisheye sensor coordinates."""
+    theta, phi = geometry.angles_from_rays(rays)
+    with np.errstate(invalid="ignore"):
+        r = lens.angle_to_radius(theta)
+    map_x = sensor.cx + r * np.cos(phi)
+    map_y = sensor.cy + r * np.sin(phi)
+    return map_x, map_y
+
+
+def perspective_map(sensor: FisheyeIntrinsics, lens: LensModel,
+                    out: CameraIntrinsics, yaw: float = 0.0,
+                    pitch: float = 0.0, roll: float = 0.0) -> RemapField:
+    """Backward map for a rectilinear (perspective) output view.
+
+    Parameters
+    ----------
+    sensor:
+        Geometry of the fisheye source image.
+    lens:
+        The fisheye projection model (its ``focal`` should equal
+        ``sensor.focal``; they are kept separate so a deliberately
+        mis-modelled correction can be constructed for the quality
+        benchmarks).
+    out:
+        Intrinsics of the desired perspective output (size, focal =
+        zoom, principal point).
+    yaw, pitch, roll:
+        Virtual pan/tilt/roll of the output view (radians).
+
+    Returns
+    -------
+    RemapField
+    """
+    xs, ys = geometry.pixel_grid(out.height, out.width)
+    rot = geometry.rotation_matrix_ypr(yaw, pitch, roll)
+    rays = geometry.rays_from_pixels(xs, ys, out.fx, out.fy, out.cx, out.cy, rotation=rot)
+    map_x, map_y = _source_coords_from_rays(rays, lens, sensor)
+    return RemapField(map_x, map_y, sensor.width, sensor.height)
+
+
+def cylindrical_map(sensor: FisheyeIntrinsics, lens: LensModel,
+                    out_width: int, out_height: int,
+                    hfov: float = np.pi, vfov: float = np.pi / 2.0) -> RemapField:
+    """Backward map for a cylindrical panorama output.
+
+    Columns are uniform in azimuth over ``[-hfov/2, hfov/2]``; rows are
+    uniform in the tangent of elevation over ``[-tan(vfov/2), ...]``
+    (so vertical lines in the scene stay vertical).
+    """
+    if out_width <= 0 or out_height <= 0:
+        raise MappingError(f"output size must be positive: {out_width}x{out_height}")
+    if not 0 < hfov <= 2 * np.pi or not 0 < vfov < np.pi:
+        raise MappingError(f"invalid panorama FOV: hfov={hfov}, vfov={vfov}")
+    psi = np.linspace(-hfov / 2.0, hfov / 2.0, out_width)
+    v = np.linspace(-np.tan(vfov / 2.0), np.tan(vfov / 2.0), out_height)
+    psi_g, v_g = np.meshgrid(psi, v)
+    rays = np.stack([np.sin(psi_g), v_g, np.cos(psi_g)], axis=-1)
+    rays = geometry.normalize_rows(rays)
+    map_x, map_y = _source_coords_from_rays(rays, lens, sensor)
+    return RemapField(map_x, map_y, sensor.width, sensor.height)
+
+
+def equirectangular_map(sensor: FisheyeIntrinsics, lens: LensModel,
+                        out_width: int, out_height: int,
+                        hfov: float = np.pi, vfov: float = np.pi) -> RemapField:
+    """Backward map for an equirectangular (longitude/latitude) output."""
+    if out_width <= 0 or out_height <= 0:
+        raise MappingError(f"output size must be positive: {out_width}x{out_height}")
+    lon = np.linspace(-hfov / 2.0, hfov / 2.0, out_width)
+    lat = np.linspace(-vfov / 2.0, vfov / 2.0, out_height)
+    lon_g, lat_g = np.meshgrid(lon, lat)
+    cos_lat = np.cos(lat_g)
+    rays = np.stack([cos_lat * np.sin(lon_g), np.sin(lat_g), cos_lat * np.cos(lon_g)], axis=-1)
+    map_x, map_y = _source_coords_from_rays(rays, lens, sensor)
+    return RemapField(map_x, map_y, sensor.width, sensor.height)
+
+
+def fisheye_forward_map(scene: CameraIntrinsics, lens: LensModel,
+                        sensor: FisheyeIntrinsics) -> RemapField:
+    """Backward map that *renders a fisheye image* from a perspective scene.
+
+    For each fisheye sensor pixel, invert the lens model to a field
+    angle and project that ray onto the ideal perspective scene plane.
+    Used by the synthetic workload generator: applying this map to a
+    known perspective scene produces the distorted input whose
+    correction can then be checked against the original.
+    """
+    xs, ys = geometry.pixel_grid(sensor.height, sensor.width)
+    r, phi = geometry.polar_from_cartesian(xs, ys, sensor.cx, sensor.cy)
+    with np.errstate(invalid="ignore"):
+        theta = lens.radius_to_angle(r)
+        # theta may exceed the scene camera's 90deg representable range.
+        tan_theta = np.where(theta < np.pi / 2.0, np.tan(np.where(theta < np.pi / 2.0, theta, 0.0)), np.nan)
+    xs_n = tan_theta * np.cos(phi)
+    ys_n = tan_theta * np.sin(phi)
+    map_x, map_y = scene.denormalize(xs_n, ys_n)
+    bad = ~np.isfinite(theta)
+    map_x = np.where(bad, np.nan, map_x)
+    map_y = np.where(bad, np.nan, map_y)
+    return RemapField(map_x, map_y, scene.width, scene.height)
+
+
+def identity_map(width: int, height: int) -> RemapField:
+    """A no-op map (output pixel samples the same source pixel).
+
+    Useful as a baseline in cache/coalescing studies: it is the
+    perfectly sequential access pattern.
+    """
+    xs, ys = geometry.pixel_grid(height, width)
+    return RemapField(xs, ys, width, height)

@@ -1,0 +1,129 @@
+"""Multi-view composition: several virtual cameras, one output mosaic.
+
+The surveillance deployment the paper motivates rarely shows a single
+corrected view: the standard UI is a *quad* — e.g. one wide overview
+plus three virtual PTZ close-ups — composed into a single output frame
+that feeds one encoder.  Because every sub-view is just a backward map
+into the same fisheye source, the whole mosaic collapses into **one**
+coordinate field (and hence one LUT, one kernel launch, one DMA plan):
+the composition is free at runtime.
+
+:class:`ViewSpec` describes one pane; :func:`compose_views` stitches
+panes into a single :class:`~repro.core.mapping.RemapField`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MappingError
+from .intrinsics import CameraIntrinsics, FisheyeIntrinsics
+from .lens import LensModel
+from .mapping import RemapField, perspective_map
+
+__all__ = ["ViewSpec", "compose_views", "quad_view"]
+
+
+@dataclass(frozen=True)
+class ViewSpec:
+    """One pane of a multi-view mosaic.
+
+    Attributes
+    ----------
+    x0, y0:
+        Top-left corner of the pane in the mosaic.
+    width, height:
+        Pane size in pixels.
+    zoom:
+        Output focal relative to the resolution-preserving one.
+    yaw, pitch, roll:
+        Virtual view orientation (radians).
+    """
+
+    x0: int
+    y0: int
+    width: int
+    height: int
+    zoom: float = 1.0
+    yaw: float = 0.0
+    pitch: float = 0.0
+    roll: float = 0.0
+
+    def __post_init__(self):
+        if self.width <= 0 or self.height <= 0:
+            raise MappingError(f"pane size must be positive: {self.width}x{self.height}")
+        if self.x0 < 0 or self.y0 < 0:
+            raise MappingError(f"pane origin must be non-negative: ({self.x0}, {self.y0})")
+        if self.zoom <= 0:
+            raise MappingError(f"zoom must be positive, got {self.zoom}")
+
+
+def compose_views(sensor: FisheyeIntrinsics, lens: LensModel, views,
+                  out_width: int, out_height: int) -> RemapField:
+    """Build one coordinate field covering a mosaic of virtual views.
+
+    Panes must fit inside the mosaic and must not overlap; mosaic
+    pixels not covered by any pane are out-of-FOV (rendered as fill).
+
+    Returns a single :class:`RemapField` — feed it to
+    :class:`~repro.core.remap.RemapLUT` / any executor as usual.
+    """
+    views = list(views)
+    if not views:
+        raise MappingError("compose_views needs at least one view")
+    if out_width <= 0 or out_height <= 0:
+        raise MappingError(f"mosaic size must be positive: {out_width}x{out_height}")
+
+    covered = np.zeros((out_height, out_width), dtype=bool)
+    map_x = np.full((out_height, out_width), np.nan)
+    map_y = np.full((out_height, out_width), np.nan)
+
+    for i, v in enumerate(views):
+        if v.x0 + v.width > out_width or v.y0 + v.height > out_height:
+            raise MappingError(
+                f"view {i} ({v.width}x{v.height} at ({v.x0}, {v.y0})) exceeds "
+                f"the {out_width}x{out_height} mosaic")
+        region = covered[v.y0:v.y0 + v.height, v.x0:v.x0 + v.width]
+        if region.any():
+            raise MappingError(f"view {i} overlaps an earlier pane")
+        region[:] = True
+
+        focal = float(lens.magnification(1e-4)) * v.zoom
+        cam = CameraIntrinsics(
+            fx=focal, fy=focal,
+            cx=(v.width - 1) / 2.0, cy=(v.height - 1) / 2.0,
+            width=v.width, height=v.height)
+        sub = perspective_map(sensor, lens, cam,
+                              yaw=v.yaw, pitch=v.pitch, roll=v.roll)
+        map_x[v.y0:v.y0 + v.height, v.x0:v.x0 + v.width] = sub.map_x
+        map_y[v.y0:v.y0 + v.height, v.x0:v.x0 + v.width] = sub.map_y
+
+    return RemapField(map_x, map_y, sensor.width, sensor.height)
+
+
+def quad_view(sensor: FisheyeIntrinsics, lens: LensModel,
+              out_width: int, out_height: int,
+              overview_zoom: float = 0.5, detail_zoom: float = 1.5,
+              detail_pitch: float = 0.5) -> RemapField:
+    """The standard surveillance quad: overview + three PTZ close-ups.
+
+    Top-left pane: wide overview.  The other three panes: zoomed views
+    tilted toward azimuths -90/0/+90 degrees.
+
+    ``out_width``/``out_height`` must be even (panes are half-size).
+    """
+    if out_width % 2 or out_height % 2:
+        raise MappingError(
+            f"quad mosaic size must be even, got {out_width}x{out_height}")
+    hw, hh = out_width // 2, out_height // 2
+    views = [
+        ViewSpec(0, 0, hw, hh, zoom=overview_zoom),
+        ViewSpec(hw, 0, hw, hh, zoom=detail_zoom,
+                 yaw=-np.pi / 2 * 0.5, pitch=detail_pitch),
+        ViewSpec(0, hh, hw, hh, zoom=detail_zoom, pitch=detail_pitch),
+        ViewSpec(hw, hh, hw, hh, zoom=detail_zoom,
+                 yaw=np.pi / 2 * 0.5, pitch=detail_pitch),
+    ]
+    return compose_views(sensor, lens, views, out_width, out_height)

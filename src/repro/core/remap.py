@@ -1,0 +1,307 @@
+"""The remap engine: apply a :class:`~repro.core.mapping.RemapField`.
+
+Two execution styles, mirroring the design space the target paper
+explores:
+
+``remap``  (on-the-fly)
+    Interpolation taps and weights are recomputed from the float
+    coordinate field on every frame.  Cheapest in memory, most compute
+    per frame.
+
+:class:`RemapLUT`  (precomputed look-up table)
+    Tap indices and weights are resolved once per view configuration;
+    each subsequent frame is a pure gather + weighted accumulate.  This
+    is the streaming-video fast path and the representation the
+    accelerator models ship to device memory (its entry size determines
+    DMA traffic).
+
+Both paths share exact semantics with
+:func:`repro.core.interpolation.sample`; the test-suite cross-checks
+all three against the scalar oracle.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import InterpolationError, MappingError
+from . import interpolation as interp
+from .mapping import RemapField
+
+__all__ = ["remap", "RemapLUT", "remap_profiled", "StageProfile"]
+
+
+def remap(image, field: RemapField, method: str = "bilinear",
+          border: str = "constant", fill: float = 0.0):
+    """On-the-fly remap of ``image`` through ``field``.
+
+    Parameters
+    ----------
+    image:
+        Source image, ``(H_src, W_src)`` or ``(H_src, W_src, C)``.
+    field:
+        Backward coordinate field (its ``src_width``/``src_height``
+        must match the image).
+    method, border, fill:
+        Passed to :func:`repro.core.interpolation.sample`.
+    """
+    image = np.asarray(image)
+    if image.shape[0] != field.src_height or image.shape[1] != field.src_width:
+        raise MappingError(
+            f"image {image.shape[1]}x{image.shape[0]} does not match field source "
+            f"{field.src_width}x{field.src_height}")
+    return interp.sample(image, field.map_x, field.map_y, method=method,
+                         border=border, fill=fill)
+
+
+def _resolve_border(idx, size, border):
+    mode = "replicate" if border == "constant" else border
+    return interp.resolve_indices(idx, size, mode)
+
+
+@dataclass
+class StageProfile:
+    """Wall-clock seconds per pipeline stage of one profiled remap."""
+
+    map_build: float = 0.0
+    lut_build: float = 0.0
+    gather: float = 0.0
+    interpolate: float = 0.0
+    store: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.map_build + self.lut_build + self.gather + self.interpolate + self.store
+
+    def as_dict(self):
+        return {
+            "map_build": self.map_build,
+            "lut_build": self.lut_build,
+            "gather": self.gather,
+            "interpolate": self.interpolate,
+            "store": self.store,
+            "total": self.total,
+        }
+
+
+class RemapLUT:
+    """Precomputed gather indices + weights for one coordinate field.
+
+    Parameters
+    ----------
+    field:
+        The backward coordinate field to freeze.
+    method:
+        Interpolation kind; determines taps per pixel (1/4/16).
+    border:
+        Border mode resolved *at build time*.  ``constant`` keeps a
+        validity mask and writes ``fill`` at apply time.
+    fill:
+        Fill value for ``constant`` border handling.
+
+    Notes
+    -----
+    Indices are stored as flat row-major offsets into the source frame
+    so that a frame application is a single fancy-indexed gather —
+    the same dataflow as a DMA'd scatter-gather list or a texture
+    fetch.  Weights are float32 (the precision an embedded fixed-point
+    implementation would start from; see :mod:`repro.core.fixedpoint`).
+    """
+
+    def __init__(self, field: RemapField, method: str = "bilinear",
+                 border: str = "constant", fill: float = 0.0):
+        if method not in interp.METHODS:
+            raise InterpolationError(
+                f"unknown interpolation method {method!r}; known: {interp.METHODS}")
+        if border not in interp.BORDER_MODES:
+            raise InterpolationError(
+                f"unknown border mode {border!r}; known: {interp.BORDER_MODES}")
+        self.method = method
+        self.border = border
+        self.fill = float(fill)
+        self.out_shape = field.shape
+        self.src_shape = (field.src_height, field.src_width)
+        h, w = self.src_shape
+        self.mask = field.valid_mask().ravel() if border == "constant" else None
+
+        if method == "nearest":
+            mx = np.where(np.isfinite(field.map_x), field.map_x, 0.0)
+            my = np.where(np.isfinite(field.map_y), field.map_y, 0.0)
+            ix = np.rint(mx).astype(np.int64).ravel()
+            iy = np.rint(my).astype(np.int64).ravel()
+            ix = _resolve_border(ix, w, border)
+            iy = _resolve_border(iy, h, border)
+            self.indices = (iy * w + ix).reshape(-1, 1)
+            self.weights = np.ones((self.indices.shape[0], 1), dtype=np.float32)
+        elif method == "bilinear":
+            ix, iy, fx, fy = interp.bilinear_taps(field.map_x, field.map_y)
+            ix, iy = ix.ravel(), iy.ravel()
+            fx, fy = fx.ravel().astype(np.float32), fy.ravel().astype(np.float32)
+            x0 = _resolve_border(ix, w, border)
+            x1 = _resolve_border(ix + 1, w, border)
+            y0 = _resolve_border(iy, h, border)
+            y1 = _resolve_border(iy + 1, h, border)
+            self.indices = np.stack(
+                [y0 * w + x0, y0 * w + x1, y1 * w + x0, y1 * w + x1], axis=1
+            ).astype(np.int64)
+            one = np.float32(1.0)
+            self.weights = np.stack(
+                [(one - fx) * (one - fy), fx * (one - fy), (one - fx) * fy, fx * fy],
+                axis=1,
+            )
+        else:  # bicubic
+            ix, iy, wx, wy = interp.bicubic_taps(field.map_x, field.map_y)
+            ix, iy = ix.ravel(), iy.ravel()
+            wx = wx.reshape(-1, 4).astype(np.float32)
+            wy = wy.reshape(-1, 4).astype(np.float32)
+            cols = [_resolve_border(ix - 1 + i, w, border) for i in range(4)]
+            rows = [_resolve_border(iy - 1 + j, h, border) for j in range(4)]
+            idx = np.empty((ix.size, 16), dtype=np.int64)
+            wgt = np.empty((ix.size, 16), dtype=np.float32)
+            for j in range(4):
+                for i in range(4):
+                    k = j * 4 + i
+                    idx[:, k] = rows[j] * w + cols[i]
+                    wgt[:, k] = wy[:, j] * wx[:, i]
+            self.indices = idx
+            self.weights = wgt
+
+        if self.mask is not None:
+            # Invalid output pixels contribute nothing; keep their taps at 0
+            # so the gather stays in-bounds and branch-free.
+            self.indices[~self.mask] = 0
+            self.weights[~self.mask] = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def taps(self) -> int:
+        """Source gathers per output pixel."""
+        return self.indices.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the table (indices + weights + mask)."""
+        n = self.indices.nbytes + self.weights.nbytes
+        if self.mask is not None:
+            n += self.mask.nbytes
+        return n
+
+    def entry_bytes(self) -> int:
+        """Bytes per output pixel of LUT data (DMA sizing)."""
+        per = self.indices.dtype.itemsize * self.taps + self.weights.dtype.itemsize * self.taps
+        if self.mask is not None:
+            per += 1
+        return per
+
+    # ------------------------------------------------------------------
+    def apply(self, image, out=None):
+        """Correct one frame: pure gather + weighted accumulate.
+
+        Parameters
+        ----------
+        image:
+            Source frame matching the field's source size.
+        out:
+            Optional preallocated output array of shape
+            ``out_shape (+ channels)`` and the source dtype; reusing it
+            across frames avoids per-frame allocation (streaming mode).
+        """
+        image = np.asarray(image)
+        if image.shape[:2] != self.src_shape:
+            raise MappingError(
+                f"frame {image.shape[:2]} does not match LUT source {self.src_shape}")
+        squeeze = image.ndim == 2
+        flat = image.reshape(self.src_shape[0] * self.src_shape[1], -1).astype(np.float32, copy=False)
+        acc = np.zeros((self.indices.shape[0], flat.shape[1]), dtype=np.float32)
+        for k in range(self.taps):
+            acc += flat[self.indices[:, k]] * self.weights[:, k, None]
+        if self.mask is not None:
+            acc[~self.mask] = self.fill
+        result = acc.reshape(self.out_shape + (flat.shape[1],))
+        if np.issubdtype(image.dtype, np.integer):
+            info = np.iinfo(image.dtype)
+            result = np.clip(np.rint(result), info.min, info.max)
+        result = result.astype(image.dtype, copy=False)
+        if squeeze:
+            result = result[..., 0]
+        if out is not None:
+            np.copyto(out, result)
+            return out
+        return result
+
+    def apply_rows(self, image, row0: int, row1: int):
+        """Correct only output rows ``[row0, row1)`` — the tile primitive.
+
+        Returns the partial output block; used by the parallel
+        executors, which stitch blocks into a shared output buffer.
+        """
+        if not 0 <= row0 < row1 <= self.out_shape[0]:
+            raise MappingError(f"bad row range [{row0}, {row1}) for output {self.out_shape}")
+        image = np.asarray(image)
+        w = self.out_shape[1]
+        sl = slice(row0 * w, row1 * w)
+        flat = image.reshape(self.src_shape[0] * self.src_shape[1], -1).astype(np.float32, copy=False)
+        idx = self.indices[sl]
+        wgt = self.weights[sl]
+        acc = np.zeros((idx.shape[0], flat.shape[1]), dtype=np.float32)
+        for k in range(self.taps):
+            acc += flat[idx[:, k]] * wgt[:, k, None]
+        if self.mask is not None:
+            acc[~self.mask[sl]] = self.fill
+        result = acc.reshape((row1 - row0, w, flat.shape[1]))
+        if np.issubdtype(image.dtype, np.integer):
+            info = np.iinfo(image.dtype)
+            result = np.clip(np.rint(result), info.min, info.max)
+        result = result.astype(image.dtype, copy=False)
+        if image.ndim == 2:
+            result = result[..., 0]
+        return result
+
+
+def remap_profiled(image, field: RemapField, method: str = "bilinear",
+                   border: str = "constant", fill: float = 0.0):
+    """Remap one frame while timing each pipeline stage (T2 profile).
+
+    Stages: LUT build (tap/weight resolution), gather (source fetches),
+    interpolate (weighted accumulate), store (rounding, dtype cast,
+    fill).  The ``map_build`` stage is timed by the caller, which owns
+    map construction; it is left 0 here.
+
+    Returns
+    -------
+    (ndarray, StageProfile)
+    """
+    image = np.asarray(image)
+    prof = StageProfile()
+
+    t0 = time.perf_counter()
+    lut = RemapLUT(field, method=method, border=border, fill=fill)
+    prof.lut_build = time.perf_counter() - t0
+
+    flat = image.reshape(image.shape[0] * image.shape[1], -1).astype(np.float32, copy=False)
+
+    t0 = time.perf_counter()
+    gathered = [flat[lut.indices[:, k]] for k in range(lut.taps)]
+    prof.gather = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    acc = np.zeros_like(gathered[0])
+    for k in range(lut.taps):
+        acc += gathered[k] * lut.weights[:, k, None]
+    prof.interpolate = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    if lut.mask is not None:
+        acc[~lut.mask] = fill
+    result = acc.reshape(field.shape + (flat.shape[1],))
+    if np.issubdtype(image.dtype, np.integer):
+        info = np.iinfo(image.dtype)
+        result = np.clip(np.rint(result), info.min, info.max)
+    result = result.astype(image.dtype, copy=False)
+    if image.ndim == 2:
+        result = result[..., 0]
+    prof.store = time.perf_counter() - t0
+    return result, prof

@@ -1,0 +1,82 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by this library derive from :class:`ReproError` so that
+callers can catch everything library-specific with a single ``except``
+clause while still being able to discriminate finer-grained failure
+modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GeometryError",
+    "LensModelError",
+    "CalibrationError",
+    "ImageFormatError",
+    "MappingError",
+    "InterpolationError",
+    "PartitionError",
+    "ScheduleError",
+    "SimulationError",
+    "PlatformError",
+    "CapacityError",
+    "BenchmarkError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GeometryError(ReproError, ValueError):
+    """Invalid geometric argument (negative radius, empty grid, ...)."""
+
+
+class LensModelError(ReproError, ValueError):
+    """Invalid lens-model parameter or out-of-domain evaluation."""
+
+
+class CalibrationError(ReproError, RuntimeError):
+    """Calibration failed (too few observations, degenerate fit, ...)."""
+
+
+class ImageFormatError(ReproError, ValueError):
+    """Unsupported image dtype/shape/colour layout."""
+
+
+class MappingError(ReproError, ValueError):
+    """Invalid remap-LUT construction request."""
+
+
+class InterpolationError(ReproError, ValueError):
+    """Unknown interpolation kind or invalid sampling request."""
+
+
+class PartitionError(ReproError, ValueError):
+    """Invalid domain decomposition request."""
+
+
+class ScheduleError(ReproError, ValueError):
+    """Invalid scheduling request (zero workers, bad chunk size, ...)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """Discrete-event simulation reached an inconsistent state."""
+
+
+class PlatformError(ReproError, ValueError):
+    """Invalid hardware-platform configuration."""
+
+
+class CapacityError(PlatformError):
+    """A working set does not fit the platform's constrained memory.
+
+    Raised e.g. when a Cell-BE tile (output tile + source bounding box +
+    LUT slice) exceeds the SPE local store, or an FPGA line buffer cannot
+    hold the vertical span of the remap.
+    """
+
+
+class BenchmarkError(ReproError, RuntimeError):
+    """A benchmark harness precondition failed."""

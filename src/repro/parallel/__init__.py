@@ -1,0 +1,37 @@
+"""Parallelization layer: decomposition, scheduling, real executors.
+
+- :mod:`~repro.parallel.partition` — cutting the output frame into
+  tiles/bands (including cost-weighted cuts),
+- :mod:`~repro.parallel.schedule` — deterministic replay of
+  static/dynamic/guided loop schedules,
+- :mod:`~repro.parallel.threadpool` / :mod:`~repro.parallel.procpool`
+  — real shared-memory executors for the remap kernel,
+- :mod:`~repro.parallel.simd` — the SIMD vectorization model.
+"""
+
+from .partition import Tile, blocks, row_bands, row_bands_weighted, tile_weights
+from .schedule import SCHEDULES, Assignment, cyclic_chunks, simulate, static_chunks
+from .simd import AVX2, SPU, SSE2, VectorISA, apply_lanewise, simd_speedup
+from .stream import pipelined_stream
+from .threadpool import ThreadedExecutor
+
+__all__ = [
+    "Tile",
+    "row_bands",
+    "row_bands_weighted",
+    "blocks",
+    "tile_weights",
+    "Assignment",
+    "simulate",
+    "static_chunks",
+    "cyclic_chunks",
+    "SCHEDULES",
+    "VectorISA",
+    "SSE2",
+    "SPU",
+    "AVX2",
+    "simd_speedup",
+    "apply_lanewise",
+    "ThreadedExecutor",
+    "pipelined_stream",
+]

@@ -1,0 +1,156 @@
+"""Process-based executor: the no-shared-GIL configuration.
+
+Mirrors :class:`repro.parallel.threadpool.ThreadedExecutor` but runs
+tiles in worker *processes*, exchanging data through POSIX shared
+memory (``multiprocessing.shared_memory``) so frames are written once
+and never pickled per tile.  This is the configuration a pure-Python
+deployment without GIL-releasing kernels would need; it also
+demonstrates the communication-vs-computation accounting the Cell BE
+model formalizes (the shared-memory setup is the "DMA" here).
+
+The LUT itself is transferred once per executor lifetime via the
+fork inheritance of the initializer arguments.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..errors import ScheduleError
+from ..core.remap import RemapLUT
+from .partition import row_bands
+
+__all__ = ["ProcessExecutor"]
+
+# Worker-side globals, installed by _init_worker in each child.
+_WORKER_LUT = None
+_WORKER_SRC = None
+_WORKER_DST = None
+
+
+def _init_worker(lut, src_name, src_shape, src_dtype, dst_name, dst_shape, dst_dtype):
+    """Attach this worker to the shared frame buffers."""
+    global _WORKER_LUT, _WORKER_SRC, _WORKER_DST
+    _WORKER_LUT = lut
+    src_shm = shared_memory.SharedMemory(name=src_name)
+    dst_shm = shared_memory.SharedMemory(name=dst_name)
+    _WORKER_SRC = (src_shm, np.ndarray(src_shape, dtype=src_dtype, buffer=src_shm.buf))
+    _WORKER_DST = (dst_shm, np.ndarray(dst_shape, dtype=dst_dtype, buffer=dst_shm.buf))
+
+
+def _run_tile(rows):
+    """Correct output rows [rows[0], rows[1]) into the shared output."""
+    row0, row1 = rows
+    src = _WORKER_SRC[1]
+    dst = _WORKER_DST[1]
+    dst[row0:row1] = _WORKER_LUT.apply_rows(src, row0, row1)
+    return row1 - row0
+
+
+class ProcessExecutor:
+    """Tile-parallel LUT application on a process pool + shared memory.
+
+    Unlike the thread executor this one is bound to a fixed frame
+    geometry at construction (the shared segments are sized once);
+    ``run`` only accepts frames of that shape/dtype.
+
+    Parameters
+    ----------
+    lut:
+        The remap table (shipped to workers once, at pool start).
+    frame_shape, frame_dtype:
+        Geometry of the source frames.
+    workers:
+        Process count.
+    bands_per_worker:
+        Work units per worker.
+    """
+
+    name = "process"
+
+    def __init__(self, lut: RemapLUT, frame_shape, frame_dtype=np.uint8,
+                 workers: int = 2, bands_per_worker: int = 2):
+        if workers < 1:
+            raise ScheduleError(f"workers must be >= 1, got {workers}")
+        frame_shape = tuple(frame_shape)
+        if frame_shape[:2] != lut.src_shape:
+            raise ScheduleError(
+                f"frame shape {frame_shape} does not match LUT source {lut.src_shape}")
+        self.lut = lut
+        self.workers = workers
+        self.bands_per_worker = bands_per_worker
+        self.frame_shape = frame_shape
+        self.frame_dtype = np.dtype(frame_dtype)
+        channels = frame_shape[2:] if len(frame_shape) == 3 else ()
+        self.out_shape = lut.out_shape + channels
+
+        nbytes_src = int(np.prod(frame_shape)) * self.frame_dtype.itemsize
+        nbytes_dst = int(np.prod(self.out_shape)) * self.frame_dtype.itemsize
+        self._src_shm = shared_memory.SharedMemory(create=True, size=nbytes_src)
+        self._dst_shm = shared_memory.SharedMemory(create=True, size=nbytes_dst)
+        self.src_view = np.ndarray(frame_shape, dtype=self.frame_dtype,
+                                   buffer=self._src_shm.buf)
+        self.dst_view = np.ndarray(self.out_shape, dtype=self.frame_dtype,
+                                   buffer=self._dst_shm.buf)
+        ctx = mp.get_context("fork")
+        self._pool = ctx.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(lut, self._src_shm.name, frame_shape, self.frame_dtype,
+                      self._dst_shm.name, self.out_shape, self.frame_dtype),
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def close(self):
+        """Terminate workers and release shared segments (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.close()
+        self._pool.join()
+        # Drop our views before unlinking the segments.
+        self.src_view = None
+        self.dst_view = None
+        for shm in (self._src_shm, self._dst_shm):
+            shm.close()
+            shm.unlink()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    def run(self, lut: RemapLUT, image, out=None):
+        """Correct one frame (``lut`` must be the bound LUT)."""
+        if self._closed:
+            raise ScheduleError("executor already closed")
+        if lut is not self.lut:
+            raise ScheduleError("ProcessExecutor is bound to the LUT given at construction")
+        image = np.asarray(image)
+        if image.shape != self.frame_shape or image.dtype != self.frame_dtype:
+            raise ScheduleError(
+                f"frame {image.shape}/{image.dtype} does not match bound geometry "
+                f"{self.frame_shape}/{self.frame_dtype}")
+        np.copyto(self.src_view, image)
+        h, w = lut.out_shape
+        count = min(h, self.workers * self.bands_per_worker)
+        ranges = [(t.row0, t.row1) for t in row_bands(h, w, count)]
+        self._pool.map(_run_tile, ranges)
+        result = self.dst_view.copy()
+        if out is not None:
+            np.copyto(out, result)
+            return out
+        return result

@@ -1,0 +1,173 @@
+"""Deterministic work-unit scheduling, OpenMP style.
+
+The multicore section of the study compares three loop schedules:
+
+``static``
+    Units pre-assigned in contiguous chunks (lowest overhead, worst
+    balance when tile costs vary).
+``dynamic``
+    Workers pull the next ``chunk`` units from a shared queue when they
+    finish (best balance, one dispatch overhead per chunk).
+``guided``
+    Dynamic with geometrically shrinking chunks (balance of both).
+
+Rather than timing real threads (impossible to do meaningfully on this
+1-core host), :func:`simulate` replays a schedule against *known
+per-unit costs* (from :func:`repro.parallel.partition.tile_weights`) on
+virtual workers, producing the exact makespan, per-worker busy time and
+imbalance — the quantities the paper's scaling figures plot.  The
+result is deterministic and platform-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ScheduleError
+
+__all__ = ["Assignment", "static_chunks", "cyclic_chunks", "simulate", "SCHEDULES"]
+
+#: recognized schedule names
+SCHEDULES = ("static", "static_cyclic", "dynamic", "guided")
+
+
+@dataclass
+class Assignment:
+    """Result of replaying a schedule on virtual workers.
+
+    Attributes
+    ----------
+    order:
+        Per-worker list of unit indices, in execution order.
+    busy:
+        Per-worker total busy time (cost units).
+    makespan:
+        Completion time of the slowest worker, including dispatch
+        overhead.
+    dispatches:
+        Total number of queue operations performed (chunk pulls).
+    """
+
+    order: list
+    busy: np.ndarray
+    makespan: float
+    dispatches: int
+
+    @property
+    def workers(self) -> int:
+        return len(self.order)
+
+    @property
+    def imbalance(self) -> float:
+        """Max busy time over mean busy time (1.0 = perfectly balanced)."""
+        mean = float(self.busy.mean())
+        return float(self.busy.max() / mean) if mean > 0 else 1.0
+
+    def speedup(self, serial_time: float | None = None) -> float:
+        """Speedup over running every unit on one worker."""
+        if serial_time is None:
+            serial_time = float(self.busy.sum())
+        return serial_time / self.makespan if self.makespan > 0 else 0.0
+
+
+def static_chunks(n_units: int, workers: int):
+    """Contiguous block assignment: unit ranges per worker."""
+    if workers <= 0:
+        raise ScheduleError(f"workers must be positive, got {workers}")
+    base, extra = divmod(n_units, workers)
+    out = []
+    start = 0
+    for w in range(workers):
+        size = base + (1 if w < extra else 0)
+        out.append(list(range(start, start + size)))
+        start += size
+    return out
+
+
+def cyclic_chunks(n_units: int, workers: int, chunk: int = 1):
+    """Round-robin assignment of fixed-size chunks."""
+    if workers <= 0:
+        raise ScheduleError(f"workers must be positive, got {workers}")
+    if chunk <= 0:
+        raise ScheduleError(f"chunk must be positive, got {chunk}")
+    out = [[] for _ in range(workers)]
+    for i, start in enumerate(range(0, n_units, chunk)):
+        out[i % workers].extend(range(start, min(start + chunk, n_units)))
+    return out
+
+
+def simulate(costs, workers: int, schedule: str = "dynamic", chunk: int = 1,
+             dispatch_overhead: float = 0.0) -> Assignment:
+    """Replay a loop schedule over units with the given costs.
+
+    Parameters
+    ----------
+    costs:
+        1-D array of per-unit execution costs (any time unit).
+    workers:
+        Number of virtual workers.
+    schedule:
+        One of :data:`SCHEDULES`.
+    chunk:
+        Chunk size for ``static_cyclic`` and ``dynamic``; minimum chunk
+        for ``guided``.
+    dispatch_overhead:
+        Cost charged per queue pull (models lock contention / DMA-list
+        setup); static schedules pay it once per worker.
+
+    Returns
+    -------
+    Assignment
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    if costs.ndim != 1 or costs.size == 0:
+        raise ScheduleError(f"costs must be a non-empty 1-D array, got shape {costs.shape}")
+    if np.any(costs < 0):
+        raise ScheduleError("unit costs must be non-negative")
+    if workers <= 0:
+        raise ScheduleError(f"workers must be positive, got {workers}")
+    if chunk <= 0:
+        raise ScheduleError(f"chunk must be positive, got {chunk}")
+    n = costs.size
+
+    if schedule == "static":
+        order = static_chunks(n, workers)
+        busy = np.array([costs[idx].sum() for idx in order])
+        finish = busy + dispatch_overhead
+        return Assignment(order, busy, float(finish.max()), workers)
+
+    if schedule == "static_cyclic":
+        order = cyclic_chunks(n, workers, chunk)
+        busy = np.array([costs[idx].sum() if idx else 0.0 for idx in order])
+        finish = busy + dispatch_overhead
+        return Assignment(order, busy, float(finish.max()), workers)
+
+    if schedule not in ("dynamic", "guided"):
+        raise ScheduleError(f"unknown schedule {schedule!r}; known: {SCHEDULES}")
+
+    # Event-driven replay of a shared work queue: at every step the
+    # earliest-finishing worker pulls the next chunk.
+    order = [[] for _ in range(workers)]
+    busy = np.zeros(workers)
+    clock = np.zeros(workers)  # time each worker becomes free
+    next_unit = 0
+    dispatches = 0
+    remaining = n
+    while next_unit < n:
+        w = int(np.argmin(clock))
+        if schedule == "guided":
+            size = max(chunk, int(np.ceil(remaining / (2 * workers))))
+        else:
+            size = chunk
+        size = min(size, n - next_unit)
+        units = list(range(next_unit, next_unit + size))
+        next_unit += size
+        remaining -= size
+        work = float(costs[units].sum())
+        clock[w] += dispatch_overhead + work
+        busy[w] += work
+        order[w].extend(units)
+        dispatches += 1
+    return Assignment(order, busy, float(clock.max()), dispatches)

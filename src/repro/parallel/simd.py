@@ -1,0 +1,125 @@
+"""SIMD execution model: how much does vectorizing the kernel buy?
+
+The incremental study's first step is vectorizing the scalar per-pixel
+loop.  The remap kernel vectorizes well *except* for the source
+gathers: a classic SIMD ISA without a gather instruction must break
+the vector apart, fetch lanes one by one, and repack.  This module
+captures that with a small analytic model, plus a functional
+lane-chunked evaluator used in tests to demonstrate that lane order
+never changes results.
+
+:class:`VectorISA` instances for the ISAs the 2010-era study spans are
+provided: SSE2-class (4 x f32, no gather), Altivec/SPU-class (4 x f32,
+no gather, fused multiply-add), and a modern AVX2-class reference
+(8 x f32, hardware gather).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PlatformError
+
+__all__ = ["VectorISA", "SSE2", "SPU", "AVX2", "simd_speedup", "apply_lanewise"]
+
+
+@dataclass(frozen=True)
+class VectorISA:
+    """A SIMD instruction-set description.
+
+    Attributes
+    ----------
+    name:
+        Display name.
+    lanes:
+        32-bit lanes per vector register.
+    has_gather:
+        Whether scattered loads are a single instruction.
+    has_fma:
+        Fused multiply-add halves the arithmetic instruction count.
+    gather_cost_per_lane:
+        Scalar-equivalent instruction cost of emulating one lane of a
+        gather (load + insert); ignored when ``has_gather``.
+    """
+
+    name: str
+    lanes: int
+    has_gather: bool = False
+    has_fma: bool = False
+    gather_cost_per_lane: float = 2.0
+
+    def __post_init__(self):
+        if self.lanes < 1:
+            raise PlatformError(f"lanes must be >= 1, got {self.lanes}")
+        if self.gather_cost_per_lane <= 0:
+            raise PlatformError(
+                f"gather_cost_per_lane must be positive, got {self.gather_cost_per_lane}")
+
+
+SSE2 = VectorISA("sse2", lanes=4, has_gather=False, has_fma=False)
+SPU = VectorISA("spu", lanes=4, has_gather=False, has_fma=True)
+AVX2 = VectorISA("avx2", lanes=8, has_gather=True, has_fma=True)
+
+
+def simd_speedup(isa: VectorISA, arith_ops: float, gather_ops: float) -> float:
+    """Estimated speedup of vectorizing a kernel on ``isa``.
+
+    Parameters
+    ----------
+    arith_ops:
+        Arithmetic operations per output pixel (multiply/add/convert).
+    gather_ops:
+        Scattered source loads per output pixel (interpolation taps).
+
+    Returns
+    -------
+    float
+        ``scalar_cost / vector_cost`` per pixel.  With no gather
+        support the gathers stay serial (Amdahl inside the pixel), so
+        the speedup saturates well below ``lanes`` — the effect the
+        paper's SIMD section measures.
+    """
+    if arith_ops < 0 or gather_ops < 0:
+        raise PlatformError("operation counts must be non-negative")
+    if arith_ops + gather_ops == 0:
+        return 1.0
+    arith_cost = arith_ops / 2.0 if isa.has_fma else arith_ops
+    scalar = arith_ops + gather_ops  # loads cost ~1 in the scalar loop
+    if isa.has_gather:
+        vector = (arith_cost + gather_ops) / isa.lanes
+    else:
+        vector = arith_cost / isa.lanes + gather_ops * self_cost(isa)
+    return scalar / vector
+
+
+def self_cost(isa: VectorISA) -> float:
+    """Per-pixel cost of an emulated gather on a gather-less ISA."""
+    # Each output pixel's tap is fetched lane-serially but the fetches
+    # for `lanes` pixels amortize the repack, hence / lanes on the
+    # repack half of the cost.
+    return isa.gather_cost_per_lane / 2.0 + isa.gather_cost_per_lane / (2.0 * isa.lanes)
+
+
+def apply_lanewise(fn, values: np.ndarray, lanes: int) -> np.ndarray:
+    """Evaluate ``fn`` over ``values`` in SIMD-width chunks.
+
+    Functional model of vector execution: the 1-D input is processed in
+    chunks of ``lanes`` elements (the tail padded with its last value
+    and trimmed afterwards, as a masked vector epilogue would).  Tests
+    use it to verify kernels are value-wise independent — the property
+    that makes the vectorization legal in the first place.
+    """
+    if lanes < 1:
+        raise PlatformError(f"lanes must be >= 1, got {lanes}")
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise PlatformError(f"apply_lanewise expects a 1-D array, got shape {values.shape}")
+    n = values.size
+    if n == 0:
+        return fn(values)
+    pad = (-n) % lanes
+    padded = np.concatenate([values, np.repeat(values[-1:], pad)]) if pad else values
+    chunks = [fn(padded[i:i + lanes]) for i in range(0, padded.size, lanes)]
+    return np.concatenate(chunks)[:n]

@@ -1,0 +1,73 @@
+"""Software-pipelined stream correction on real threads.
+
+The streaming analogue of DMA double buffering: while the consumer
+handles corrected frame ``k``, a worker thread is already correcting
+frame ``k+1`` (and, at higher depth, ``k+2``...).  On a real multicore
+host this overlaps source decoding/generation with the remap; results
+are delivered strictly in order.
+
+Because each in-flight frame owns its output buffer, ``depth`` buffers
+are live at once — the same memory/overlap trade the Cell model's
+double buffering prices.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import ScheduleError
+from ..core.image import Frame
+from ..core.pipeline import FisheyeCorrector
+
+__all__ = ["pipelined_stream"]
+
+
+def pipelined_stream(corrector: FisheyeCorrector, frames: Iterable,
+                     depth: int = 2) -> Iterator:
+    """Correct ``frames`` with ``depth`` corrections in flight.
+
+    Parameters
+    ----------
+    corrector:
+        The configured corrector (its executor runs inside the worker
+        threads; a :class:`~repro.parallel.threadpool.ThreadedExecutor`
+        composes, giving pipeline + tile parallelism).
+    frames:
+        Any iterable of ndarrays or :class:`~repro.core.image.Frame`.
+    depth:
+        Maximum frames in flight (1 = plain sequential behaviour with
+        a worker thread).
+
+    Yields
+    ------
+    Corrected frames, in input order.  Unlike
+    :meth:`FisheyeCorrector.correct_stream`, each yielded frame owns
+    its buffer (no reuse), so holding references is safe.
+    """
+    if depth < 1:
+        raise ScheduleError(f"depth must be >= 1, got {depth}")
+
+    def work(item):
+        if isinstance(item, Frame):
+            return item.with_data(corrector.correct(item.data))
+        return corrector.correct(np.asarray(item))
+
+    with ThreadPoolExecutor(max_workers=depth, thread_name_prefix="stream") as pool:
+        pending = []
+        iterator = iter(frames)
+        exhausted = False
+        while True:
+            # keep the pipe full
+            while not exhausted and len(pending) < depth:
+                try:
+                    item = next(iterator)
+                except StopIteration:
+                    exhausted = True
+                    break
+                pending.append(pool.submit(work, item))
+            if not pending:
+                return
+            yield pending.pop(0).result()

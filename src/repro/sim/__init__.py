@@ -1,0 +1,38 @@
+"""Deterministic simulation substrate for the platform models.
+
+- :mod:`~repro.sim.event` — integer-nanosecond discrete-event engine,
+- :mod:`~repro.sim.memory` — links and shared-bus contention,
+- :mod:`~repro.sim.cache` — set-associative LRU cache replay,
+- :mod:`~repro.sim.trace` — address traces extracted from remap LUTs,
+- :mod:`~repro.sim.stats` — counters and phase breakdowns.
+"""
+
+from .cache import CacheConfig, CacheSim, CacheStats
+from .event import Event, EventQueue, ms, ns, ns_to_seconds, seconds_to_ns, us
+from .memory import Link, SharedBus
+from .prefetch import PrefetchConfig, PrefetchingCache, PrefetchStats
+from .stats import Breakdown, Counters
+from .trace import gather_trace, output_trace, tile_gather_trace
+
+__all__ = [
+    "EventQueue",
+    "Event",
+    "ns",
+    "us",
+    "ms",
+    "seconds_to_ns",
+    "ns_to_seconds",
+    "Link",
+    "SharedBus",
+    "CacheConfig",
+    "CacheSim",
+    "CacheStats",
+    "Breakdown",
+    "Counters",
+    "gather_trace",
+    "tile_gather_trace",
+    "output_trace",
+    "PrefetchConfig",
+    "PrefetchingCache",
+    "PrefetchStats",
+]

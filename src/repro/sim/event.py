@@ -1,0 +1,143 @@
+"""A minimal deterministic discrete-event engine.
+
+The platform models mostly use closed-form timelines, but the pieces
+that genuinely interleave — DMA double-buffering on the Cell model,
+dynamic work queues with contention — are driven by this engine.
+Determinism rules:
+
+- time is integer **nanoseconds** (no float accumulation drift),
+- ties break by (priority, insertion sequence), never by object id,
+- no wall clock anywhere.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import SimulationError
+
+__all__ = ["Event", "EventQueue", "ns", "us", "ms", "seconds_to_ns", "ns_to_seconds"]
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+
+def ns(t: float) -> int:
+    """Round a nanosecond quantity to the integer grid."""
+    return int(round(t))
+
+
+def us(t: float) -> int:
+    """Microseconds -> integer nanoseconds."""
+    return int(round(t * NS_PER_US))
+
+
+def ms(t: float) -> int:
+    """Milliseconds -> integer nanoseconds."""
+    return int(round(t * NS_PER_MS))
+
+
+def seconds_to_ns(t: float) -> int:
+    """Seconds -> integer nanoseconds."""
+    return int(round(t * NS_PER_S))
+
+
+def ns_to_seconds(t: int) -> float:
+    """Integer nanoseconds -> float seconds."""
+    return t / NS_PER_S
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback (orderable by time, priority, sequence)."""
+
+    time: int
+    priority: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """Deterministic event loop with integer-nanosecond time."""
+
+    def __init__(self):
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._now = 0
+        self._processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time (ns)."""
+        return self._now
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(self, delay: int, action: Callable[[], None],
+                 priority: int = 0) -> Event:
+        """Schedule ``action`` to run ``delay`` ns from now.
+
+        Returns the :class:`Event`, which can be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        ev = Event(self._now + int(delay), priority, self._seq, action)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_at(self, time: int, action: Callable[[], None],
+                    priority: int = 0) -> Event:
+        """Schedule ``action`` at an absolute time (must not precede now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time {self._now}")
+        return self.schedule(time - self._now, action, priority)
+
+    @staticmethod
+    def cancel(event: Event):
+        """Mark an event cancelled; it will be skipped when popped."""
+        event.cancelled = True
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False when idle."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            self._processed += 1
+            ev.action()
+            return True
+        return False
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Drain the queue; returns the final simulation time (ns).
+
+        ``max_events`` guards against runaway self-rescheduling models.
+        """
+        count = 0
+        while self.step():
+            count += 1
+            if count > max_events:
+                raise SimulationError(f"event budget exceeded ({max_events} events)")
+        return self._now
+
+    def run_until(self, time: int) -> int:
+        """Run events with timestamps <= ``time``; advance now to ``time``."""
+        if time < self._now:
+            raise SimulationError(f"run_until({time}) precedes current time {self._now}")
+        while self._heap:
+            ev = self._heap[0]
+            if ev.time > time:
+                break
+            self.step()
+        self._now = time
+        return self._now

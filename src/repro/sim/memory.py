@@ -1,0 +1,128 @@
+"""Bandwidth/latency models for memories and interconnects.
+
+Two abstractions cover every platform model's needs:
+
+:class:`Link`
+    A point-to-point channel with setup latency and sustained
+    bandwidth; ``transfer_time`` is the closed-form cost of moving
+    ``n`` bytes.
+
+:class:`SharedBus`
+    A bandwidth pool serializing overlapping transfers (the SMP memory
+    controller, the Cell EIB, the GPU DRAM interface).  It keeps a
+    simple reservation timeline: each request is granted the earliest
+    slot after its release time, modelling FCFS contention without
+    per-beat simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+
+__all__ = ["Link", "SharedBus"]
+
+NS_PER_S = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class Link:
+    """A fixed-latency, fixed-bandwidth channel.
+
+    Attributes
+    ----------
+    name:
+        Display name ("DMA", "PCIe", ...).
+    bandwidth_gbps:
+        Sustained bandwidth in **gigabytes** per second.
+    setup_ns:
+        Per-transfer setup latency in nanoseconds (descriptor
+        programming, tag management, bus arbitration).
+    """
+
+    name: str
+    bandwidth_gbps: float
+    setup_ns: int = 0
+
+    def __post_init__(self):
+        if self.bandwidth_gbps <= 0:
+            raise SimulationError(f"{self.name}: bandwidth must be positive")
+        if self.setup_ns < 0:
+            raise SimulationError(f"{self.name}: setup latency must be >= 0")
+
+    def transfer_ns(self, nbytes: int) -> int:
+        """Time (ns) to move ``nbytes`` including setup; 0 bytes is free."""
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size {nbytes}")
+        if nbytes == 0:
+            return 0
+        return self.setup_ns + int(round(nbytes / self.bandwidth_gbps / 1e9 * NS_PER_S))
+
+    def effective_gbps(self, nbytes: int) -> float:
+        """Achieved bandwidth for one transfer of ``nbytes`` (setup included)."""
+        t = self.transfer_ns(nbytes)
+        return (nbytes / (t / NS_PER_S)) / 1e9 if t > 0 else float("inf")
+
+
+class SharedBus:
+    """FCFS bandwidth pool with a reservation timeline.
+
+    Transfers requested at (or after) ``release`` time are granted the
+    earliest slot once the bus frees up; total occupancy equals
+    ``bytes / bandwidth``.  This is the standard queueing abstraction
+    for a memory controller when per-beat interleaving detail is not
+    needed: aggregate throughput and serialization delays are exact.
+    """
+
+    def __init__(self, name: str, bandwidth_gbps: float, setup_ns: int = 0):
+        if bandwidth_gbps <= 0:
+            raise SimulationError(f"{name}: bandwidth must be positive")
+        if setup_ns < 0:
+            raise SimulationError(f"{name}: setup latency must be >= 0")
+        self.name = name
+        self.bandwidth_gbps = bandwidth_gbps
+        self.setup_ns = setup_ns
+        self._free_at = 0  # timeline head (ns)
+        self.busy_ns = 0
+        self.transfers = 0
+        self.bytes_moved = 0
+
+    def occupancy_ns(self, nbytes: int) -> int:
+        """Bus occupancy (ns) of an ``nbytes`` transfer, setup included."""
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size {nbytes}")
+        if nbytes == 0:
+            return 0
+        return self.setup_ns + int(round(nbytes / self.bandwidth_gbps / 1e9 * NS_PER_S))
+
+    def request(self, release_ns: int, nbytes: int) -> tuple[int, int]:
+        """Reserve the bus for a transfer ready at ``release_ns``.
+
+        Returns ``(start_ns, end_ns)``.  Requests must be issued in
+        non-decreasing release order (FCFS); the model raises otherwise
+        because out-of-order issue would silently corrupt the timeline.
+        """
+        if release_ns < 0:
+            raise SimulationError(f"negative release time {release_ns}")
+        dur = self.occupancy_ns(nbytes)
+        start = max(release_ns, self._free_at)
+        end = start + dur
+        self._free_at = end
+        self.busy_ns += dur
+        self.transfers += 1
+        self.bytes_moved += nbytes
+        return start, end
+
+    def utilization(self, horizon_ns: int) -> float:
+        """Fraction of ``horizon_ns`` the bus spent busy."""
+        if horizon_ns <= 0:
+            raise SimulationError(f"horizon must be positive, got {horizon_ns}")
+        return min(1.0, self.busy_ns / horizon_ns)
+
+    def reset(self):
+        """Clear the timeline and counters."""
+        self._free_at = 0
+        self.busy_ns = 0
+        self.transfers = 0
+        self.bytes_moved = 0

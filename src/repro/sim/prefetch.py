@@ -1,0 +1,150 @@
+"""Hardware stream-prefetcher model layered on the cache simulator.
+
+The F6 study shows the row-major gather traversal needs a much larger
+cache than the blocked one.  Real cores partially compensate with
+next-line/stream prefetchers — the A3 ablation asks how much.  The
+model is the classic tagged sequential prefetcher:
+
+- a small table tracks the last ``streams`` distinct miss lines;
+- a miss to line ``L`` that follows a tracked miss to ``L - 1``
+  (or ``L + 1`` for descending streams) confirms a stream and issues
+  prefetches for the next ``depth`` lines in that direction;
+- prefetched lines are installed in the cache (polluting it like real
+  prefetches do) and hits on them are counted separately.
+
+Determinism: pure function of the trace, no randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+from .cache import CacheConfig, CacheSim
+
+__all__ = ["PrefetchConfig", "PrefetchStats", "PrefetchingCache"]
+
+
+@dataclass(frozen=True)
+class PrefetchConfig:
+    """Stream prefetcher parameters."""
+
+    streams: int = 8
+    depth: int = 2
+
+    def __post_init__(self):
+        if self.streams < 1 or self.depth < 1:
+            raise SimulationError("streams and depth must be >= 1")
+
+
+@dataclass
+class PrefetchStats:
+    """Counters for one replay."""
+
+    accesses: int = 0
+    hits: int = 0
+    prefetch_hits: int = 0      # hits on lines brought in by the prefetcher
+    prefetches_issued: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of issued prefetches that were eventually used."""
+        return (self.prefetch_hits / self.prefetches_issued
+                if self.prefetches_issued else 0.0)
+
+    def traffic_bytes(self, line_bytes: int) -> int:
+        """DRAM lines moved: demand misses plus all prefetches."""
+        return (self.misses + self.prefetches_issued) * line_bytes
+
+
+class PrefetchingCache:
+    """A :class:`~repro.sim.cache.CacheSim` with a tagged stream prefetcher.
+
+    The replay loop mirrors ``CacheSim.access`` but consults/updates the
+    stream table on every demand miss and tracks which resident lines
+    were prefetched (for the accuracy counter).
+    """
+
+    def __init__(self, cache_config: CacheConfig,
+                 prefetch: PrefetchConfig = PrefetchConfig()):
+        self.cache = CacheSim(cache_config)
+        self.config = prefetch
+        self._stream_lines: list[int] = []   # recent miss lines (FIFO)
+        self._prefetched: set[int] = set()   # lines resident via prefetch
+        self.stats = PrefetchStats()
+
+    def reset(self):
+        self.cache.reset()
+        self._stream_lines = []
+        self._prefetched = set()
+        self.stats = PrefetchStats()
+
+    # ------------------------------------------------------------------
+    def _touch_line(self, line: int) -> bool:
+        """Access one line through the underlying cache; True on hit."""
+        before = self.cache.stats.hits
+        self.cache.access(np.array([line * self.cache.config.line_bytes]))
+        return self.cache.stats.hits > before
+
+    def _record_miss(self, line: int):
+        self._stream_lines.append(line)
+        if len(self._stream_lines) > self.config.streams:
+            self._stream_lines.pop(0)
+
+    def _maybe_prefetch(self, line: int):
+        direction = 0
+        if line - 1 in self._stream_lines:
+            direction = 1
+        elif line + 1 in self._stream_lines:
+            direction = -1
+        if direction == 0:
+            return
+        for k in range(1, self.config.depth + 1):
+            target = line + direction * k
+            if target < 0:
+                break
+            hit = self._touch_line(target)
+            # cancel the demand-access accounting the touch performed:
+            # prefetches are not demand accesses
+            self.cache.stats.accesses -= 1
+            if hit:
+                self.cache.stats.hits -= 1
+                continue  # already resident: nothing moved
+            self.stats.prefetches_issued += 1
+            self._prefetched.add(target)
+
+    # ------------------------------------------------------------------
+    def access(self, addresses) -> PrefetchStats:
+        """Replay byte addresses in order; returns cumulative stats."""
+        addresses = np.asarray(addresses, dtype=np.int64).ravel()
+        if addresses.size and addresses.min() < 0:
+            raise SimulationError("negative addresses in trace")
+        line_bytes = self.cache.config.line_bytes
+        for addr in addresses:
+            line = int(addr) // line_bytes
+            hit = self._touch_line(line)
+            self.stats.accesses += 1
+            if hit:
+                self.stats.hits += 1
+                if line in self._prefetched:
+                    self.stats.prefetch_hits += 1
+                    self._prefetched.discard(line)
+            else:
+                self._record_miss(line)
+                self._maybe_prefetch(line)
+        return self.stats
+
+    def replay(self, addresses) -> PrefetchStats:
+        """Reset, replay one trace, return its stats."""
+        self.reset()
+        return self.access(addresses)

@@ -1,0 +1,61 @@
+"""Lightweight counters and time-breakdown accounting for simulations."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+__all__ = ["Counters", "Breakdown"]
+
+
+class Counters:
+    """A named-counter bag with dict-like reading."""
+
+    def __init__(self):
+        self._values = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1):
+        if amount < 0:
+            raise SimulationError(f"counter increments must be >= 0, got {amount}")
+        self._values[name] += amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def as_dict(self) -> dict:
+        return dict(self._values)
+
+    def __repr__(self):
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Counters({inner})"
+
+
+@dataclass
+class Breakdown:
+    """Time spent per named phase (ns), with percentage reporting."""
+
+    phases: dict = field(default_factory=dict)
+
+    def add(self, phase: str, duration_ns: int):
+        if duration_ns < 0:
+            raise SimulationError(f"phase duration must be >= 0, got {duration_ns}")
+        self.phases[phase] = self.phases.get(phase, 0) + int(duration_ns)
+
+    @property
+    def total_ns(self) -> int:
+        return sum(self.phases.values())
+
+    def fraction(self, phase: str) -> float:
+        total = self.total_ns
+        return self.phases.get(phase, 0) / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return dict(self.phases)
+
+    def merged(self, other: "Breakdown") -> "Breakdown":
+        out = Breakdown(dict(self.phases))
+        for k, v in other.phases.items():
+            out.add(k, v)
+        return out

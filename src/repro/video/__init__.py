@@ -1,0 +1,31 @@
+"""Synthetic fisheye video workloads: scenes, rendering, streams, I/O."""
+
+from .distort import FisheyeRenderer, render_fisheye, scene_camera_for_sensor
+from .io import read_npy, read_pgm, read_ppm, write_npy, write_pgm, write_ppm
+from .sensor import SensorNoise
+from .stream import SyntheticStream, panning_crops
+from .synth import checkerboard, circle_grid, gradient, noise, radial_circles, urban
+from .yuv import YUV420Frame, YUVCorrector
+
+__all__ = [
+    "FisheyeRenderer",
+    "render_fisheye",
+    "scene_camera_for_sensor",
+    "SyntheticStream",
+    "panning_crops",
+    "checkerboard",
+    "circle_grid",
+    "radial_circles",
+    "urban",
+    "gradient",
+    "noise",
+    "write_pgm",
+    "read_pgm",
+    "write_ppm",
+    "read_ppm",
+    "write_npy",
+    "read_npy",
+    "YUV420Frame",
+    "YUVCorrector",
+    "SensorNoise",
+]

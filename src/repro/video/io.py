@@ -1,0 +1,88 @@
+"""Minimal image file I/O: PGM/PPM (binary) and ``.npy``.
+
+No imaging library is assumed; the netpbm formats are simple enough to
+implement exactly and are what the examples write so results can be
+inspected with any viewer.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..errors import ImageFormatError
+
+__all__ = ["write_pgm", "read_pgm", "write_ppm", "read_ppm", "write_npy", "read_npy"]
+
+
+def write_pgm(path: str | os.PathLike, image: np.ndarray):
+    """Write a 2-D uint8 array as binary PGM (P5)."""
+    image = np.asarray(image)
+    if image.ndim != 2:
+        raise ImageFormatError(f"PGM requires a 2-D image, got shape {image.shape}")
+    if image.dtype != np.uint8:
+        raise ImageFormatError(f"PGM writer requires uint8, got {image.dtype}")
+    h, w = image.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(np.ascontiguousarray(image).tobytes())
+
+
+def _read_pnm_header(fh, magic: bytes):
+    if fh.read(2) != magic:
+        raise ImageFormatError(f"not a {magic.decode()} file")
+    fields = []
+    while len(fields) < 3:
+        line = fh.readline()
+        if not line:
+            raise ImageFormatError("truncated PNM header")
+        body = line.split(b"#", 1)[0]
+        fields.extend(body.split())
+    w, h, maxval = (int(f) for f in fields[:3])
+    if maxval != 255:
+        raise ImageFormatError(f"only maxval 255 supported, got {maxval}")
+    return w, h
+
+
+def read_pgm(path: str | os.PathLike) -> np.ndarray:
+    """Read a binary PGM (P5) into a 2-D uint8 array."""
+    with open(path, "rb") as fh:
+        w, h = _read_pnm_header(fh, b"P5")
+        data = np.frombuffer(fh.read(w * h), dtype=np.uint8)
+    if data.size != w * h:
+        raise ImageFormatError(f"truncated PGM payload: got {data.size}, want {w * h}")
+    return data.reshape(h, w).copy()
+
+
+def write_ppm(path: str | os.PathLike, image: np.ndarray):
+    """Write an ``(H, W, 3)`` uint8 array as binary PPM (P6)."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ImageFormatError(f"PPM requires (H, W, 3), got shape {image.shape}")
+    if image.dtype != np.uint8:
+        raise ImageFormatError(f"PPM writer requires uint8, got {image.dtype}")
+    h, w = image.shape[:2]
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(np.ascontiguousarray(image).tobytes())
+
+
+def read_ppm(path: str | os.PathLike) -> np.ndarray:
+    """Read a binary PPM (P6) into an ``(H, W, 3)`` uint8 array."""
+    with open(path, "rb") as fh:
+        w, h = _read_pnm_header(fh, b"P6")
+        data = np.frombuffer(fh.read(w * h * 3), dtype=np.uint8)
+    if data.size != w * h * 3:
+        raise ImageFormatError(f"truncated PPM payload: got {data.size}, want {w * h * 3}")
+    return data.reshape(h, w, 3).copy()
+
+
+def write_npy(path: str | os.PathLike, array: np.ndarray):
+    """Save any array as ``.npy`` (thin wrapper kept for API symmetry)."""
+    np.save(path, np.asarray(array))
+
+
+def read_npy(path: str | os.PathLike) -> np.ndarray:
+    """Load an ``.npy`` file (no pickling allowed)."""
+    return np.load(path, allow_pickle=False)

@@ -1,0 +1,93 @@
+"""Frame streams: the input side of the streaming-video pipeline.
+
+:class:`SyntheticStream` produces a deterministic moving scene (a
+panning crop of a larger world image) rendered through the fisheye
+model frame by frame — the closest laptop-scale stand-in for a live
+camera feed, exercising exactly the per-frame code path (the remap)
+while the per-stream work (map/LUT construction) is amortized, as in
+the paper's real-time scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ImageFormatError
+from ..core.image import GRAY8, Frame
+from .distort import FisheyeRenderer
+
+__all__ = ["SyntheticStream", "panning_crops"]
+
+
+def panning_crops(world: np.ndarray, width: int, height: int, frames: int,
+                  step: int = 4) -> Iterator[np.ndarray]:
+    """Yield ``frames`` crops sliding across a larger world image.
+
+    The pan wraps with reflection at the borders so any frame count is
+    valid.
+    """
+    world = np.asarray(world)
+    if world.ndim != 2:
+        raise ImageFormatError(f"world image must be 2-D, got shape {world.shape}")
+    wh, ww = world.shape
+    if height > wh or width > ww:
+        raise ImageFormatError(
+            f"crop {width}x{height} larger than world {ww}x{wh}")
+    if frames < 1 or step < 0:
+        raise ImageFormatError("frames must be >= 1 and step >= 0")
+    max_x = ww - width
+    max_y = wh - height
+    for k in range(frames):
+        # triangle-wave pan across both axes
+        tx = (k * step) % (2 * max_x) if max_x else 0
+        ty = (k * step // 2) % (2 * max_y) if max_y else 0
+        x0 = tx if tx <= max_x else 2 * max_x - tx
+        y0 = ty if ty <= max_y else 2 * max_y - ty
+        yield world[y0:y0 + height, x0:x0 + width]
+
+
+@dataclass
+class SyntheticStream:
+    """A deterministic fisheye video source.
+
+    Attributes
+    ----------
+    renderer:
+        The scene->fisheye renderer (fixes lens, sensor, scene camera).
+    world:
+        A world image at least as large as the renderer's scene size.
+    frames:
+        Stream length.
+    fps:
+        Nominal frame rate (sets frame timestamps).
+    step:
+        Pan speed in world pixels per frame.
+    """
+
+    renderer: FisheyeRenderer
+    world: np.ndarray
+    frames: int = 30
+    fps: float = 30.0
+    step: int = 4
+
+    def __post_init__(self):
+        self.world = np.asarray(self.world)
+        if self.fps <= 0:
+            raise ImageFormatError(f"fps must be positive, got {self.fps}")
+        if self.frames < 1:
+            raise ImageFormatError(f"frames must be >= 1, got {self.frames}")
+
+    def __len__(self) -> int:
+        return self.frames
+
+    def __iter__(self) -> Iterator[Frame]:
+        scene = self.renderer.scene
+        crops = panning_crops(self.world, scene.width, scene.height,
+                              self.frames, self.step)
+        for k, crop in enumerate(crops):
+            data = self.renderer.render(crop)
+            yield Frame(data.astype(np.uint8, copy=False), GRAY8,
+                        index=k, timestamp=k / self.fps)

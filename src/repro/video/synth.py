@@ -1,0 +1,141 @@
+"""Synthetic scene generators — the ground-truth imagery.
+
+The paper corrects footage from real fisheye cameras; with no camera
+here, workloads are *rendered*: a perspective scene is generated, then
+pushed through the forward fisheye map
+(:mod:`repro.video.distort`).  Scenes are chosen to make distortion
+visible and quality measurable:
+
+- :func:`checkerboard` — straight edges everywhere (line-straightness
+  metric),
+- :func:`circle_grid` — calibration target with *known marker angles*
+  (returned alongside the image, so calibration can be verified),
+- :func:`radial_circles` — the concentric-circles test chart from the
+  mismatched paper's Fig. 7 family, useful for eyeballing,
+- :func:`urban` — seeded random rectangles/edges approximating the
+  structure statistics of the surveillance scenes the application
+  targets,
+- :func:`gradient` — smooth ramp (interpolation-accuracy tests).
+
+All generators take an explicit seed where randomness is involved and
+return ``uint8`` arrays (or float64 where noted).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ImageFormatError
+
+__all__ = ["checkerboard", "circle_grid", "radial_circles", "urban", "gradient", "noise"]
+
+
+def _check_size(width: int, height: int):
+    if width <= 0 or height <= 0:
+        raise ImageFormatError(f"image size must be positive: {width}x{height}")
+
+
+def checkerboard(width: int, height: int, square: int = 32,
+                 low: int = 30, high: int = 220) -> np.ndarray:
+    """A checkerboard with ``square``-pixel cells (uint8)."""
+    _check_size(width, height)
+    if square <= 0:
+        raise ImageFormatError(f"square size must be positive, got {square}")
+    ys, xs = np.indices((height, width))
+    board = ((xs // square + ys // square) % 2).astype(np.uint8)
+    return np.where(board == 1, np.uint8(high), np.uint8(low))
+
+
+def circle_grid(width: int, height: int, rings: int = 4, spokes: int = 8,
+                dot_radius: int = 5, margin: float = 0.9):
+    """A polar dot grid plus the dots' positions.
+
+    Dots are placed on ``rings`` concentric circles (equal radial
+    steps out to ``margin`` of the half-diagonal-inscribed circle) at
+    ``spokes`` azimuths, plus one centre dot.
+
+    Returns
+    -------
+    (image, points)
+        ``image`` is uint8; ``points`` is ``(N, 2)`` float64 of dot
+        centres ``(x, y)``, centre dot first, then ring by ring.
+    """
+    _check_size(width, height)
+    if rings < 1 or spokes < 3:
+        raise ImageFormatError(f"need rings >= 1 and spokes >= 3, got {rings}/{spokes}")
+    if not 0 < margin <= 1:
+        raise ImageFormatError(f"margin must be in (0, 1], got {margin}")
+    image = np.zeros((height, width), dtype=np.uint8)
+    cx, cy = (width - 1) / 2.0, (height - 1) / 2.0
+    max_r = margin * min(cx, cy)
+    points = [(cx, cy)]
+    for ring in range(1, rings + 1):
+        r = max_r * ring / rings
+        for k in range(spokes):
+            phi = 2.0 * np.pi * k / spokes
+            points.append((cx + r * np.cos(phi), cy + r * np.sin(phi)))
+    ys, xs = np.indices((height, width))
+    for (px, py) in points:
+        mask = (xs - px) ** 2 + (ys - py) ** 2 <= dot_radius ** 2
+        image[mask] = 255
+    return image, np.asarray(points, dtype=np.float64)
+
+
+def radial_circles(width: int, height: int, rings: int = 8,
+                   thickness: float = 3.0) -> np.ndarray:
+    """Concentric bright circles on black (uint8)."""
+    _check_size(width, height)
+    if rings < 1 or thickness <= 0:
+        raise ImageFormatError(f"need rings >= 1 and positive thickness")
+    cx, cy = (width - 1) / 2.0, (height - 1) / 2.0
+    ys, xs = np.indices((height, width))
+    r = np.hypot(xs - cx, ys - cy)
+    max_r = min(cx, cy)
+    image = np.zeros((height, width), dtype=np.uint8)
+    for ring in range(1, rings + 1):
+        target = max_r * ring / rings
+        image[np.abs(r - target) <= thickness / 2.0] = 255
+    return image
+
+
+def urban(width: int, height: int, buildings: int = 60, seed: int = 7) -> np.ndarray:
+    """Seeded random axis-aligned rectangles over a sky gradient (uint8).
+
+    Approximates the edge statistics of the street/surveillance scenes
+    wide-angle cameras watch: many long straight vertical/horizontal
+    contours at varied contrast.
+    """
+    _check_size(width, height)
+    if buildings < 1:
+        raise ImageFormatError(f"buildings must be >= 1, got {buildings}")
+    rng = np.random.default_rng(seed)
+    sky = np.linspace(180, 120, height, dtype=np.float64)[:, None]
+    image = np.broadcast_to(sky, (height, width)).copy()
+    for _ in range(buildings):
+        w = int(rng.integers(width // 20 + 1, max(width // 4, width // 20 + 2)))
+        h = int(rng.integers(height // 10 + 1, max(height // 2, height // 10 + 2)))
+        x0 = int(rng.integers(0, max(1, width - w)))
+        y0 = int(rng.integers(height // 4, max(height // 4 + 1, height - h)))
+        shade = float(rng.integers(40, 160))
+        image[y0:y0 + h, x0:x0 + w] = shade
+        # window rows give high-frequency texture
+        if h > 8 and w > 8:
+            image[y0 + 2:y0 + h:6, x0 + 2:x0 + w:5] = min(255.0, shade + 60)
+    return np.clip(image, 0, 255).astype(np.uint8)
+
+
+def gradient(width: int, height: int, horizontal: bool = True) -> np.ndarray:
+    """A smooth 0..255 ramp (uint8), for interpolation-accuracy tests."""
+    _check_size(width, height)
+    if horizontal:
+        ramp = np.linspace(0, 255, width)[None, :]
+    else:
+        ramp = np.linspace(0, 255, height)[:, None]
+    return np.broadcast_to(ramp, (height, width)).astype(np.uint8)
+
+
+def noise(width: int, height: int, seed: int = 0) -> np.ndarray:
+    """Uniform random uint8 noise (worst case for gather locality)."""
+    _check_size(width, height)
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(height, width), dtype=np.uint8)

@@ -1,0 +1,121 @@
+"""Benchmark harness tests: reporting, workload cache, Amdahl fit."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    amdahl_fit,
+    resolution,
+    standard_field,
+    standard_sensor,
+    standard_workload,
+)
+from repro.bench.report import Table, ascii_series, format_value
+from repro.errors import BenchmarkError
+
+
+class TestFormatValue:
+    def test_floats(self):
+        assert format_value(1.234) == "1.23"
+        assert format_value(float("nan")) == "-"
+        assert format_value(float("inf")) == "inf"
+
+    def test_bools_and_ints(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+        assert format_value(42) == "42"
+
+    def test_custom_float_format(self):
+        assert format_value(1.23456, "{:.4f}") == "1.2346"
+
+
+class TestTable:
+    def test_add_and_render(self):
+        t = Table("T: demo", ["a", "bb"])
+        t.add_row(1, 2.5)
+        t.add_row(10, 0.25)
+        text = t.render()
+        assert "T: demo" in text
+        lines = text.splitlines()
+        assert lines[1].strip().startswith("a")
+        assert "10" in text and "2.50" in text
+
+    def test_wrong_arity_rejected(self):
+        t = Table("x", ["a", "b"])
+        with pytest.raises(BenchmarkError):
+            t.add_row(1)
+
+    def test_column_extraction(self):
+        t = Table("x", ["a", "b"])
+        t.add_row(1, 2)
+        t.add_row(3, 4)
+        assert t.column("b") == [2, 4]
+        with pytest.raises(BenchmarkError):
+            t.column("c")
+
+    def test_notes_rendered(self):
+        t = Table("x", ["a"])
+        t.add_row(1)
+        t.notes.append("hello note")
+        assert "hello note" in str(t)
+
+
+class TestAsciiSeries:
+    def test_renders_bars(self):
+        text = ascii_series([1, 2], [1.0, 2.0], width=10, label="demo")
+        assert "demo" in text
+        assert text.count("#") == 5 + 10
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            ascii_series([], [])
+        with pytest.raises(BenchmarkError):
+            ascii_series([1], [1, 2])
+
+
+class TestHarness:
+    def test_resolution_lookup(self):
+        assert resolution("VGA") == (640, 480)
+        with pytest.raises(BenchmarkError):
+            resolution("8K")
+
+    def test_standard_sensor_180deg(self):
+        sensor, lens = standard_sensor(640, 480)
+        # inscribed circle: radius at 90 deg equals half the short side - 1
+        assert float(lens.angle_to_radius(np.pi / 2)) == pytest.approx(239.0)
+
+    def test_standard_field_cached(self):
+        a = standard_field(64, 64)
+        b = standard_field(64, 64)
+        assert a is b
+
+    def test_standard_workload_measured(self):
+        w = standard_workload("VGA", method="nearest", mode="otf")
+        assert w.pixels == 640 * 480
+        assert w.spec.taps == 1
+        assert w.field is not None
+
+    def test_tilted_workload(self):
+        w = standard_workload("VGA", pitch=np.deg2rad(60.0))
+        assert w.coverage < 1.0
+
+
+class TestAmdahlFit:
+    def test_recovers_known_serial_fraction(self):
+        s = 0.1
+        threads = np.array([1, 2, 4, 8, 16])
+        speedups = 1.0 / (s + (1 - s) / threads)
+        serial, r2 = amdahl_fit(threads, speedups)
+        assert serial == pytest.approx(s, abs=1e-6)
+        assert r2 == pytest.approx(1.0, abs=1e-9)
+
+    def test_perfect_scaling_zero_serial(self):
+        threads = np.array([1, 2, 4, 8])
+        serial, _ = amdahl_fit(threads, threads.astype(float))
+        assert serial == pytest.approx(0.0, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            amdahl_fit([1], [1.0])
+        with pytest.raises(BenchmarkError):
+            amdahl_fit([1, 2], [1.0, -2.0])

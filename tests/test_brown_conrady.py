@@ -1,0 +1,134 @@
+"""Brown–Conrady baseline model tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.brown_conrady import BrownConrady, BrownConradyLens, fit_brown_conrady
+from repro.core.lens import EquidistantLens, EquisolidLens
+from repro.errors import CalibrationError, LensModelError
+
+
+class TestForwardModel:
+    def test_zero_coefficients_is_identity(self):
+        bc = BrownConrady()
+        xd, yd = bc.distort(np.array([0.3]), np.array([-0.2]))
+        assert xd[0] == pytest.approx(0.3)
+        assert yd[0] == pytest.approx(-0.2)
+
+    def test_radial_term_scales_with_r2(self):
+        bc = BrownConrady(k1=0.1)
+        rd = bc.distort_radius(np.array([1.0]))
+        assert rd[0] == pytest.approx(1.1)
+
+    def test_tangential_terms(self):
+        bc = BrownConrady(p1=0.01, p2=0.02)
+        xd, yd = bc.distort(np.array([0.5]), np.array([0.5]))
+        r2 = 0.5
+        assert xd[0] == pytest.approx(0.5 + 2 * 0.01 * 0.25 + 0.02 * (r2 + 2 * 0.25))
+        assert yd[0] == pytest.approx(0.5 + 0.01 * (r2 + 2 * 0.25) + 2 * 0.02 * 0.25)
+
+    def test_origin_fixed_point(self):
+        bc = BrownConrady(k1=0.3, k2=-0.1, p1=0.05, p2=-0.04)
+        xd, yd = bc.distort(0.0, 0.0)
+        assert float(xd) == 0.0 and float(yd) == 0.0
+
+
+class TestInverse:
+    def test_newton_inverts_mild_distortion(self):
+        bc = BrownConrady(k1=0.05, k2=0.01)
+        ru = np.linspace(0.01, 1.5, 40)
+        rd = bc.distort_radius(ru)
+        back = bc.undistort_radius(rd)
+        np.testing.assert_allclose(back, ru, rtol=1e-8)
+
+    def test_identity_coefficients_inverse(self):
+        bc = BrownConrady()
+        rd = np.linspace(0.0, 2.0, 10)
+        np.testing.assert_allclose(bc.undistort_radius(rd), rd, atol=1e-12)
+
+    def test_nonmonotonic_range_returns_nan(self):
+        # strong negative k1 folds the mapping; far radii are not invertible
+        bc = BrownConrady(k1=-0.5)
+        out = bc.undistort_radius(np.array([10.0]))
+        assert np.isnan(out).all()
+
+
+class TestFit:
+    @pytest.mark.parametrize("lens_cls", [EquidistantLens, EquisolidLens])
+    def test_fit_accurate_in_range(self, lens_cls):
+        lens = lens_cls(150.0)
+        bc = fit_brown_conrady(lens, max_theta=np.deg2rad(60.0), order=3)
+        theta = np.linspace(0.05, np.deg2rad(55.0), 30)
+        exact = np.asarray(lens.angle_to_radius(theta))
+        approx = np.asarray(bc.angle_to_radius(theta))
+        # within the fit range the polynomial tracks within ~1% of radius
+        assert np.max(np.abs(approx - exact) / exact) < 0.02
+
+    def test_fit_degrades_beyond_range(self):
+        lens = EquidistantLens(150.0)
+        bc = fit_brown_conrady(lens, max_theta=np.deg2rad(60.0), order=3)
+        theta_far = np.deg2rad(85.0)
+        exact = float(lens.angle_to_radius(theta_far))
+        approx = float(bc.angle_to_radius(theta_far))
+        assert abs(approx - exact) > 10.0  # pixels — the classical failure
+
+    def test_fit_preserves_focal(self):
+        lens = EquidistantLens(99.0)
+        bc = fit_brown_conrady(lens)
+        assert bc.focal == 99.0
+
+    def test_higher_order_fits_better(self):
+        lens = EquidistantLens(150.0)
+        theta = np.linspace(0.05, np.deg2rad(70.0), 64)
+        exact = np.asarray(lens.angle_to_radius(theta))
+        errs = []
+        for order in (1, 2, 3):
+            bc = fit_brown_conrady(lens, max_theta=np.deg2rad(70.0), order=order)
+            approx = np.asarray(bc.angle_to_radius(theta))
+            errs.append(float(np.sqrt(np.mean((approx - exact) ** 2))))
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_fit_validation(self):
+        lens = EquidistantLens(100.0)
+        with pytest.raises(CalibrationError):
+            fit_brown_conrady(lens, max_theta=2.0)
+        with pytest.raises(CalibrationError):
+            fit_brown_conrady(lens, order=5)
+        with pytest.raises(CalibrationError):
+            fit_brown_conrady(lens, samples=2, order=3)
+
+
+class TestLensAdapter:
+    def test_domain_capped_below_90deg(self):
+        lens = fit_brown_conrady(EquidistantLens(100.0))
+        assert lens.max_theta < np.pi / 2
+        assert np.isnan(lens.angle_to_radius(np.pi / 2))
+
+    def test_roundtrip_in_interior(self):
+        lens = fit_brown_conrady(EquidistantLens(100.0), max_theta=np.deg2rad(60.0))
+        theta = np.linspace(0.05, np.deg2rad(50.0), 16)
+        r = np.asarray(lens.angle_to_radius(theta))
+        back = np.asarray(lens.radius_to_angle(r))
+        np.testing.assert_allclose(back, theta, rtol=1e-6)
+
+    def test_rejects_bad_max_theta(self):
+        with pytest.raises(LensModelError):
+            BrownConradyLens(100.0, BrownConrady(), max_theta=2.0)
+
+
+@given(k1=st.floats(-0.05, 0.08), k2=st.floats(-0.01, 0.01),
+       ru=st.floats(0.01, 1.2))
+@settings(max_examples=60, deadline=None)
+def test_property_inverse_of_forward(k1, k2, ru):
+    """undistort(distort(r)) == r wherever the forward map is monotone."""
+    bc = BrownConrady(k1=k1, k2=k2)
+    # verify local monotonicity before asserting inversion
+    eps = 1e-5
+    if bc.distort_radius(np.array([ru + eps])) <= bc.distort_radius(np.array([ru])):
+        return
+    rd = bc.distort_radius(np.array([ru]))
+    back = bc.undistort_radius(rd)
+    if np.isnan(back).any():
+        return  # Newton declined: acceptable for near-fold configurations
+    assert back[0] == pytest.approx(ru, rel=1e-6, abs=1e-9)

@@ -1,0 +1,138 @@
+"""Cell BE platform model tests."""
+
+import numpy as np
+import pytest
+
+from repro.accel.cellbe import CellModel
+from repro.accel.platform import Workload
+from repro.errors import CapacityError, PlatformError
+
+
+@pytest.fixture()
+def cell():
+    return CellModel(spes=4, ppe_serial_ns=1_000)
+
+
+@pytest.fixture()
+def workload(small_field):
+    return Workload.from_field(small_field, mode="otf")
+
+
+@pytest.fixture()
+def workload_lut(small_field):
+    return Workload.from_field(small_field, mode="lut")
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(PlatformError):
+            CellModel(spes=0)
+        with pytest.raises(PlatformError):
+            CellModel(eib_bw_gbps=0.0)
+        with pytest.raises(PlatformError):
+            CellModel(code_bytes=300 * 1024)
+
+    def test_peak_scales_with_spes(self):
+        assert CellModel(spes=8).peak_gflops == 2 * CellModel(spes=4).peak_gflops
+
+
+class TestTiling:
+    def test_max_tile_rows_fits_budget(self, cell, workload):
+        rows = cell.max_tile_rows(workload, double_buffering=False)
+        jobs = cell._jobs(workload, rows)
+        budget = cell.usable_local_store(False)
+        assert max(j.working_set for j in jobs) <= budget
+
+    def test_double_buffering_halves_budget(self, cell, workload):
+        single = cell.max_tile_rows(workload, double_buffering=False)
+        double = cell.max_tile_rows(workload, double_buffering=True)
+        assert double <= single
+
+    def test_tiny_local_store_infeasible(self, workload):
+        # budget of 256 B (128 double-buffered) cannot hold one output row
+        tiny = CellModel(local_store_bytes=48 * 1024 + 256, code_bytes=48 * 1024)
+        with pytest.raises(CapacityError):
+            tiny.max_tile_rows(workload)
+
+    def test_max_tile_shape_column_split_fallback(self, workload):
+        # a store too small for full-width bands but fine for half-width
+        small = CellModel(local_store_bytes=56 * 1024, code_bytes=32 * 1024)
+        rows, cols = small.max_tile_shape(workload, double_buffering=True)
+        assert cols <= workload.out_width
+        assert rows >= 1
+
+    def test_simulate_rejects_oversized_explicit_tile(self, workload):
+        # whole-frame tile (~9 KB working set) vs a 4 KB double-buffer budget
+        small = CellModel(local_store_bytes=56 * 1024, code_bytes=48 * 1024)
+        with pytest.raises(CapacityError):
+            small.simulate(workload, tile_rows=workload.out_height,
+                           tile_cols=workload.out_width, double_buffering=True)
+
+    def test_jobs_cover_all_pixels(self, cell, workload):
+        jobs = cell._jobs(workload, 10, 20)
+        total = sum(j.tile.pixels for j in jobs)
+        assert total == workload.pixels
+
+
+class TestSimulation:
+    def test_deterministic(self, cell, workload):
+        a = cell.simulate(workload)
+        b = cell.simulate(workload)
+        assert a.frame_ns == b.frame_ns
+
+    def test_more_spes_not_slower(self, cell, workload):
+        times = [cell.simulate(workload, spes=s).frame_ns for s in (1, 2, 4)]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_compute_bound_otf_scales(self, cell, workload):
+        t1 = cell.simulate(workload, spes=1).frame_ns
+        t4 = cell.simulate(workload, spes=4).frame_ns
+        assert t1 / t4 > 2.0
+
+    def test_double_buffering_helps_compute_bound(self, workload):
+        # bicubic OTF: compute dominates, so overlap hides the DMA
+        cell = CellModel(spes=4, ppe_serial_ns=0)
+        wl = Workload.from_field(workload.field, method="bicubic", mode="otf")
+        single = cell.simulate(wl, double_buffering=False, tile_rows=4)
+        double = cell.simulate(wl, double_buffering=True, tile_rows=4)
+        assert double.frame_ns <= single.frame_ns
+
+    def test_lut_mode_is_dma_bound(self, cell, workload_lut):
+        rep = cell.simulate(workload_lut)
+        assert rep.bottleneck == "dma"
+
+    def test_bus_utilization_reported(self, cell, workload):
+        rep = cell.simulate(workload)
+        assert 0.0 <= rep.notes["bus_utilization"] <= 1.0
+
+    def test_serial_floor(self, workload):
+        cell = CellModel(spes=2, ppe_serial_ns=5_000_000)
+        assert cell.simulate(workload).frame_ns >= 5_000_000
+
+    def test_spe_bounds_checked(self, cell, workload):
+        with pytest.raises(PlatformError):
+            cell.simulate(workload, spes=0)
+        with pytest.raises(PlatformError):
+            cell.simulate(workload, spes=10)
+
+    def test_scaling_helper(self, cell, workload):
+        reports = cell.scaling(workload, spe_counts=[1, 2])
+        assert [r.notes["spes"] for r in reports] == [1, 2]
+
+    def test_estimate_frame_default(self, cell, workload):
+        rep = cell.estimate_frame(workload)
+        assert rep.notes["double_buffering"] is True
+
+    def test_dma_traffic_accounting(self, cell, workload):
+        rep = cell.simulate(workload)
+        # DMA volume must at least cover the output frame writeback
+        assert rep.notes["dma_bytes"] >= workload.frame_out_bytes()
+
+    def test_eib_contention_at_scale(self, small_field):
+        """With DMA-heavy LUT workloads, doubling SPEs stops helping."""
+        wl = Workload.from_field(small_field, mode="lut")
+        cell = CellModel(spes=8, ppe_serial_ns=0)
+        t4 = cell.simulate(wl, spes=4).frame_ns
+        t8 = cell.simulate(wl, spes=8).frame_ns
+        # dma-bound: near-zero benefit from more SPEs
+        assert t8 > t4 * 0.7

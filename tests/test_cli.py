@@ -1,0 +1,126 @@
+"""CLI tests (driven in-process through repro.cli.main)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.video.io import read_pgm, write_pgm
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+
+class TestSynth:
+    def test_writes_scene(self, tmp_path, capsys):
+        out = str(tmp_path / "scene.pgm")
+        assert main(["synth", out, "--scene", "checkerboard",
+                     "--width", "64", "--height", "64"]) == 0
+        img = read_pgm(out)
+        assert img.shape == (64, 64)
+        assert "wrote" in capsys.readouterr().out
+
+    def test_distorted_scene(self, tmp_path, capsys):
+        out = str(tmp_path / "fish.pgm")
+        assert main(["synth", out, "--scene", "circles", "--distort",
+                     "--width", "64", "--height", "64"]) == 0
+        img = read_pgm(out)
+        # distorted frame has black out-of-scene corners
+        assert img[0, 0] == 0
+
+    def test_all_scene_kinds(self, tmp_path):
+        for scene in ("checkerboard", "circles", "urban", "gradient", "grid"):
+            out = str(tmp_path / f"{scene}.pgm")
+            assert main(["synth", out, "--scene", scene,
+                         "--width", "48", "--height", "48"]) == 0
+
+
+class TestCorrect:
+    def test_roundtrip(self, tmp_path, capsys):
+        fish = str(tmp_path / "fish.pgm")
+        assert main(["synth", fish, "--scene", "checkerboard", "--distort",
+                     "--width", "96", "--height", "96"]) == 0
+        out = str(tmp_path / "corrected.pgm")
+        assert main(["correct", fish, out, "--zoom", "0.6",
+                     "--method", "bilinear"]) == 0
+        img = read_pgm(out)
+        assert img.shape == (96, 96)
+        assert "coverage" in capsys.readouterr().out
+
+    def test_tilted_view_and_size(self, tmp_path):
+        fish = str(tmp_path / "fish.pgm")
+        main(["synth", fish, "--distort", "--width", "64", "--height", "64"])
+        out = str(tmp_path / "view.pgm")
+        assert main(["correct", fish, out, "--pitch", "30", "--yaw", "-10",
+                     "--out-width", "48", "--out-height", "32"]) == 0
+        assert read_pgm(out).shape == (32, 48)
+
+    def test_missing_input_is_error(self, tmp_path, capsys):
+        out = str(tmp_path / "x.pgm")
+        assert main(["correct", str(tmp_path / "nope.pgm"), out]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_pgm_is_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.pgm"
+        bad.write_bytes(b"not a pgm")
+        assert main(["correct", str(bad), str(tmp_path / "o.pgm")]) == 1
+
+
+class TestCalibrate:
+    def test_recovers_from_rendered_grid(self, tmp_path, capsys):
+        target = str(tmp_path / "target.pgm")
+        assert main(["synth", target, "--scene", "grid", "--distort",
+                     "--width", "256", "--height", "256"]) == 0
+        assert main(["calibrate", target]) == 0
+        out = capsys.readouterr().out
+        assert "model:  equidistant" in out
+        assert "focal:" in out
+
+    def test_marker_count_mismatch_reported(self, tmp_path, capsys):
+        target = str(tmp_path / "target.pgm")
+        main(["synth", target, "--scene", "grid", "--distort",
+              "--width", "256", "--height", "256"])
+        assert main(["calibrate", target, "--rings", "2"]) == 1
+        assert "detected" in capsys.readouterr().out
+
+
+class TestBenchInfo:
+    def test_bench_t1(self, capsys):
+        assert main(["bench", "t1"]) == 0
+        assert "platform characteristics" in capsys.readouterr().out
+
+    def test_bench_unknown_id(self, capsys):
+        assert main(["bench", "F99"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "equidistant" in out
+        assert "gtx280" in out
+
+
+class TestMapInfo:
+    def test_prints_measured_properties(self, capsys):
+        assert main(["map-info", "--width", "128", "--height", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out
+        assert "gather lines/warp" in out
+        assert "minification" in out
+
+    def test_tilted_map_reports_partial_coverage(self, capsys):
+        assert main(["map-info", "--width", "128", "--height", "96",
+                     "--pitch", "55"]) == 0
+        out = capsys.readouterr().out
+        # a 55-degree tilt must lose part of the FOV
+        coverage_line = [l for l in out.splitlines() if "coverage" in l][0]
+        assert "100.0%" not in coverage_line

@@ -1,0 +1,82 @@
+"""Colour conversion tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.color import (
+    rgb_to_gray,
+    rgb_to_yuv,
+    subsample_420,
+    upsample_420,
+    yuv_to_rgb,
+)
+from repro.errors import ImageFormatError
+
+
+class TestGray:
+    def test_weights_sum_to_one(self):
+        white = np.full((2, 2, 3), 255, dtype=np.uint8)
+        np.testing.assert_array_equal(rgb_to_gray(white), 255)
+
+    def test_pure_green_heaviest(self):
+        def luma(channel):
+            img = np.zeros((1, 1, 3), dtype=np.uint8)
+            img[..., channel] = 255
+            return int(rgb_to_gray(img)[0, 0])
+        assert luma(1) > luma(0) > luma(2)
+
+    def test_rejects_gray_input(self):
+        with pytest.raises(ImageFormatError):
+            rgb_to_gray(np.zeros((4, 4), dtype=np.uint8))
+
+
+class TestYUVRoundtrip:
+    def test_roundtrip_uint8(self, rgb_image):
+        yuv = rgb_to_yuv(rgb_image)
+        back = yuv_to_rgb(yuv, dtype=np.uint8)
+        assert np.abs(back.astype(int) - rgb_image.astype(int)).max() <= 1
+
+    def test_gray_input_has_zero_chroma(self):
+        img = np.full((3, 3, 3), 100, dtype=np.uint8)
+        yuv = rgb_to_yuv(img)
+        np.testing.assert_allclose(yuv[..., 1:], 0.0, atol=1e-9)
+        np.testing.assert_allclose(yuv[..., 0], 100.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ImageFormatError):
+            rgb_to_yuv(np.zeros((4, 4)))
+        with pytest.raises(ImageFormatError):
+            yuv_to_rgb(np.zeros((4, 4, 2)))
+
+
+class TestChroma420:
+    def test_subsample_averages(self):
+        plane = np.array([[0.0, 4.0], [8.0, 12.0]])
+        out = subsample_420(plane)
+        assert out.shape == (1, 1)
+        assert out[0, 0] == pytest.approx(6.0)
+
+    def test_rejects_odd_dimensions(self):
+        with pytest.raises(ImageFormatError):
+            subsample_420(np.zeros((3, 4)))
+
+    def test_up_then_down_is_identity(self, rng):
+        small = rng.uniform(0, 255, size=(8, 8))
+        np.testing.assert_allclose(subsample_420(upsample_420(small)), small)
+
+    def test_upsample_shape(self):
+        out = upsample_420(np.zeros((3, 5)))
+        assert out.shape == (6, 10)
+
+    def test_ndim_validation(self):
+        with pytest.raises(ImageFormatError):
+            upsample_420(np.zeros((2, 2, 2)))
+
+
+@given(r=st.integers(0, 255), g=st.integers(0, 255), b=st.integers(0, 255))
+@settings(max_examples=100, deadline=None)
+def test_property_yuv_roundtrip_every_color(r, g, b):
+    img = np.array([[[r, g, b]]], dtype=np.uint8)
+    back = yuv_to_rgb(rgb_to_yuv(img), dtype=np.uint8)
+    assert np.abs(back.astype(int) - img.astype(int)).max() <= 1

@@ -1,0 +1,167 @@
+"""Forward rendering and synthetic stream tests (the key integration
+property: render through the lens, correct, recover the scene)."""
+
+import numpy as np
+import pytest
+
+from repro.core.intrinsics import CameraIntrinsics
+from repro.core.pipeline import FisheyeCorrector
+from repro.core.quality import psnr
+from repro.video.distort import FisheyeRenderer, render_fisheye, scene_camera_for_sensor
+from repro.video.stream import SyntheticStream, panning_crops
+from repro.video.synth import checkerboard, gradient, urban
+from repro.errors import GeometryError, ImageFormatError
+
+
+@pytest.fixture()
+def scene_cam(small_sensor, small_lens):
+    return scene_camera_for_sensor(small_sensor, small_lens, 64, 64,
+                                   scene_hfov=np.deg2rad(120.0))
+
+
+class TestRenderer:
+    def test_render_shape(self, scene_cam, small_sensor, small_lens):
+        r = FisheyeRenderer(scene_cam, small_lens, small_sensor)
+        out = r.render(gradient(64, 64))
+        assert out.shape == (64, 64)
+
+    def test_center_preserved(self, scene_cam, small_sensor, small_lens):
+        # the axis pixel sees the scene centre in both geometries
+        scene = gradient(64, 64)
+        out = render_fisheye(scene, scene_cam, small_lens, small_sensor)
+        assert abs(int(out[32, 32]) - int(scene[32, 32])) <= 3
+
+    def test_rejects_wrong_scene_size(self, scene_cam, small_sensor, small_lens):
+        r = FisheyeRenderer(scene_cam, small_lens, small_sensor)
+        with pytest.raises(GeometryError):
+            r.render(np.zeros((32, 32), dtype=np.uint8))
+
+    def test_coverage_reported(self, scene_cam, small_sensor, small_lens):
+        r = FisheyeRenderer(scene_cam, small_lens, small_sensor)
+        assert 0.0 < r.coverage() <= 1.0
+
+    def test_scene_camera_validation(self, small_sensor, small_lens):
+        with pytest.raises(GeometryError):
+            scene_camera_for_sensor(small_sensor, small_lens, 64, 64,
+                                    scene_hfov=np.pi)
+
+    def test_distortion_bends_straight_edges(self, scene_cam, small_sensor,
+                                             small_lens):
+        """An off-centre vertical edge is not a vertical line after the warp."""
+        scene = np.zeros((64, 64), dtype=np.uint8)
+        scene[:, 48:] = 255
+        warped = render_fisheye(scene, scene_cam, small_lens, small_sensor)
+        # find the edge column in several rows
+        cols = []
+        for row in (16, 32, 48):
+            cross = np.nonzero(warped[row] > 127)[0]
+            if cross.size:
+                cols.append(cross[0])
+        assert len(cols) == 3
+        assert max(cols) - min(cols) >= 2  # bowed, not straight
+
+
+class TestRoundTrip:
+    def test_render_then_correct_recovers_scene_center(self, scene_cam,
+                                                       small_sensor, small_lens):
+        """The headline integration property of the whole library."""
+        scene = urban(64, 64, seed=5)
+        fisheye = render_fisheye(scene, scene_cam, small_lens, small_sensor)
+        corrector = FisheyeCorrector.for_sensor(small_sensor, small_lens, 64, 64,
+                                                zoom=1.0, method="bilinear")
+        corrected = corrector.correct(fisheye)
+        # compare the central crop against the matching scene window
+        # zoom=1.0 output focal == lens focal; the scene camera focal differs,
+        # so compare against the scene resampled at the output's geometry.
+        from repro.core.interpolation import sample
+        from repro.core.quality import perspective_reference_coords
+
+        focal_out = float(small_lens.magnification(1e-4))
+        out_cam = CameraIntrinsics(fx=focal_out, fy=focal_out, cx=31.5, cy=31.5,
+                                   width=64, height=64)
+        exp_x, exp_y = perspective_reference_coords(out_cam, scene_cam)
+        reference = sample(scene, exp_x, exp_y, method="bilinear")
+        centre = np.s_[24:40, 24:40]
+        quality = psnr(reference[centre].astype(float),
+                       corrected[centre].astype(float), peak=255.0)
+        assert quality > 25.0
+
+
+class TestPanningCrops:
+    def test_count_and_shape(self):
+        world = gradient(64, 48)
+        crops = list(panning_crops(world, 32, 24, frames=5, step=4))
+        assert len(crops) == 5
+        assert all(c.shape == (24, 32) for c in crops)
+
+    def test_pan_moves(self):
+        world = gradient(64, 48)
+        crops = list(panning_crops(world, 32, 24, frames=3, step=8))
+        assert not np.array_equal(crops[0], crops[1])
+
+    def test_pan_reflects_at_borders(self):
+        world = checkerboard(40, 40, square=5)
+        crops = list(panning_crops(world, 32, 32, frames=20, step=3))
+        assert len(crops) == 20  # never runs off the world
+
+    def test_full_size_crop_static(self):
+        world = gradient(32, 32)
+        crops = list(panning_crops(world, 32, 32, frames=3, step=4))
+        for c in crops:
+            np.testing.assert_array_equal(c, world)
+
+    def test_validation(self):
+        with pytest.raises(ImageFormatError):
+            list(panning_crops(gradient(16, 16), 32, 8, frames=2))
+        with pytest.raises(ImageFormatError):
+            list(panning_crops(np.zeros((4, 4, 3), np.uint8), 2, 2, frames=1))
+        with pytest.raises(ImageFormatError):
+            list(panning_crops(gradient(16, 16), 8, 8, frames=0))
+
+
+class TestSyntheticStream:
+    def _stream(self, small_sensor, small_lens, frames=4):
+        scene_cam = scene_camera_for_sensor(small_sensor, small_lens, 48, 48)
+        renderer = FisheyeRenderer(scene_cam, small_lens, small_sensor)
+        world = urban(96, 96, seed=8)
+        return SyntheticStream(renderer, world, frames=frames, fps=25.0, step=6)
+
+    def test_yields_frames_with_timestamps(self, small_sensor, small_lens):
+        stream = self._stream(small_sensor, small_lens)
+        frames = list(stream)
+        assert len(frames) == len(stream) == 4
+        assert [f.index for f in frames] == [0, 1, 2, 3]
+        assert frames[2].timestamp == pytest.approx(2 / 25.0)
+
+    def test_frames_are_fisheye_sized(self, small_sensor, small_lens):
+        frame = next(iter(self._stream(small_sensor, small_lens)))
+        assert frame.data.shape == (64, 64)
+        assert frame.data.dtype == np.uint8
+
+    def test_content_changes_between_frames(self, small_sensor, small_lens):
+        frames = list(self._stream(small_sensor, small_lens, frames=3))
+        assert not np.array_equal(frames[0].data, frames[2].data)
+
+    def test_deterministic(self, small_sensor, small_lens):
+        a = [f.data for f in self._stream(small_sensor, small_lens, frames=2)]
+        b = [f.data for f in self._stream(small_sensor, small_lens, frames=2)]
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_validation(self, small_sensor, small_lens):
+        scene_cam = scene_camera_for_sensor(small_sensor, small_lens, 48, 48)
+        renderer = FisheyeRenderer(scene_cam, small_lens, small_sensor)
+        with pytest.raises(ImageFormatError):
+            SyntheticStream(renderer, urban(96, 96), frames=0)
+        with pytest.raises(ImageFormatError):
+            SyntheticStream(renderer, urban(96, 96), fps=0.0)
+
+    def test_end_to_end_with_corrector(self, small_sensor, small_lens):
+        from repro.core.pipeline import StreamStats
+
+        stream = self._stream(small_sensor, small_lens, frames=3)
+        corrector = FisheyeCorrector.for_sensor(small_sensor, small_lens, 64, 64,
+                                                zoom=0.6)
+        stats = StreamStats()
+        outs = [f.data.copy() for f in corrector.correct_stream(stream, stats=stats)]
+        assert len(outs) == 3
+        assert stats.frames == 3

@@ -1,0 +1,160 @@
+"""Edge-case and failure-injection tests across module boundaries.
+
+Small frames, degenerate views, extreme parameters, and hostile inputs
+— the situations a production library meets that the happy-path tests
+don't.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.intrinsics import CameraIntrinsics, FisheyeIntrinsics
+from repro.core.lens import EquidistantLens, StereographicLens
+from repro.core.mapping import RemapField, perspective_map
+from repro.core.remap import RemapLUT, remap
+from repro.errors import CapacityError, MappingError, ReproError
+
+
+class TestTinyFrames:
+    def test_3x3_correction(self):
+        sensor = FisheyeIntrinsics.centered(3, 3, focal=1.0)
+        lens = EquidistantLens(1.0)
+        out = CameraIntrinsics(fx=1.0, fy=1.0, cx=1.0, cy=1.0, width=3, height=3)
+        field = perspective_map(sensor, lens, out)
+        img = np.arange(9, dtype=np.uint8).reshape(3, 3)
+        assert remap(img, field).shape == (3, 3)
+
+    def test_1x1_source(self):
+        field = RemapField(np.zeros((4, 4)), np.zeros((4, 4)), 1, 1)
+        img = np.array([[77]], dtype=np.uint8)
+        out = RemapLUT(field).apply(img)
+        np.testing.assert_array_equal(out, 77)
+
+    def test_single_row_output(self):
+        field = RemapField(np.linspace(0, 7, 8)[None, :],
+                           np.zeros((1, 8)), 8, 8)
+        img = np.arange(64, dtype=np.uint8).reshape(8, 8)
+        assert RemapLUT(field).apply(img).shape == (1, 8)
+
+    def test_non_square_everything(self):
+        sensor = FisheyeIntrinsics.centered(40, 24, focal=7.0)
+        lens = EquidistantLens(7.0)
+        out = CameraIntrinsics(fx=5.0, fy=5.0, cx=10.0, cy=30.0,
+                               width=64, height=16)
+        field = perspective_map(sensor, lens, out)
+        img = np.zeros((24, 40), dtype=np.uint8)
+        assert remap(img, field).shape == (16, 64)
+
+
+class TestDegenerateViews:
+    def test_fully_out_of_fov_view(self, small_sensor, small_lens):
+        """A view pointing straight backwards sees nothing."""
+        out = CameraIntrinsics(fx=40.0, fy=40.0, cx=31.5, cy=31.5,
+                               width=64, height=64)
+        field = perspective_map(small_sensor, small_lens, out, pitch=np.pi)
+        assert field.coverage() == 0.0
+        img = np.full((64, 64), 99, dtype=np.uint8)
+        corrected = RemapLUT(field, fill=5).apply(img)
+        np.testing.assert_array_equal(corrected, 5)
+
+    def test_extreme_zoom_in(self, small_sensor, small_lens):
+        out = CameraIntrinsics(fx=1e6, fy=1e6, cx=31.5, cy=31.5,
+                               width=64, height=64)
+        field = perspective_map(small_sensor, small_lens, out)
+        # the whole output looks at (essentially) one source point
+        assert np.nanmax(field.map_x) - np.nanmin(field.map_x) < 0.1
+
+    def test_stereographic_near_180(self):
+        """Stereographic radius explodes near 180 degrees but stays finite
+        inside the domain."""
+        lens = StereographicLens(10.0)
+        r = lens.angle_to_radius(np.pi * 0.99)
+        assert np.isfinite(r) and r > 1000.0
+
+    def test_roll_only_view_is_rotation(self, small_sensor, small_lens,
+                                        small_out):
+        """Pure roll permutes the map without changing sampled radii."""
+        plain = perspective_map(small_sensor, small_lens, small_out)
+        rolled = perspective_map(small_sensor, small_lens, small_out,
+                                 roll=np.pi / 2)
+        r_plain = np.hypot(plain.map_x - small_sensor.cx,
+                           plain.map_y - small_sensor.cy)
+        r_rolled = np.hypot(rolled.map_x - small_sensor.cx,
+                            rolled.map_y - small_sensor.cy)
+        assert np.nanmax(r_plain) == pytest.approx(np.nanmax(r_rolled), rel=1e-6)
+
+
+class TestHostileMapInputs:
+    def test_all_nan_field_fills_everything(self, random_image):
+        field = RemapField(np.full((8, 8), np.nan), np.full((8, 8), np.nan),
+                           64, 64)
+        out = RemapLUT(field, fill=200).apply(random_image)
+        np.testing.assert_array_equal(out, 200)
+
+    def test_inf_coordinates_treated_as_invalid(self, random_image):
+        mx = np.full((4, 4), np.inf)
+        my = np.zeros((4, 4))
+        field = RemapField(mx, my, 64, 64)
+        out = RemapLUT(field, fill=3).apply(random_image)
+        np.testing.assert_array_equal(out, 3)
+
+    def test_huge_negative_coordinates(self, random_image):
+        field = RemapField(np.full((4, 4), -1e12), np.zeros((4, 4)), 64, 64)
+        out = RemapLUT(field, fill=1).apply(random_image)
+        np.testing.assert_array_equal(out, 1)
+
+
+class TestCapacityCliffs:
+    def test_cell_rejects_giant_pixelformat(self, small_field):
+        """RGB at 3 bytes/px can push the working set past the store."""
+        from repro.accel.cellbe import CellModel
+        from repro.accel.platform import Workload
+
+        tiny = CellModel(local_store_bytes=49 * 1024, code_bytes=48 * 1024)
+        workload = Workload.from_field(small_field, pixel_bytes=3, mode="lut")
+        with pytest.raises(CapacityError):
+            tiny.max_tile_rows(workload)
+
+    def test_fpga_feasibility_flips_with_buffer_size(self, small_field):
+        from repro.accel.fpga import FPGAModel
+        from repro.accel.platform import Workload
+
+        workload = Workload.from_field(small_field)
+        big = FPGAModel(line_buffer_bytes=1 << 20)
+        small = FPGAModel(line_buffer_bytes=128)
+        assert big.streaming_feasible(workload)
+        assert not small.streaming_feasible(workload)
+
+
+class TestErrorHierarchyInPractice:
+    def test_one_except_clause_covers_the_library(self, small_sensor, small_lens):
+        """Every failure below surfaces as ReproError."""
+        failures = [
+            lambda: perspective_map(small_sensor, small_lens,
+                                    CameraIntrinsics(fx=-1, fy=1, cx=0, cy=0,
+                                                     width=4, height=4)),
+            lambda: RemapField(np.zeros((2, 2)), np.zeros((3, 3)), 4, 4),
+            lambda: EquidistantLens(-5.0),
+        ]
+        for fail in failures:
+            with pytest.raises(ReproError):
+                fail()
+
+    def test_mapping_errors_are_value_errors(self):
+        with pytest.raises(ValueError):
+            RemapField(np.zeros((2, 2)), np.zeros((3, 3)), 4, 4)
+
+
+class TestDtypeMatrix:
+    @pytest.mark.parametrize("dtype", [np.uint8, np.uint16, np.float32, np.float64])
+    def test_remap_preserves_dtype(self, small_field, dtype):
+        img = np.zeros((64, 64), dtype=dtype)
+        assert remap(img, small_field).dtype == dtype
+        assert RemapLUT(small_field).apply(img).dtype == dtype
+
+    def test_integer_saturation_on_bicubic_overshoot(self, small_field):
+        """Catmull-Rom can overshoot; uint8 output must clip, not wrap."""
+        img = np.zeros((64, 64), dtype=np.uint8)
+        img[::2] = 255  # maximal-contrast stripes
+        out = remap(img, small_field, method="bicubic")
+        assert out.min() >= 0 and out.max() <= 255

@@ -1,0 +1,214 @@
+"""Tests for the extension subsystems: energy model, stream prefetcher,
+YUV420 pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.accel.energy import POWER_SPECS, PowerSpec, energy_report
+from repro.accel.platform import Workload
+from repro.accel.presets import cell_ps3, fpga_midrange, gtx280, xeon_2010
+from repro.sim.cache import CacheConfig, CacheSim
+from repro.sim.prefetch import PrefetchConfig, PrefetchingCache
+from repro.video.yuv import YUV420Frame, YUVCorrector
+from repro.errors import ImageFormatError, MappingError, PlatformError, SimulationError
+
+
+# ----------------------------------------------------------------------
+# Energy model
+# ----------------------------------------------------------------------
+class TestEnergy:
+    @pytest.fixture()
+    def workload(self, small_field):
+        return Workload.from_field(small_field, mode="otf")
+
+    def test_report_fields_consistent(self, workload):
+        rep = xeon_2010().estimate_frame(workload)
+        e = energy_report(rep)
+        assert e.joules_per_frame > 0
+        assert e.watts_average <= POWER_SPECS["xeon4"].active_w + 1e-9
+        assert e.watts_average >= POWER_SPECS["xeon4"].idle_w - 1e-9
+        assert e.frames_per_joule == pytest.approx(1.0 / e.joules_per_frame)
+
+    def test_platform_name_prefix_resolution(self, workload):
+        rep = cell_ps3().simulate(workload)
+        e = energy_report(rep)  # platform string is "cell[6spe+db]"
+        assert e.platform.startswith("cell")
+
+    def test_unknown_platform_rejected(self, workload):
+        rep = xeon_2010().estimate_frame(workload)
+        rep.platform = "mystery[1]"
+        with pytest.raises(PlatformError):
+            energy_report(rep)
+
+    def test_explicit_spec(self, workload):
+        rep = xeon_2010().estimate_frame(workload)
+        e = energy_report(rep, spec=PowerSpec("custom", active_w=10.0, idle_w=1.0))
+        assert e.watts_average <= 10.0
+
+    def test_fpga_most_efficient(self, workload):
+        """The era's headline: FPGAs win performance-per-watt."""
+        reports = {}
+        for platform in (xeon_2010(), gtx280(), fpga_midrange()):
+            rep = platform.estimate_frame(workload)
+            reports[platform.name] = energy_report(rep).mpixels_per_joule
+        assert reports["fpga"] > reports["xeon4"]
+        assert reports["fpga"] > reports["gtx280"]
+
+    def test_spec_validation(self):
+        with pytest.raises(PlatformError):
+            PowerSpec("x", active_w=0.0, idle_w=0.0)
+        with pytest.raises(PlatformError):
+            PowerSpec("x", active_w=5.0, idle_w=9.0)
+
+
+# ----------------------------------------------------------------------
+# Stream prefetcher
+# ----------------------------------------------------------------------
+class TestPrefetcher:
+    def cfg(self):
+        return CacheConfig(size_bytes=1024, line_bytes=64, ways=2)
+
+    def test_sequential_stream_mostly_prefetched(self):
+        pf = PrefetchingCache(self.cfg(), PrefetchConfig(depth=4))
+        trace = np.arange(0, 64 * 64, 64)  # one access per line, ascending
+        stats = pf.replay(trace)
+        plain = CacheSim(self.cfg()).replay(trace)
+        assert stats.hit_rate > plain.hit_rate
+        assert stats.prefetch_hits > 0
+
+    def test_descending_stream_detected(self):
+        pf = PrefetchingCache(self.cfg(), PrefetchConfig(depth=4))
+        trace = np.arange(64 * 63, -1, -64)
+        stats = pf.replay(trace)
+        assert stats.hit_rate > 0.5
+
+    def test_random_trace_low_accuracy(self):
+        rng = np.random.default_rng(3)
+        trace = rng.integers(0, 1 << 20, size=400) * 64
+        pf = PrefetchingCache(self.cfg(), PrefetchConfig(depth=2))
+        stats = pf.replay(trace)
+        # no streams to confirm: very few prefetches fire, and almost
+        # none of those are used
+        assert stats.accuracy < 0.2
+
+    def test_demand_accounting_excludes_prefetches(self):
+        pf = PrefetchingCache(self.cfg())
+        trace = np.arange(0, 64 * 16, 64)
+        stats = pf.replay(trace)
+        assert stats.accesses == 16
+
+    def test_traffic_includes_prefetches(self):
+        pf = PrefetchingCache(self.cfg(), PrefetchConfig(depth=4))
+        trace = np.arange(0, 64 * 32, 64)
+        stats = pf.replay(trace)
+        assert stats.traffic_bytes(64) >= stats.misses * 64
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            PrefetchConfig(streams=0)
+        pf = PrefetchingCache(self.cfg())
+        with pytest.raises(SimulationError):
+            pf.access(np.array([-1]))
+
+    def test_helps_row_major_gather_trace(self, small_field):
+        """The A3 question, in miniature."""
+        from repro.core.remap import RemapLUT
+        from repro.sim.trace import gather_trace
+
+        lut = RemapLUT(small_field, method="nearest")
+        trace = gather_trace(lut, pixel_bytes=4)
+        cfg = CacheConfig(size_bytes=2048, line_bytes=64, ways=4)
+        plain = CacheSim(cfg).replay(trace)
+        pf = PrefetchingCache(cfg, PrefetchConfig(depth=2)).replay(trace)
+        assert pf.hit_rate >= plain.hit_rate - 1e-9
+
+
+# ----------------------------------------------------------------------
+# YUV 4:2:0 pipeline
+# ----------------------------------------------------------------------
+class TestYUV420Frame:
+    def test_from_rgb_roundtrip_flat(self):
+        rgb = np.full((16, 16, 3), 120, dtype=np.uint8)
+        frame = YUV420Frame.from_rgb(rgb)
+        back = frame.to_rgb()
+        assert np.abs(back.astype(int) - 120).max() <= 2
+
+    def test_plane_shapes(self, rgb_image):
+        frame = YUV420Frame.from_rgb(rgb_image)
+        assert frame.y.shape == (64, 64)
+        assert frame.u.shape == (32, 32)
+        assert frame.nbytes == 64 * 64 + 2 * 32 * 32
+
+    def test_validation(self):
+        with pytest.raises(ImageFormatError):
+            YUV420Frame(np.zeros((5, 4)), np.zeros((2, 2)), np.zeros((2, 2)))
+        with pytest.raises(ImageFormatError):
+            YUV420Frame(np.zeros((4, 4)), np.zeros((3, 2)), np.zeros((2, 2)))
+
+
+class TestYUVCorrector:
+    @pytest.fixture()
+    def corrector(self, small_sensor, small_lens):
+        return YUVCorrector(small_sensor, small_lens, 64, 64, zoom=0.6)
+
+    def test_output_planes(self, corrector, rgb_image):
+        frame = YUV420Frame.from_rgb(rgb_image)
+        out = corrector.correct(frame)
+        assert out.y.shape == (64, 64)
+        assert out.u.shape == (32, 32)
+
+    def test_luma_matches_gray_pipeline(self, corrector, small_sensor,
+                                        small_lens, rgb_image):
+        """The Y plane must be corrected with the same geometry as a
+        grayscale correction of the same view."""
+        from repro.core.pipeline import FisheyeCorrector
+
+        frame = YUV420Frame.from_rgb(rgb_image)
+        gray = FisheyeCorrector.for_sensor(small_sensor, small_lens, 64, 64,
+                                           zoom=0.6)
+        out_y = corrector.correct(frame).y
+        ref_y = gray.correct(frame.y)
+        assert np.abs(out_y.astype(int) - ref_y.astype(int)).max() <= 1
+
+    def test_chroma_geometry_consistent(self, corrector):
+        """The chroma map must be the luma map at exactly half scale."""
+        lx = corrector.luma_field.map_x
+        cx = corrector.chroma_field.map_x
+        # luma coordinate of chroma sample (i, j) is 2 * c + 0.5
+        sampled = cx * 2.0 + 0.5
+        np.testing.assert_allclose(sampled[8, 8], lx[16:18, 16:18].mean(),
+                                   atol=0.6)
+
+    def test_neutral_chroma_preserved(self, corrector, small_sensor):
+        gray_rgb = np.full((64, 64, 3), 90, dtype=np.uint8)
+        out = corrector.correct(YUV420Frame.from_rgb(gray_rgb))
+        assert np.abs(out.u.astype(int) - 128).max() <= 1
+        assert np.abs(out.v.astype(int) - 128).max() <= 1
+
+    def test_work_pixels_ratio(self, corrector):
+        assert corrector.work_pixels() == 64 * 64 + 2 * 32 * 32
+        # 1.5x luma, vs 3x for RGB
+        assert corrector.work_pixels() / (64 * 64) == pytest.approx(1.5)
+
+    def test_validation(self, small_sensor, small_lens):
+        with pytest.raises(MappingError):
+            YUVCorrector(small_sensor, small_lens, 63, 64)
+        with pytest.raises(MappingError):
+            YUVCorrector(small_sensor, small_lens, 64, 64, zoom=0.0)
+
+    def test_frame_size_checked(self, corrector):
+        bad = YUV420Frame(np.zeros((32, 32), np.uint8),
+                          np.zeros((16, 16), np.uint8),
+                          np.zeros((16, 16), np.uint8))
+        with pytest.raises(MappingError):
+            corrector.correct(bad)
+
+    def test_end_to_end_color_scene(self, small_sensor, small_lens):
+        """Correct a coloured scene and check hue survives in the centre."""
+        rgb = np.zeros((64, 64, 3), dtype=np.uint8)
+        rgb[:, :, 0] = 200  # red-dominant scene
+        rgb[:, :, 2] = 40
+        corrector = YUVCorrector(small_sensor, small_lens, 64, 64, zoom=1.0)
+        out = corrector.correct(YUV420Frame.from_rgb(rgb)).to_rgb()
+        centre = out[28:36, 28:36].reshape(-1, 3).mean(axis=0)
+        assert centre[0] > centre[2] + 50  # still red-dominant

@@ -1,0 +1,56 @@
+"""Error hierarchy and public API surface tests."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_value_error_compatibility(self):
+        # geometry/validation errors are also ValueError for ergonomic catching
+        assert issubclass(errors.GeometryError, ValueError)
+        assert issubclass(errors.MappingError, ValueError)
+        assert issubclass(errors.PlatformError, ValueError)
+
+    def test_capacity_is_platform_error(self):
+        assert issubclass(errors.CapacityError, errors.PlatformError)
+
+    def test_single_except_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CalibrationError("x")
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_headline_classes_exported(self):
+        for name in ("FisheyeCorrector", "RemapLUT", "EquidistantLens",
+                     "FisheyeIntrinsics", "perspective_map", "psnr"):
+            assert name in repro.__all__
+
+    def test_docstring_quickstart_runs(self):
+        import doctest
+
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+
+    def test_subpackages_importable(self):
+        import repro.accel
+        import repro.bench
+        import repro.parallel
+        import repro.sim
+        import repro.video
+
+        assert repro.accel.kernel_spec is not None
+        assert repro.bench.run_experiment is not None

@@ -1,0 +1,106 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.sim.event import EventQueue, ms, ns, ns_to_seconds, seconds_to_ns, us
+from repro.errors import SimulationError
+
+
+class TestTimeHelpers:
+    def test_conversions(self):
+        assert us(1.5) == 1500
+        assert ms(2.0) == 2_000_000
+        assert seconds_to_ns(0.001) == 1_000_000
+        assert ns_to_seconds(1_000_000_000) == 1.0
+        assert ns(3.6) == 4
+
+
+class TestEventQueue:
+    def test_runs_in_time_order(self):
+        q = EventQueue()
+        log = []
+        q.schedule(30, lambda: log.append("c"))
+        q.schedule(10, lambda: log.append("a"))
+        q.schedule(20, lambda: log.append("b"))
+        q.run()
+        assert log == ["a", "b", "c"]
+        assert q.now == 30
+
+    def test_tie_break_by_priority_then_seq(self):
+        q = EventQueue()
+        log = []
+        q.schedule(10, lambda: log.append("low"), priority=5)
+        q.schedule(10, lambda: log.append("hi"), priority=0)
+        q.schedule(10, lambda: log.append("low2"), priority=5)
+        q.run()
+        assert log == ["hi", "low", "low2"]
+
+    def test_events_can_schedule_events(self):
+        q = EventQueue()
+        log = []
+
+        def first():
+            log.append(q.now)
+            q.schedule(5, lambda: log.append(q.now))
+
+        q.schedule(10, first)
+        q.run()
+        assert log == [10, 15]
+
+    def test_cancel(self):
+        q = EventQueue()
+        log = []
+        ev = q.schedule(10, lambda: log.append("x"))
+        q.cancel(ev)
+        q.run()
+        assert log == []
+        assert q.processed == 0
+
+    def test_negative_delay_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.schedule(-1, lambda: None)
+
+    def test_schedule_at(self):
+        q = EventQueue()
+        log = []
+        q.schedule_at(42, lambda: log.append(q.now))
+        q.run()
+        assert log == [42]
+
+    def test_schedule_at_past_rejected(self):
+        q = EventQueue()
+        q.schedule(10, lambda: None)
+        q.run()
+        with pytest.raises(SimulationError):
+            q.schedule_at(5, lambda: None)
+
+    def test_run_until_partial(self):
+        q = EventQueue()
+        log = []
+        q.schedule(10, lambda: log.append("a"))
+        q.schedule(30, lambda: log.append("b"))
+        q.run_until(20)
+        assert log == ["a"]
+        assert q.now == 20
+        q.run()
+        assert log == ["a", "b"]
+
+    def test_run_until_backwards_rejected(self):
+        q = EventQueue()
+        q.run_until(50)
+        with pytest.raises(SimulationError):
+            q.run_until(10)
+
+    def test_event_budget(self):
+        q = EventQueue()
+
+        def loop():
+            q.schedule(1, loop)
+
+        q.schedule(1, loop)
+        with pytest.raises(SimulationError):
+            q.run(max_events=100)
+
+    def test_step_returns_false_when_idle(self):
+        assert EventQueue().step() is False

@@ -1,0 +1,130 @@
+"""Fixed-point LUT tests: quantization invariants and integer kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fixedpoint import FixedPointLUT, max_abs_weight_error, quantize_weights
+from repro.core.remap import RemapLUT
+from repro.errors import InterpolationError, MappingError
+
+
+class TestQuantizeWeights:
+    def test_rows_sum_to_scale(self):
+        rng = np.random.default_rng(0)
+        w = rng.dirichlet(np.ones(4), size=50)  # rows sum to 1
+        for bits in (2, 5, 8, 12):
+            q = quantize_weights(w, bits)
+            np.testing.assert_array_equal(q.sum(axis=1), 1 << bits)
+
+    def test_zero_rows_stay_zero(self):
+        q = quantize_weights(np.zeros((3, 4)), 8)
+        np.testing.assert_array_equal(q, 0)
+
+    def test_error_bounded_by_lsb(self):
+        rng = np.random.default_rng(1)
+        w = rng.dirichlet(np.ones(4), size=100)
+        for bits in (4, 8):
+            err = max_abs_weight_error(w, bits)
+            # each weight is rounded to the nearest LSB; the balancing
+            # correction adds at most a few LSBs on the largest tap
+            assert err <= 4.0 / (1 << bits)
+
+    def test_error_decreases_with_bits(self):
+        rng = np.random.default_rng(2)
+        w = rng.dirichlet(np.ones(4), size=64)
+        errs = [max_abs_weight_error(w, b) for b in (2, 4, 6, 8, 10)]
+        assert all(a >= b for a, b in zip(errs, errs[1:]))
+
+    def test_bits_validation(self):
+        with pytest.raises(InterpolationError):
+            quantize_weights(np.ones((1, 4)) * 0.25, 0)
+        with pytest.raises(InterpolationError):
+            quantize_weights(np.ones((1, 4)) * 0.25, 15)
+
+    def test_negative_weights_supported(self):
+        # bicubic rows contain negative lobes but still sum to 1
+        w = np.array([[-0.0625, 0.5625, 0.5625, -0.0625]])
+        q = quantize_weights(w, 8)
+        assert q.sum() == 256
+        assert (q < 0).any()
+
+
+class TestFixedPointLUT:
+    def test_matches_float_lut_at_high_precision(self, small_field, random_image):
+        float_out = RemapLUT(small_field).apply(random_image).astype(int)
+        fp_out = FixedPointLUT(small_field, frac_bits=12).apply(random_image).astype(int)
+        assert np.abs(float_out - fp_out).max() <= 1
+
+    def test_error_monotone_in_bits(self, small_field, random_image):
+        reference = RemapLUT(small_field).apply(random_image).astype(np.float64)
+        errs = []
+        for bits in (2, 4, 8):
+            out = FixedPointLUT(small_field, frac_bits=bits).apply(random_image)
+            errs.append(float(np.abs(out.astype(np.float64) - reference).mean()))
+        assert errs[0] >= errs[1] >= errs[2]
+
+    def test_rejects_float_frames(self, small_field):
+        fp = FixedPointLUT(small_field)
+        with pytest.raises(MappingError):
+            fp.apply(np.zeros((64, 64), dtype=np.float32))
+
+    def test_rejects_wrong_geometry(self, small_field):
+        fp = FixedPointLUT(small_field)
+        with pytest.raises(MappingError):
+            fp.apply(np.zeros((32, 32), dtype=np.uint8))
+
+    def test_nearest_is_exact(self, small_field, random_image):
+        # nearest has a single weight of exactly 1.0: quantization is lossless
+        fp = FixedPointLUT(small_field, method="nearest", frac_bits=4)
+        flt = RemapLUT(small_field, method="nearest")
+        np.testing.assert_array_equal(fp.apply(random_image), flt.apply(random_image))
+
+    def test_index_dtype_capacity_checked(self, small_field):
+        with pytest.raises(MappingError):
+            FixedPointLUT(small_field, index_dtype=np.int8)
+
+    def test_masked_pixels_filled(self, tilted_field, random_image):
+        fp = FixedPointLUT(tilted_field, fill=9)
+        out = fp.apply(random_image)
+        invalid = ~tilted_field.valid_mask()
+        np.testing.assert_array_equal(out[invalid], 9)
+
+    def test_packed_entry_bytes_layouts(self, small_field):
+        near = FixedPointLUT(small_field, method="nearest", frac_bits=8)
+        bil = FixedPointLUT(small_field, method="bilinear", frac_bits=8)
+        assert near.packed_entry_bytes() == 4.0
+        assert bil.packed_entry_bytes() == 6.0
+        assert bil.entry_bytes() > bil.packed_entry_bytes()
+
+    def test_uint16_frames(self, small_field, rng):
+        frame = rng.integers(0, 65535, size=(64, 64), dtype=np.uint16)
+        out = FixedPointLUT(small_field, frac_bits=10).apply(frame)
+        assert out.dtype == np.uint16
+
+    def test_multichannel(self, small_field, rgb_image):
+        out = FixedPointLUT(small_field).apply(rgb_image)
+        assert out.shape == (64, 64, 3)
+
+
+@given(bits=st.integers(2, 12))
+@settings(max_examples=11, deadline=None)
+def test_property_brightness_preserved_on_flat_frames(bits):
+    """Quantized interpolation of a constant frame is exactly constant.
+
+    This is the invariant the weight re-balancing buys: without it,
+    flat regions would shift brightness by the rounding residue.
+    """
+    from repro.core.mapping import identity_map
+
+    rng = np.random.default_rng(bits)
+    # a slightly perturbed identity map so fractions are non-trivial
+    f = identity_map(16, 16)
+    f.map_x += rng.uniform(0.05, 0.95, size=f.map_x.shape)
+    f.map_y += rng.uniform(0.05, 0.95, size=f.map_y.shape)
+    f.map_x = np.clip(f.map_x, 0, 14.9)
+    f.map_y = np.clip(f.map_y, 0, 14.9)
+    field = type(f)(f.map_x, f.map_y, 16, 16)
+    frame = np.full((16, 16), 173, dtype=np.uint8)
+    out = FixedPointLUT(field, frac_bits=bits).apply(frame)
+    np.testing.assert_array_equal(out, 173)

@@ -1,0 +1,120 @@
+"""Geometry helper tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import geometry
+from repro.errors import GeometryError
+
+
+class TestPixelGrid:
+    def test_shapes_and_values(self):
+        xs, ys = geometry.pixel_grid(3, 4)
+        assert xs.shape == (3, 4) and ys.shape == (3, 4)
+        assert xs[0, 2] == 2.0 and ys[2, 0] == 2.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(GeometryError):
+            geometry.pixel_grid(0, 5)
+        with pytest.raises(GeometryError):
+            geometry.pixel_grid(5, -1)
+
+    def test_dtype_respected(self):
+        xs, _ = geometry.pixel_grid(2, 2, dtype=np.float32)
+        assert xs.dtype == np.float32
+
+
+class TestPolar:
+    def test_roundtrip(self):
+        xs = np.array([3.0, -1.0, 0.0])
+        ys = np.array([4.0, 2.0, -5.0])
+        r, phi = geometry.polar_from_cartesian(xs, ys, cx=1.0, cy=-1.0)
+        bx, by = geometry.cartesian_from_polar(r, phi, cx=1.0, cy=-1.0)
+        np.testing.assert_allclose(bx, xs, atol=1e-12)
+        np.testing.assert_allclose(by, ys, atol=1e-12)
+
+    def test_radius_from_center_matches_hypot(self):
+        r = geometry.radius_from_center(3.0, 4.0, 0.0, 0.0)
+        assert r == pytest.approx(5.0)
+
+
+class TestRotation:
+    def test_identity(self):
+        np.testing.assert_allclose(geometry.rotation_matrix_ypr(), np.eye(3), atol=1e-15)
+
+    def test_orthonormal(self):
+        m = geometry.rotation_matrix_ypr(0.3, -0.7, 1.1)
+        np.testing.assert_allclose(m @ m.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(m) == pytest.approx(1.0)
+
+    def test_yaw_rotates_forward_to_side(self):
+        m = geometry.rotation_matrix_ypr(yaw=np.pi / 2)
+        fwd = m @ np.array([0.0, 0.0, 1.0])
+        np.testing.assert_allclose(fwd, [1.0, 0.0, 0.0], atol=1e-12)
+
+    def test_pitch_rotates_forward_up(self):
+        m = geometry.rotation_matrix_ypr(pitch=np.pi / 2)
+        fwd = m @ np.array([0.0, 0.0, 1.0])
+        np.testing.assert_allclose(fwd, [0.0, -1.0, 0.0], atol=1e-12)
+
+
+class TestRays:
+    def test_center_pixel_points_forward(self):
+        rays = geometry.rays_from_pixels(10.0, 10.0, fx=5.0, fy=5.0, cx=10.0, cy=10.0)
+        np.testing.assert_allclose(rays, [0.0, 0.0, 1.0], atol=1e-12)
+
+    def test_unit_length(self):
+        xs, ys = geometry.pixel_grid(8, 8)
+        rays = geometry.rays_from_pixels(xs, ys, 4.0, 4.0, 3.5, 3.5)
+        np.testing.assert_allclose(np.linalg.norm(rays, axis=-1), 1.0, atol=1e-12)
+
+    def test_rejects_nonpositive_focal(self):
+        with pytest.raises(GeometryError):
+            geometry.rays_from_pixels(0.0, 0.0, fx=0.0, fy=1.0, cx=0, cy=0)
+
+    def test_rejects_bad_rotation_shape(self):
+        with pytest.raises(GeometryError):
+            geometry.rays_from_pixels(0.0, 0.0, 1.0, 1.0, 0.0, 0.0,
+                                      rotation=np.eye(2))
+
+    def test_angles_from_rays_axis(self):
+        theta, _ = geometry.angles_from_rays(np.array([0.0, 0.0, 1.0]))
+        assert float(theta) == pytest.approx(0.0)
+
+    def test_angles_from_rays_90deg(self):
+        theta, phi = geometry.angles_from_rays(np.array([1.0, 0.0, 0.0]))
+        assert float(theta) == pytest.approx(np.pi / 2)
+        assert float(phi) == pytest.approx(0.0)
+
+    def test_angles_rejects_bad_shape(self):
+        with pytest.raises(GeometryError):
+            geometry.angles_from_rays(np.zeros((4, 2)))
+
+
+class TestNormalizeRows:
+    def test_zero_rows_stay_zero(self):
+        out = geometry.normalize_rows(np.zeros((3, 3)))
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_normalizes(self):
+        out = geometry.normalize_rows(np.array([[3.0, 4.0, 0.0]]))
+        np.testing.assert_allclose(out, [[0.6, 0.8, 0.0]])
+
+
+@given(yaw=st.floats(-np.pi, np.pi), pitch=st.floats(-1.5, 1.5),
+       roll=st.floats(-np.pi, np.pi))
+@settings(max_examples=80, deadline=None)
+def test_property_rotation_preserves_length(yaw, pitch, roll):
+    m = geometry.rotation_matrix_ypr(yaw, pitch, roll)
+    v = np.array([0.2, -0.5, 0.7])
+    assert np.linalg.norm(m @ v) == pytest.approx(np.linalg.norm(v), rel=1e-10)
+
+
+@given(x=st.floats(-100, 100), y=st.floats(-100, 100))
+@settings(max_examples=80, deadline=None)
+def test_property_polar_roundtrip(x, y):
+    r, phi = geometry.polar_from_cartesian(x, y)
+    bx, by = geometry.cartesian_from_polar(r, phi)
+    assert float(bx) == pytest.approx(x, abs=1e-9)
+    assert float(by) == pytest.approx(y, abs=1e-9)

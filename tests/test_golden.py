@@ -1,0 +1,94 @@
+"""Golden-value regression tests for the deterministic platform models.
+
+The models are pure functions of their parameters and the (seeded,
+deterministic) coordinate fields, so their outputs are pinned exactly.
+A legitimate model change must regenerate the goldens — rerun the
+generation snippet documented in ``tests/golden/model_outputs.json``'s
+sibling comment below — and justify the diff in the commit.
+
+Regenerate with:
+
+    python - <<'EOF'
+    # (see repository history: the generator enumerates VGA/720p x
+    #  lut/otf over sequential, xeon16, cell, gtx280, fpga)
+    EOF
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.accel import presets
+from repro.bench.harness import standard_workload
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
+                           "model_outputs.json")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+CASES = ["VGA/lut", "VGA/otf", "720p/lut", "720p/otf"]
+
+
+def _workload(case):
+    res, mode = case.split("/")
+    return standard_workload(res, mode=mode)
+
+
+@pytest.mark.parametrize("case", CASES)
+class TestWorkloadMeasurements:
+    def test_coverage(self, case, golden):
+        w = _workload(case)
+        assert w.coverage == pytest.approx(golden[case]["workload"]["coverage"],
+                                           rel=1e-9)
+
+    def test_source_footprint(self, case, golden):
+        w = _workload(case)
+        assert w.source_footprint == pytest.approx(
+            golden[case]["workload"]["source_footprint"], rel=1e-9)
+
+    def test_gather_lines(self, case, golden):
+        w = _workload(case)
+        assert w.gather_lines_per_warp == pytest.approx(
+            golden[case]["workload"]["gather_lines_per_warp"], rel=1e-9)
+
+
+@pytest.mark.parametrize("case", CASES)
+class TestModelOutputs:
+    def test_sequential(self, case, golden):
+        w = _workload(case)
+        rep = presets.sequential_reference().estimate_frame(w, threads=1)
+        assert rep.frame_ns == golden[case]["sequential_frame_ns"]
+
+    def test_xeon16_scaling_points(self, case, golden):
+        w = _workload(case)
+        smp = presets.xeon_modern()
+        for t, expected in golden[case]["xeon16_frame_ns"].items():
+            assert smp.estimate_frame(w, threads=int(t)).frame_ns == expected
+
+    def test_cell_configurations(self, case, golden):
+        w = _workload(case)
+        cell = presets.cell_ps3()
+        g = golden[case]["cell_frame_ns"]
+        assert cell.simulate(w, spes=1, double_buffering=False).frame_ns == g["1_single"]
+        assert cell.simulate(w, spes=6, double_buffering=False).frame_ns == g["6_single"]
+        assert cell.simulate(w, spes=6, double_buffering=True).frame_ns == g["6_double"]
+
+    def test_gpu_configurations(self, case, golden):
+        w = _workload(case)
+        gpu = presets.gtx280()
+        g = golden[case]["gpu_frame_ns"]
+        assert gpu.estimate_frame(w, block_size=32).frame_ns == g["b32"]
+        assert gpu.estimate_frame(w, block_size=256).frame_ns == g["b256"]
+        assert gpu.estimate_frame(w, block_size=256,
+                                  overlap_transfers=True).frame_ns == g["b256_ovl"]
+
+    def test_fpga(self, case, golden):
+        w = _workload(case)
+        rep = presets.fpga_midrange().estimate_frame(w)
+        assert rep.frame_ns == golden[case]["fpga_frame_ns"]

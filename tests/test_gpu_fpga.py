@@ -1,0 +1,173 @@
+"""GPU and FPGA platform model tests."""
+
+import numpy as np
+import pytest
+
+from repro.accel.fpga import FPGAModel
+from repro.accel.gpu import GPUModel
+from repro.accel.platform import Workload
+from repro.accel.presets import fpga_midrange, gtx280
+from repro.errors import CapacityError, PlatformError
+
+
+@pytest.fixture()
+def workload(small_field):
+    return Workload.from_field(small_field, mode="lut")
+
+
+class TestOccupancy:
+    def test_full_occupancy_config(self):
+        gpu = gtx280()
+        occ = gpu.occupancy(block_size=256, registers_per_thread=16,
+                            shared_per_block=2048)
+        assert occ.value == pytest.approx(1.0)
+
+    def test_register_pressure_limits(self):
+        gpu = gtx280()
+        light = gpu.occupancy(256, registers_per_thread=16)
+        heavy = gpu.occupancy(256, registers_per_thread=32)
+        assert heavy.value < light.value
+        assert heavy.limiter == "registers"
+
+    def test_small_blocks_limited_by_block_slots(self):
+        gpu = gtx280()
+        occ = gpu.occupancy(32, registers_per_thread=8, shared_per_block=0)
+        assert occ.limiter == "blocks"
+        assert occ.value == pytest.approx(8 / 32)
+
+    def test_shared_memory_limit(self):
+        gpu = gtx280()
+        occ = gpu.occupancy(64, registers_per_thread=8, shared_per_block=8192)
+        assert occ.limiter == "shared"
+
+    def test_validation(self):
+        gpu = gtx280()
+        with pytest.raises(PlatformError):
+            gpu.occupancy(0)
+        with pytest.raises(PlatformError):
+            gpu.occupancy(1024)
+        with pytest.raises(PlatformError):
+            gpu.occupancy(64, registers_per_thread=0)
+
+
+class TestGPUEstimate:
+    def test_end_to_end_includes_pcie(self, workload):
+        gpu = gtx280()
+        rep = gpu.estimate_frame(workload)
+        assert rep.notes["h2d_ns"] > 0
+        assert rep.notes["d2h_ns"] > 0
+        assert rep.frame_ns >= rep.notes["kernel_ns"]
+
+    def test_overlap_hides_transfers(self, workload):
+        gpu = gtx280()
+        plain = gpu.estimate_frame(workload)
+        overlapped = gpu.estimate_frame(workload, overlap_transfers=True)
+        assert overlapped.frame_ns <= plain.frame_ns
+
+    def test_low_occupancy_slows_kernel(self, workload):
+        gpu = gtx280()
+        fast = gpu.estimate_frame(workload, block_size=256)
+        slow = gpu.estimate_frame(workload, block_size=32)
+        assert slow.notes["kernel_ns"] > fast.notes["kernel_ns"]
+
+    def test_infeasible_launch_rejected(self, workload):
+        gpu = gtx280()
+        with pytest.raises(PlatformError):
+            gpu.estimate_frame(workload, block_size=512,
+                               registers_per_thread=64)
+
+    def test_coalescing_measured_from_field(self, workload):
+        assert workload.gather_lines_per_warp > 1.0
+        gpu = gtx280()
+        rep = gpu.estimate_frame(workload)
+        assert rep.notes["lines_per_warp"] == pytest.approx(
+            workload.gather_lines_per_warp, abs=0.01)
+
+    def test_block_sweep_helper(self, workload):
+        reports = gtx280().block_size_sweep(workload, block_sizes=(64, 256))
+        assert [r.notes["block_size"] for r in reports] == [64, 256]
+
+    def test_validation(self):
+        with pytest.raises(PlatformError):
+            GPUModel(sms=0)
+        with pytest.raises(PlatformError):
+            GPUModel(latency_hiding_occupancy=0.0)
+
+
+class TestFPGA:
+    def test_streaming_when_window_fits(self, workload):
+        fpga = FPGAModel(line_buffer_bytes=10 * 1024 * 1024)
+        rep = fpga.estimate_frame(workload)
+        assert rep.notes["mode"] == "streaming"
+
+    def test_random_access_fallback(self, workload):
+        fpga = FPGAModel(line_buffer_bytes=64)
+        rep = fpga.estimate_frame(workload)
+        assert rep.notes["mode"] == "random_access"
+        fpga.streaming_feasible(workload) is False
+
+    def test_fallback_much_slower(self, workload):
+        fast = FPGAModel(line_buffer_bytes=10 * 1024 * 1024).estimate_frame(workload)
+        slow = FPGAModel(line_buffer_bytes=64).estimate_frame(workload)
+        assert slow.frame_ns > fast.frame_ns
+
+    def test_required_rows_from_real_map(self, workload):
+        fpga = fpga_midrange()
+        rows = fpga.required_line_buffer_rows(workload)
+        span = workload.field.row_span().max()
+        assert rows == int(np.ceil(span)) + fpga.interp_margin_rows
+
+    def test_throughput_independent_of_map_when_streaming(self, small_field,
+                                                          tilted_field):
+        fpga = FPGAModel(line_buffer_bytes=10 * 1024 * 1024, frame_sync_ns=0)
+        a = fpga.estimate_frame(Workload.from_field(small_field))
+        b = fpga.estimate_frame(Workload.from_field(tilted_field))
+        # same pixel count -> same pipeline time (DDR streaming equal too)
+        assert a.frame_ns == pytest.approx(b.frame_ns, rel=0.05)
+
+    def test_require_streaming_raises(self, workload):
+        fpga = FPGAModel(line_buffer_bytes=64)
+        with pytest.raises(CapacityError):
+            fpga.require_streaming(workload)
+
+    def test_ii_scales_throughput(self, workload):
+        f1 = FPGAModel(initiation_interval=1, line_buffer_bytes=10 * 1024 * 1024,
+                       ddr_bw_gbps=1000.0, frame_sync_ns=0)
+        f2 = FPGAModel(initiation_interval=2, line_buffer_bytes=10 * 1024 * 1024,
+                       ddr_bw_gbps=1000.0, frame_sync_ns=0)
+        assert f2.estimate_frame(workload).frame_ns == pytest.approx(
+            2 * f1.estimate_frame(workload).frame_ns, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(PlatformError):
+            FPGAModel(clock_mhz=0.0)
+        with pytest.raises(PlatformError):
+            FPGAModel(initiation_interval=0)
+        with pytest.raises(PlatformError):
+            FPGAModel(line_buffer_bytes=0)
+
+
+class TestRoofline:
+    def test_placement(self):
+        from repro.accel.kernels import kernel_spec
+        from repro.accel.roofline import attainable_gflops, place, ridge_point
+
+        gpu = gtx280()
+        lut = place(gpu, kernel_spec("bilinear", "lut"))
+        otf = place(gpu, kernel_spec("bilinear", "otf"))
+        assert lut.bound == "memory"
+        assert otf.attainable_gflops >= lut.attainable_gflops
+        assert ridge_point(100.0, 10.0) == pytest.approx(10.0)
+        assert attainable_gflops(100.0, 10.0, 5.0) == pytest.approx(50.0)
+        assert attainable_gflops(100.0, 10.0, 50.0) == pytest.approx(100.0)
+
+    def test_validation(self):
+        from repro.accel.roofline import attainable_gflops, ridge_point
+        from repro.errors import PlatformError as PE
+
+        with pytest.raises(PE):
+            attainable_gflops(0.0, 1.0, 1.0)
+        with pytest.raises(PE):
+            attainable_gflops(1.0, 1.0, -1.0)
+        with pytest.raises(PE):
+            ridge_point(1.0, 0.0)

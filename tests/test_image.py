@@ -1,0 +1,62 @@
+"""Frame/PixelFormat container tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.image import GRAY8, GRAY16, RGB8, RGBF32, Frame, PixelFormat
+from repro.errors import ImageFormatError
+
+
+class TestPixelFormat:
+    def test_bytes_per_pixel(self):
+        assert GRAY8.bytes_per_pixel == 1
+        assert GRAY16.bytes_per_pixel == 2
+        assert RGB8.bytes_per_pixel == 3
+        assert RGBF32.bytes_per_pixel == 12
+
+    def test_rejects_bad_channels(self):
+        with pytest.raises(ImageFormatError):
+            PixelFormat("x", 2, np.uint8, "gray")
+
+    def test_rejects_bad_colorspace(self):
+        with pytest.raises(ImageFormatError):
+            PixelFormat("x", 1, np.uint8, "cmyk")
+
+
+class TestFrame:
+    def test_zeros(self):
+        f = Frame.zeros(4, 6)
+        assert f.height == 4 and f.width == 6
+        assert f.data.dtype == np.uint8
+        assert f.nbytes == 24
+
+    def test_zeros_rgb(self):
+        f = Frame.zeros(4, 6, RGB8)
+        assert f.data.shape == (4, 6, 3)
+
+    def test_zeros_rejects_bad_size(self):
+        with pytest.raises(ImageFormatError):
+            Frame.zeros(0, 5)
+
+    def test_dtype_mismatch_rejected(self):
+        with pytest.raises(ImageFormatError):
+            Frame(np.zeros((4, 4), dtype=np.float32), GRAY8)
+
+    def test_ndim_mismatch_rejected(self):
+        with pytest.raises(ImageFormatError):
+            Frame(np.zeros((4, 4), dtype=np.uint8), RGB8)
+
+    def test_channel_count_mismatch_rejected(self):
+        with pytest.raises(ImageFormatError):
+            Frame(np.zeros((4, 4, 4), dtype=np.uint8), RGB8)
+
+    def test_with_data_keeps_metadata(self):
+        f = Frame.zeros(4, 4, GRAY8, index=7, timestamp=0.25)
+        g = f.with_data(np.ones((8, 8), dtype=np.uint8))
+        assert g.index == 7 and g.timestamp == 0.25
+        assert g.height == 8
+
+    def test_format_by_name(self):
+        assert Frame.format_by_name("rgb8") is RGB8
+        with pytest.raises(ImageFormatError):
+            Frame.format_by_name("yuv999")

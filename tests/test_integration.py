@@ -1,0 +1,166 @@
+"""Cross-module integration tests: the full application workflows."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import calibrate, detect_blobs
+from repro.core.intrinsics import CameraIntrinsics, FisheyeIntrinsics
+from repro.core.lens import EquidistantLens, make_lens
+from repro.core.mapping import cylindrical_map, perspective_map
+from repro.core.pipeline import FisheyeCorrector
+from repro.core.quality import line_straightness
+from repro.core.remap import RemapLUT, remap
+from repro.accel.platform import Workload
+from repro.accel.presets import cell_ps3, gtx280, sequential_reference, xeon_2010
+from repro.video.distort import FisheyeRenderer, scene_camera_for_sensor
+from repro.video.synth import checkerboard, circle_grid
+
+
+SIZE = 96
+
+
+@pytest.fixture(scope="module")
+def rig():
+    """A mid-size rig: sensor, lens, scene camera, renderer."""
+    circle = SIZE / 2.0 - 1.0
+    sensor = FisheyeIntrinsics.centered(SIZE, SIZE, focal=circle / (np.pi / 2.0))
+    lens = EquidistantLens(sensor.focal)
+    scene_cam = scene_camera_for_sensor(sensor, lens, SIZE, SIZE,
+                                        scene_hfov=np.deg2rad(130.0))
+    renderer = FisheyeRenderer(scene_cam, lens, sensor)
+    return sensor, lens, scene_cam, renderer
+
+
+class TestCalibrationLoop:
+    """Render a known target through a known lens, recover the lens."""
+
+    def test_full_calibration_from_rendered_target(self, rig):
+        sensor, lens, scene_cam, renderer = rig
+        # a circle-grid target in scene space, rendered through the lens
+        target, scene_points = circle_grid(SIZE, SIZE, rings=3, spokes=8,
+                                           dot_radius=2, margin=0.7)
+        fisheye_img = renderer.render(target)
+
+        # each marker's true field angle follows from scene geometry
+        xn, yn = scene_cam.normalize(scene_points[:, 0], scene_points[:, 1])
+        true_thetas = np.arctan(np.hypot(xn, yn))
+
+        blobs = detect_blobs(fisheye_img.astype(float), min_area=2)
+        assert len(blobs) == len(scene_points)
+
+        # associate blobs to markers by angle ordering (both radial grids)
+        blob_pts = np.array([[b.x, b.y] for b in blobs])
+        blob_r = np.hypot(blob_pts[:, 0] - sensor.cx, blob_pts[:, 1] - sensor.cy)
+        order_b = np.argsort(blob_r)
+        order_t = np.argsort(true_thetas)
+        pts = blob_pts[order_b][1:]            # drop centre dot (theta=0)
+        thetas = true_thetas[order_t][1:]
+
+        result = calibrate(pts, thetas, center_guess=(sensor.cx, sensor.cy))
+        assert result.model == "equidistant"
+        assert result.focal == pytest.approx(sensor.focal, rel=0.05)
+
+        # and the calibrated corrector actually straightens the image
+        corrector = FisheyeCorrector.for_sensor(
+            sensor, result.lens(), SIZE, SIZE, zoom=0.8)
+        assert corrector.coverage() > 0.9
+
+
+class TestStraightening:
+    def test_checkerboard_edges_straight_after_correction(self, rig):
+        sensor, lens, scene_cam, renderer = rig
+        scene = checkerboard(SIZE, SIZE, square=16)
+        fisheye_img = renderer.render(scene)
+        corrector = FisheyeCorrector.for_sensor(sensor, lens, SIZE, SIZE,
+                                                zoom=1.0, method="bilinear")
+        corrected = corrector.correct(fisheye_img)
+
+        # trace one vertical checker edge across rows via the luminance jump
+        def edge_columns(img, approx_col, rows):
+            cols = []
+            for r in rows:
+                row = img[r].astype(int)
+                window = row[approx_col - 6: approx_col + 6]
+                jump = np.abs(np.diff(window))
+                if jump.max() > 40:
+                    cols.append(approx_col - 6 + int(jump.argmax()))
+            return cols
+
+        rows = range(30, 66, 6)
+        # the scene edge at x=64 maps near the output centre-right
+        cols_corrected = edge_columns(corrected, 64, rows)
+        cols_distorted = edge_columns(fisheye_img, 64, rows)
+        assert len(cols_corrected) >= 4
+        pts_c = np.array([[c, r] for c, r in zip(cols_corrected, rows)], float)
+        rms_c, _ = line_straightness(pts_c)
+        if len(cols_distorted) >= 4:
+            pts_d = np.array([[c, r] for c, r in zip(cols_distorted, rows)], float)
+            rms_d, _ = line_straightness(pts_d)
+            assert rms_c <= rms_d + 0.5
+        assert rms_c < 1.5  # sub-1.5-pixel straightness after correction
+
+
+class TestCrossPlatformConsistency:
+    """All platform models price the same workload coherently."""
+
+    def test_accelerators_beat_sequential(self, rig):
+        sensor, lens, _, _ = rig
+        focal_out = float(lens.magnification(1e-4)) * 0.5
+        out = CameraIntrinsics(fx=focal_out, fy=focal_out, cx=(SIZE - 1) / 2.0,
+                               cy=(SIZE - 1) / 2.0, width=SIZE, height=SIZE)
+        field = perspective_map(sensor, lens, out)
+        workload = Workload.from_field(field, mode="otf")
+        seq = sequential_reference().estimate_frame(workload)
+        for platform in (xeon_2010(), cell_ps3()):
+            rep = (platform.simulate(workload) if hasattr(platform, "simulate")
+                   else platform.estimate_frame(workload))
+            assert rep.fps > seq.fps
+
+    def test_gpu_kernel_fast_but_pcie_capped(self, rig):
+        sensor, lens, _, _ = rig
+        focal_out = float(lens.magnification(1e-4)) * 0.5
+        out = CameraIntrinsics(fx=focal_out, fy=focal_out, cx=(SIZE - 1) / 2.0,
+                               cy=(SIZE - 1) / 2.0, width=SIZE, height=SIZE)
+        field = perspective_map(sensor, lens, out)
+        workload = Workload.from_field(field, mode="lut")
+        rep = gtx280().estimate_frame(workload)
+        transfers = rep.notes["h2d_ns"] + rep.notes["d2h_ns"]
+        assert transfers > rep.notes["kernel_ns"]  # classic small-frame regime
+
+
+class TestPanorama:
+    def test_cylindrical_unwrap_end_to_end(self, rig):
+        sensor, lens, _, renderer = rig
+        scene = checkerboard(SIZE, SIZE, square=12)
+        fisheye_img = renderer.render(scene)
+        field = cylindrical_map(sensor, lens, 128, 48,
+                                hfov=np.deg2rad(160.0), vfov=np.deg2rad(60.0))
+        pano = remap(fisheye_img, field, method="bilinear")
+        assert pano.shape == (48, 128)
+        assert field.coverage() > 0.9
+        assert pano.std() > 10  # actual content, not fill
+
+    def test_panorama_lut_streaming(self, rig):
+        sensor, lens, _, renderer = rig
+        field = cylindrical_map(sensor, lens, 96, 32)
+        lut = RemapLUT(field, method="nearest")
+        frame = renderer.render(checkerboard(SIZE, SIZE, square=8))
+        out = lut.apply(frame)
+        assert out.shape == (32, 96)
+
+
+class TestLensFamilies:
+    @pytest.mark.parametrize("name", ["equidistant", "equisolid", "stereographic"])
+    def test_each_family_corrects_its_own_distortion(self, name):
+        circle = SIZE / 2.0 - 1.0
+        lens = make_lens(name, circle / float(make_lens(name, 1.0).angle_to_radius(np.pi / 2)))
+        sensor = FisheyeIntrinsics.centered(SIZE, SIZE, focal=lens.focal)
+        scene_cam = scene_camera_for_sensor(sensor, lens, SIZE, SIZE,
+                                            scene_hfov=np.deg2rad(120.0))
+        renderer = FisheyeRenderer(scene_cam, lens, sensor)
+        fisheye_img = renderer.render(checkerboard(SIZE, SIZE, square=16))
+        corrector = FisheyeCorrector.for_sensor(sensor, lens, SIZE, SIZE, zoom=1.0)
+        corrected = corrector.correct(fisheye_img)
+        assert corrected.shape == (SIZE, SIZE)
+        # centre content survives the roundtrip
+        assert corrected[40:56, 40:56].std() > 20

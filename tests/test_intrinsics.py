@@ -1,0 +1,104 @@
+"""Camera/fisheye intrinsics tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.intrinsics import CameraIntrinsics, FisheyeIntrinsics
+from repro.errors import GeometryError
+
+
+class TestCameraIntrinsics:
+    def test_matrix_layout(self):
+        k = CameraIntrinsics(fx=2.0, fy=3.0, cx=4.0, cy=5.0, width=10, height=10,
+                             skew=0.5).matrix
+        assert k[0, 0] == 2.0 and k[1, 1] == 3.0
+        assert k[0, 2] == 4.0 and k[1, 2] == 5.0
+        assert k[0, 1] == 0.5 and k[2, 2] == 1.0
+
+    def test_rejects_bad_focal(self):
+        with pytest.raises(GeometryError):
+            CameraIntrinsics(fx=0, fy=1, cx=0, cy=0, width=4, height=4)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(GeometryError):
+            CameraIntrinsics(fx=1, fy=1, cx=0, cy=0, width=0, height=4)
+
+    def test_from_fov_roundtrip(self):
+        cam = CameraIntrinsics.from_fov(640, 480, np.deg2rad(90.0))
+        assert cam.hfov == pytest.approx(np.deg2rad(90.0))
+
+    def test_from_fov_rejects_180(self):
+        with pytest.raises(GeometryError):
+            CameraIntrinsics.from_fov(640, 480, np.pi)
+
+    def test_normalize_denormalize_roundtrip(self):
+        cam = CameraIntrinsics(fx=100, fy=120, cx=31.5, cy=23.5, width=64, height=48,
+                               skew=0.7)
+        xs = np.array([0.0, 10.0, 63.0])
+        ys = np.array([0.0, 20.0, 47.0])
+        xn, yn = cam.normalize(xs, ys)
+        bx, by = cam.denormalize(xn, yn)
+        np.testing.assert_allclose(bx, xs, atol=1e-10)
+        np.testing.assert_allclose(by, ys, atol=1e-10)
+
+    def test_principal_point_normalizes_to_zero(self):
+        cam = CameraIntrinsics(fx=10, fy=10, cx=5.0, cy=6.0, width=12, height=12)
+        xn, yn = cam.normalize(5.0, 6.0)
+        assert float(xn) == 0.0 and float(yn) == 0.0
+
+    def test_scaled_preserves_fov(self):
+        cam = CameraIntrinsics.from_fov(640, 480, np.deg2rad(70.0))
+        big = cam.scaled(2.0)
+        assert big.width == 1280
+        assert big.hfov == pytest.approx(cam.hfov, rel=1e-3)
+
+    def test_scaled_rejects_nonpositive(self):
+        cam = CameraIntrinsics.from_fov(64, 64, 1.0)
+        with pytest.raises(GeometryError):
+            cam.scaled(0.0)
+
+    def test_vfov_smaller_for_wide_frames(self):
+        cam = CameraIntrinsics.from_fov(640, 480, np.deg2rad(90.0))
+        assert cam.vfov < cam.hfov
+
+
+class TestFisheyeIntrinsics:
+    def test_centered_principal_point(self):
+        s = FisheyeIntrinsics.centered(64, 48, focal=20.0)
+        assert s.cx == pytest.approx(31.5)
+        assert s.cy == pytest.approx(23.5)
+
+    def test_r0_convention(self):
+        s = FisheyeIntrinsics.centered(64, 64, focal=100.0)
+        assert s.r0 == pytest.approx(100.0 * np.pi / 4)
+        assert s.image_circle_radius_180 == pytest.approx(2 * s.r0)
+
+    def test_from_image_circle_equidistant(self):
+        s = FisheyeIntrinsics.from_image_circle(512, 512, circle_radius=200.0)
+        # equidistant: r(pi/2) = f * pi/2 = 200
+        assert s.focal * np.pi / 2 == pytest.approx(200.0)
+
+    def test_from_image_circle_custom_model(self):
+        s = FisheyeIntrinsics.from_image_circle(
+            512, 512, circle_radius=200.0,
+            model_radius_at=lambda t: 2.0 * np.sin(t / 2.0))  # equisolid, f=1
+        assert 2.0 * s.focal * np.sin(np.pi / 4) == pytest.approx(200.0)
+
+    def test_from_image_circle_rejects_bad_args(self):
+        with pytest.raises(GeometryError):
+            FisheyeIntrinsics.from_image_circle(64, 64, circle_radius=0.0)
+        with pytest.raises(GeometryError):
+            FisheyeIntrinsics.from_image_circle(64, 64, 10.0, max_angle=4.0)
+
+    def test_max_inscribed_radius(self):
+        s = FisheyeIntrinsics(width=100, height=60, cx=49.5, cy=29.5, focal=10.0)
+        assert s.max_inscribed_radius == pytest.approx(29.5)
+
+    def test_contains(self):
+        s = FisheyeIntrinsics.centered(10, 10, focal=5.0)
+        assert bool(s.contains(0, 0)) and bool(s.contains(9, 9))
+        assert not bool(s.contains(-0.1, 5)) and not bool(s.contains(5, 9.5))
+
+    def test_rejects_nonpositive_focal(self):
+        with pytest.raises(GeometryError):
+            FisheyeIntrinsics.centered(10, 10, focal=0.0)

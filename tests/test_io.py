@@ -1,0 +1,81 @@
+"""PGM/PPM/NPY file I/O tests."""
+
+import numpy as np
+import pytest
+
+from repro.video.io import read_npy, read_pgm, read_ppm, write_npy, write_pgm, write_ppm
+from repro.errors import ImageFormatError
+
+
+class TestPGM:
+    def test_roundtrip(self, tmp_path, random_image):
+        path = tmp_path / "img.pgm"
+        write_pgm(path, random_image)
+        back = read_pgm(path)
+        np.testing.assert_array_equal(back, random_image)
+
+    def test_header_format(self, tmp_path):
+        path = tmp_path / "img.pgm"
+        write_pgm(path, np.zeros((2, 3), dtype=np.uint8))
+        raw = path.read_bytes()
+        assert raw.startswith(b"P5\n3 2\n255\n")
+        assert len(raw) == len(b"P5\n3 2\n255\n") + 6
+
+    def test_comment_lines_skipped(self, tmp_path):
+        path = tmp_path / "c.pgm"
+        payload = bytes(range(6))
+        path.write_bytes(b"P5\n# a comment\n3 2\n255\n" + payload)
+        img = read_pgm(path)
+        assert img.shape == (2, 3)
+        assert img[1, 2] == 5
+
+    def test_rejects_color_input(self, tmp_path, rgb_image):
+        with pytest.raises(ImageFormatError):
+            write_pgm(tmp_path / "x.pgm", rgb_image)
+
+    def test_rejects_wrong_dtype(self, tmp_path):
+        with pytest.raises(ImageFormatError):
+            write_pgm(tmp_path / "x.pgm", np.zeros((2, 2), dtype=np.float32))
+
+    def test_rejects_truncated_file(self, tmp_path):
+        path = tmp_path / "t.pgm"
+        path.write_bytes(b"P5\n4 4\n255\n\x00\x00")
+        with pytest.raises(ImageFormatError):
+            read_pgm(path)
+
+    def test_rejects_wrong_magic(self, tmp_path):
+        path = tmp_path / "w.pgm"
+        path.write_bytes(b"P6\n1 1\n255\n\x00\x00\x00")
+        with pytest.raises(ImageFormatError):
+            read_pgm(path)
+
+
+class TestPPM:
+    def test_roundtrip(self, tmp_path, rgb_image):
+        path = tmp_path / "img.ppm"
+        write_ppm(path, rgb_image)
+        np.testing.assert_array_equal(read_ppm(path), rgb_image)
+
+    def test_rejects_gray(self, tmp_path, random_image):
+        with pytest.raises(ImageFormatError):
+            write_ppm(tmp_path / "x.ppm", random_image)
+
+    def test_rejects_truncated(self, tmp_path):
+        path = tmp_path / "t.ppm"
+        path.write_bytes(b"P6\n2 2\n255\n\x00")
+        with pytest.raises(ImageFormatError):
+            read_ppm(path)
+
+
+class TestNPY:
+    def test_roundtrip_float(self, tmp_path, rng):
+        arr = rng.normal(size=(5, 7))
+        path = tmp_path / "a.npy"
+        write_npy(path, arr)
+        np.testing.assert_array_equal(read_npy(path), arr)
+
+    def test_no_pickle(self, tmp_path):
+        path = tmp_path / "b.npy"
+        np.save(path, np.array([{"a": 1}], dtype=object), allow_pickle=True)
+        with pytest.raises(ValueError):
+            read_npy(path)

@@ -1,0 +1,124 @@
+"""Kernel cost descriptors and Workload measurement tests."""
+
+import numpy as np
+import pytest
+
+from repro.accel.kernels import MODES, TRANSCENDENTAL_FLOPS, kernel_spec
+from repro.accel.platform import STANDARD_RESOLUTIONS, PerfReport, Workload
+from repro.core.mapping import identity_map
+from repro.errors import PlatformError
+
+
+class TestKernelSpec:
+    def test_lut_cheaper_flops_than_otf(self):
+        for method in ("nearest", "bilinear", "bicubic"):
+            lut = kernel_spec(method, "lut")
+            otf = kernel_spec(method, "otf")
+            assert lut.flops < otf.flops
+            assert lut.lut_bytes > 0
+            assert otf.lut_bytes == 0.0
+
+    def test_otf_includes_transcendentals(self):
+        spec = kernel_spec("nearest", "otf")
+        assert spec.flops > 3 * TRANSCENDENTAL_FLOPS
+
+    def test_taps_follow_method(self):
+        assert kernel_spec("nearest").taps == 1
+        assert kernel_spec("bilinear").taps == 4
+        assert kernel_spec("bicubic").taps == 16
+
+    def test_src_bytes_scale_with_pixel_size(self):
+        one = kernel_spec("bilinear", pixel_bytes=1)
+        three = kernel_spec("bilinear", pixel_bytes=3)
+        assert three.src_bytes == 3 * one.src_bytes
+        assert three.out_bytes == 3 * one.out_bytes
+
+    def test_lut_entry_override(self):
+        spec = kernel_spec("bilinear", "lut", lut_entry_bytes=25.0)
+        assert spec.lut_bytes == 25.0
+
+    def test_arithmetic_intensity_orders(self):
+        lut = kernel_spec("bilinear", "lut")
+        otf = kernel_spec("bilinear", "otf")
+        assert otf.arithmetic_intensity > lut.arithmetic_intensity
+
+    def test_validation(self):
+        with pytest.raises(PlatformError):
+            kernel_spec("area")
+        with pytest.raises(PlatformError):
+            kernel_spec("bilinear", "jit")
+        with pytest.raises(PlatformError):
+            kernel_spec("bilinear", pixel_bytes=0)
+
+
+class TestWorkload:
+    def test_from_field_measures_geometry(self, small_field):
+        w = Workload.from_field(small_field)
+        assert w.pixels == 64 * 64
+        assert w.coverage == pytest.approx(1.0)
+        assert 0.0 < w.source_footprint <= 1.0
+
+    def test_tilted_coverage_measured(self, tilted_field):
+        w = Workload.from_field(tilted_field)
+        assert w.coverage == pytest.approx(tilted_field.coverage())
+
+    def test_identity_footprint_full(self):
+        w = Workload.from_field(identity_map(32, 32))
+        assert w.source_footprint == pytest.approx(1.0)
+
+    def test_identity_gathers_coalesced(self):
+        w = Workload.from_field(identity_map(32, 32))
+        assert w.gather_lines_per_warp <= 2.0
+
+    def test_defaults_without_field(self):
+        w = Workload(out_width=64, out_height=64, src_width=64, src_height=64,
+                     spec=kernel_spec())
+        assert w.coverage == 1.0
+        assert w.source_footprint == pytest.approx(0.6)
+
+    def test_frame_byte_accounting(self, small_field):
+        w = Workload.from_field(small_field, method="bilinear", mode="lut")
+        assert w.frame_out_bytes() == 64 * 64
+        assert w.frame_lut_bytes() == 64 * 64 * w.spec.lut_bytes
+        assert w.frame_src_bytes(reuse=True) <= w.frame_src_bytes(reuse=False)
+
+    def test_field_shape_mismatch_rejected(self, small_field):
+        with pytest.raises(PlatformError):
+            Workload(out_width=32, out_height=32, src_width=64, src_height=64,
+                     spec=kernel_spec(), field=small_field)
+
+    def test_size_validation(self):
+        with pytest.raises(PlatformError):
+            Workload(out_width=0, out_height=4, src_width=4, src_height=4,
+                     spec=kernel_spec())
+
+    def test_flops_scale_with_coverage(self, small_field, tilted_field):
+        full = Workload.from_field(small_field)
+        tilted = Workload.from_field(tilted_field)
+        assert tilted.frame_flops() < full.frame_flops()
+
+
+class TestPerfReport:
+    def _report(self, frame_ns):
+        w = Workload(out_width=100, out_height=100, src_width=100, src_height=100,
+                     spec=kernel_spec())
+        return PerfReport(platform="x", workload=w, frame_ns=frame_ns)
+
+    def test_fps(self):
+        assert self._report(1_000_000).fps == pytest.approx(1000.0)
+
+    def test_mpixels(self):
+        rep = self._report(1_000_000_000)  # 1 s/frame
+        assert rep.mpixels_per_s == pytest.approx(0.01)
+
+    def test_speedup_over(self):
+        fast = self._report(1_000)
+        slow = self._report(10_000)
+        assert fast.speedup_over(slow) == pytest.approx(10.0)
+
+
+class TestStandardResolutions:
+    def test_catalogue(self):
+        assert STANDARD_RESOLUTIONS["VGA"] == (640, 480)
+        assert STANDARD_RESOLUTIONS["1080p"] == (1920, 1080)
+        assert len(STANDARD_RESOLUTIONS) == 5

@@ -1,0 +1,167 @@
+"""Lens model tests: forward/inverse consistency, domains, registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lens import (
+    LENS_MODELS,
+    EquidistantLens,
+    EquisolidLens,
+    OrthographicLens,
+    PerspectiveLens,
+    StereographicLens,
+    make_lens,
+)
+from repro.errors import LensModelError
+
+ALL_MODELS = [EquidistantLens, EquisolidLens, OrthographicLens,
+              StereographicLens, PerspectiveLens]
+
+
+@pytest.mark.parametrize("cls", ALL_MODELS)
+class TestCommonProperties:
+    def test_zero_angle_maps_to_zero_radius(self, cls):
+        lens = cls(100.0)
+        assert lens.angle_to_radius(0.0) == pytest.approx(0.0)
+
+    def test_zero_radius_maps_to_zero_angle(self, cls):
+        lens = cls(100.0)
+        assert lens.radius_to_angle(0.0) == pytest.approx(0.0)
+
+    def test_roundtrip_inside_domain(self, cls):
+        lens = cls(123.0)
+        theta = np.linspace(0.01, min(lens.max_theta * 0.95, np.pi / 2 * 0.95), 50)
+        r = lens.angle_to_radius(theta)
+        back = lens.radius_to_angle(r)
+        np.testing.assert_allclose(back, theta, rtol=1e-10, atol=1e-12)
+
+    def test_monotonic_in_domain(self, cls):
+        lens = cls(77.0)
+        theta = np.linspace(0.0, min(lens.max_theta * 0.99, 1.5), 200)
+        r = np.asarray(lens.angle_to_radius(theta))
+        assert np.all(np.diff(r) > 0)
+
+    def test_small_angle_behaviour_matches_focal(self, cls):
+        # all models share r ~ f * theta near the axis
+        lens = cls(200.0)
+        theta = 1e-6
+        assert lens.angle_to_radius(theta) == pytest.approx(200.0 * theta, rel=1e-4)
+
+    def test_out_of_domain_angle_gives_nan(self, cls):
+        lens = cls(50.0)
+        assert np.isnan(lens.angle_to_radius(lens.max_theta + 0.2)) or \
+            lens.max_theta >= np.pi
+
+    def test_negative_angle_gives_nan(self, cls):
+        lens = cls(50.0)
+        assert np.isnan(lens.angle_to_radius(-0.1))
+
+    def test_negative_radius_gives_nan(self, cls):
+        lens = cls(50.0)
+        assert np.isnan(lens.radius_to_angle(-1.0))
+
+    def test_focal_must_be_positive(self, cls):
+        with pytest.raises(LensModelError):
+            cls(0.0)
+        with pytest.raises(LensModelError):
+            cls(-3.0)
+
+    def test_scalar_and_array_agree(self, cls):
+        lens = cls(64.0)
+        thetas = np.array([0.1, 0.5, 1.0])
+        arr = np.asarray(lens.angle_to_radius(thetas))
+        for i, t in enumerate(thetas):
+            assert arr[i] == pytest.approx(float(lens.angle_to_radius(t)))
+
+    def test_magnification_positive_near_axis(self, cls):
+        lens = cls(90.0)
+        assert float(lens.magnification(0.1)) > 0
+
+    def test_repr_mentions_focal(self, cls):
+        assert "focal" in repr(cls(12.0))
+
+
+class TestSpecificValues:
+    def test_equidistant_linear(self):
+        lens = EquidistantLens(100.0)
+        assert lens.angle_to_radius(np.pi / 4) == pytest.approx(100.0 * np.pi / 4)
+        assert lens.angle_to_radius(np.pi / 2) == pytest.approx(100.0 * np.pi / 2)
+
+    def test_equisolid_at_90deg(self):
+        lens = EquisolidLens(100.0)
+        assert lens.angle_to_radius(np.pi / 2) == pytest.approx(
+            2 * 100.0 * np.sin(np.pi / 4))
+
+    def test_orthographic_saturates_at_focal(self):
+        lens = OrthographicLens(100.0)
+        assert lens.angle_to_radius(np.pi / 2) == pytest.approx(100.0)
+        assert lens.max_theta == pytest.approx(np.pi / 2)
+
+    def test_stereographic_at_90deg(self):
+        lens = StereographicLens(100.0)
+        assert lens.angle_to_radius(np.pi / 2) == pytest.approx(200.0 * np.tan(np.pi / 4))
+
+    def test_perspective_tan(self):
+        lens = PerspectiveLens(100.0)
+        assert lens.angle_to_radius(np.pi / 4) == pytest.approx(100.0)
+
+    def test_perspective_domain_excludes_90deg(self):
+        lens = PerspectiveLens(100.0)
+        assert np.isnan(lens.angle_to_radius(np.pi / 2))
+
+    def test_compression_ordering_at_wide_angle(self):
+        # at 90 deg: orthographic <= equisolid <= equidistant <= stereographic
+        f = 100.0
+        theta = np.pi / 2 * 0.999
+        radii = [OrthographicLens(f).angle_to_radius(theta),
+                 EquisolidLens(f).angle_to_radius(theta),
+                 EquidistantLens(f).angle_to_radius(theta),
+                 StereographicLens(f).angle_to_radius(theta)]
+        radii = [float(r) for r in radii]
+        assert radii == sorted(radii)
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in LENS_MODELS:
+            lens = make_lens(name, 42.0)
+            assert lens.name == name
+            assert lens.focal == 42.0
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(LensModelError, match="equidistant"):
+            make_lens("bogus", 10.0)
+
+    def test_registry_covers_five_families(self):
+        assert len(LENS_MODELS) == 5
+
+
+@given(theta=st.floats(min_value=1e-4, max_value=np.pi / 2 - 1e-3),
+       focal=st.floats(min_value=1.0, max_value=1e4))
+@settings(max_examples=100, deadline=None)
+def test_property_roundtrip_all_models(theta, focal):
+    """f^-1(f(theta)) == theta for every family, any focal."""
+    for name in LENS_MODELS:
+        lens = make_lens(name, focal)
+        if theta >= lens.max_theta:
+            continue
+        r = float(lens.angle_to_radius(theta))
+        assert np.isfinite(r)
+        assert float(lens.radius_to_angle(r)) == pytest.approx(theta, rel=1e-8, abs=1e-10)
+
+
+@given(focal=st.floats(min_value=0.5, max_value=1e3),
+       a=st.floats(min_value=1e-3, max_value=1.4),
+       b=st.floats(min_value=1e-3, max_value=1.4))
+@settings(max_examples=100, deadline=None)
+def test_property_monotone_pairs(focal, a, b):
+    """theta_1 < theta_2 implies r_1 < r_2 (strict monotonicity)."""
+    lo, hi = sorted((a, b))
+    if hi - lo < 1e-9:
+        return
+    for name in LENS_MODELS:
+        lens = make_lens(name, focal)
+        if hi >= lens.max_theta:
+            continue
+        assert float(lens.angle_to_radius(lo)) < float(lens.angle_to_radius(hi))

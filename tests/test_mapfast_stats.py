@@ -1,0 +1,148 @@
+"""Tests: radial-LUT map builder and robust timing statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.intrinsics import CameraIntrinsics
+from repro.core.mapfast import RadialProfile, radial_perspective_map
+from repro.core.mapping import perspective_map
+from repro.bench.stats import repeat_timing, robust_summary
+from repro.errors import BenchmarkError, MappingError
+
+
+class TestRadialProfile:
+    def test_center_scale_is_focal_ratio(self, small_lens):
+        profile = RadialProfile(small_lens, out_focal=small_lens.focal * 0.5,
+                                max_radius=40.0)
+        assert profile.scale[0] == pytest.approx(2.0)
+
+    def test_evaluate_matches_direct_computation(self, small_lens):
+        f_out = small_lens.focal * 0.7
+        profile = RadialProfile(small_lens, f_out, max_radius=40.0, samples=2048)
+        r_p = np.array([3.0, 11.0, 27.5])
+        expected = np.asarray(small_lens.angle_to_radius(np.arctan(r_p / f_out))) / r_p
+        np.testing.assert_allclose(profile.evaluate(r_p), expected, rtol=1e-5)
+
+    def test_beyond_table_is_nan(self, small_lens):
+        profile = RadialProfile(small_lens, 10.0, max_radius=20.0)
+        assert np.isnan(profile.evaluate(np.array([25.0]))).all()
+
+    def test_beyond_fov_is_nan(self):
+        # a lens whose domain ends below 90 deg (Brown-Conrady adapter at
+        # 60 deg): output radii needing wider angles have no source
+        from repro.core.brown_conrady import BrownConrady, BrownConradyLens
+
+        lens = BrownConradyLens(10.0, BrownConrady(),
+                                max_theta=np.deg2rad(60.0))
+        f_out = 10.0
+        profile = RadialProfile(lens, out_focal=f_out, max_radius=100.0,
+                                samples=512)
+        r_beyond = f_out * np.tan(np.deg2rad(75.0))
+        r_inside = f_out * np.tan(np.deg2rad(40.0))
+        assert np.isnan(profile.evaluate(np.array([r_beyond]))).all()
+        assert np.isfinite(profile.evaluate(np.array([r_inside]))).all()
+
+    def test_validation(self, small_lens):
+        with pytest.raises(MappingError):
+            RadialProfile(small_lens, 0.0, 10.0)
+        with pytest.raises(MappingError):
+            RadialProfile(small_lens, 5.0, -1.0)
+        with pytest.raises(MappingError):
+            RadialProfile(small_lens, 5.0, 10.0, samples=1)
+
+
+class TestRadialPerspectiveMap:
+    def test_matches_exact_builder(self, small_sensor, small_lens, small_out):
+        exact = perspective_map(small_sensor, small_lens, small_out)
+        approx = radial_perspective_map(small_sensor, small_lens, small_out,
+                                        samples=2048)
+        mask = exact.valid_mask() & approx.valid_mask()
+        err = np.hypot(approx.map_x - exact.map_x, approx.map_y - exact.map_y)
+        assert float(np.nanmax(err[mask])) < 0.01
+
+    def test_error_shrinks_with_samples(self, small_sensor, small_lens, small_out):
+        exact = perspective_map(small_sensor, small_lens, small_out)
+        errs = []
+        for n in (8, 64, 512):
+            approx = radial_perspective_map(small_sensor, small_lens, small_out,
+                                            samples=n)
+            err = np.hypot(approx.map_x - exact.map_x, approx.map_y - exact.map_y)
+            errs.append(float(np.nanmax(err[exact.valid_mask()])))
+        assert errs[0] > errs[1] > errs[2] or errs[2] < 1e-9
+
+    def test_corrected_frames_agree(self, small_sensor, small_lens, small_out,
+                                    random_image):
+        from repro.core.remap import RemapLUT
+
+        exact = perspective_map(small_sensor, small_lens, small_out)
+        approx = radial_perspective_map(small_sensor, small_lens, small_out)
+        a = RemapLUT(exact).apply(random_image)
+        b = RemapLUT(approx).apply(random_image)
+        assert np.abs(a.astype(int) - b.astype(int)).max() <= 1
+
+    def test_rejects_anisotropic_pixels(self, small_sensor, small_lens):
+        out = CameraIntrinsics(fx=40.0, fy=41.0, cx=31.5, cy=31.5,
+                               width=64, height=64)
+        with pytest.raises(MappingError):
+            radial_perspective_map(small_sensor, small_lens, out)
+
+    def test_rejects_skew(self, small_sensor, small_lens):
+        out = CameraIntrinsics(fx=40.0, fy=40.0, cx=31.5, cy=31.5,
+                               width=64, height=64, skew=0.1)
+        with pytest.raises(MappingError):
+            radial_perspective_map(small_sensor, small_lens, out)
+
+
+class TestRepeatTiming:
+    def test_collects_samples(self):
+        samples = repeat_timing(lambda: None, repeats=5, warmup=1)
+        assert samples.shape == (5,)
+        assert (samples >= 0).all()
+
+    def test_warmup_runs_executed(self):
+        calls = []
+        repeat_timing(lambda: calls.append(1), repeats=3, warmup=2)
+        assert len(calls) == 5
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            repeat_timing(lambda: None, repeats=0)
+        with pytest.raises(BenchmarkError):
+            repeat_timing(lambda: None, warmup=-1)
+
+
+class TestRobustSummary:
+    def test_median_and_mad(self):
+        s = robust_summary([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert s.median == pytest.approx(3.0)
+        assert s.mad == pytest.approx(1.0)
+
+    def test_ci_brackets_median_for_tight_data(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(10.0, 0.1, size=50)
+        s = robust_summary(data)
+        assert s.ci_low <= s.median <= s.ci_high
+        assert s.ci_high - s.ci_low < 0.2
+
+    def test_outlier_insensitive(self):
+        clean = robust_summary([1.0] * 20)
+        dirty = robust_summary([1.0] * 19 + [1000.0])
+        assert dirty.median == pytest.approx(clean.median)
+
+    def test_deterministic_bootstrap(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        a = robust_summary(data, seed=42)
+        b = robust_summary(data, seed=42)
+        assert (a.ci_low, a.ci_high) == (b.ci_low, b.ci_high)
+
+    def test_format(self):
+        s = robust_summary([0.001, 0.002, 0.003])
+        assert "ms" in s.format_ms()
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            robust_summary([])
+        with pytest.raises(BenchmarkError):
+            robust_summary([1.0], confidence=0.3)
+        with pytest.raises(BenchmarkError):
+            robust_summary([1.0], bootstrap=5)

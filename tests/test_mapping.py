@@ -1,0 +1,189 @@
+"""Remap-field construction and analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.intrinsics import CameraIntrinsics, FisheyeIntrinsics
+from repro.core.lens import EquidistantLens, PerspectiveLens
+from repro.core.mapping import (
+    RemapField,
+    cylindrical_map,
+    equirectangular_map,
+    fisheye_forward_map,
+    identity_map,
+    perspective_map,
+)
+from repro.errors import MappingError
+
+
+class TestRemapFieldBasics:
+    def test_shape_and_coverage_of_identity(self):
+        f = identity_map(8, 6)
+        assert f.shape == (6, 8)
+        assert f.coverage() == 1.0
+
+    def test_mismatched_maps_rejected(self):
+        with pytest.raises(MappingError):
+            RemapField(np.zeros((4, 4)), np.zeros((4, 5)), 4, 4)
+
+    def test_bad_source_size_rejected(self):
+        with pytest.raises(MappingError):
+            RemapField(np.zeros((4, 4)), np.zeros((4, 4)), 0, 4)
+
+    def test_valid_mask_handles_nan(self):
+        mx = np.array([[1.0, np.nan], [2.0, 3.0]])
+        my = np.array([[1.0, 1.0], [np.nan, 3.0]])
+        f = RemapField(mx, my, 8, 8)
+        np.testing.assert_array_equal(f.valid_mask(),
+                                      [[True, False], [False, True]])
+
+    def test_valid_mask_is_cached(self):
+        f = identity_map(4, 4)
+        assert f.valid_mask() is f.valid_mask()
+
+    def test_astype32_contiguous(self):
+        f = identity_map(5, 5)
+        mx, my = f.astype32()
+        assert mx.dtype == np.float32 and mx.flags.c_contiguous
+
+
+class TestPerspectiveMap:
+    def test_center_pixel_maps_to_center(self, small_sensor, small_lens, small_out):
+        # the output principal point is at (31.5, 31.5); pixel (32, 32)
+        # sits half a pixel off, which at zoom 0.5 is one source pixel.
+        f = perspective_map(small_sensor, small_lens, small_out)
+        h, w = f.shape
+        assert f.map_x[h // 2, w // 2] == pytest.approx(small_sensor.cx + 1.0, abs=0.05)
+        assert f.map_y[h // 2, w // 2] == pytest.approx(small_sensor.cy + 1.0, abs=0.05)
+
+    def test_radially_symmetric(self, small_field):
+        # left/right mirror symmetry about the principal column
+        mx = small_field.map_x
+        h, w = mx.shape
+        cx = (w - 1) / 2.0
+        left = mx[h // 2, 10]
+        right = mx[h // 2, w - 11]
+        assert left - cx == pytest.approx(-(right - cx), abs=1e-6)
+
+    def test_identity_when_both_perspective(self):
+        # a perspective 'lens' corrected to the same perspective view is a no-op
+        size = 32
+        focal = 40.0
+        sensor = FisheyeIntrinsics.centered(size, size, focal=focal)
+        lens = PerspectiveLens(focal)
+        out = CameraIntrinsics(fx=focal, fy=focal, cx=(size - 1) / 2.0,
+                               cy=(size - 1) / 2.0, width=size, height=size)
+        f = perspective_map(sensor, lens, out)
+        xs, ys = np.meshgrid(np.arange(size, dtype=float), np.arange(size, dtype=float))
+        np.testing.assert_allclose(f.map_x, xs.T if False else xs, atol=1e-8)
+        np.testing.assert_allclose(f.map_y, ys, atol=1e-8)
+
+    def test_zoom_out_increases_fov(self, small_sensor, small_lens):
+        size = small_sensor.width
+
+        def max_radius(zoom):
+            focal = small_sensor.focal * zoom
+            out = CameraIntrinsics(fx=focal, fy=focal, cx=(size - 1) / 2.0,
+                                   cy=(size - 1) / 2.0, width=size, height=size)
+            f = perspective_map(small_sensor, small_lens, out)
+            r = np.hypot(f.map_x - small_sensor.cx, f.map_y - small_sensor.cy)
+            return np.nanmax(r)
+
+        assert max_radius(0.5) > max_radius(1.0)
+
+    def test_tilt_creates_invalid_region(self, tilted_field):
+        assert 0.0 < tilted_field.coverage() < 1.0
+
+    def test_map_monotone_along_center_row(self, small_field):
+        h = small_field.shape[0]
+        row = small_field.map_x[h // 2]
+        row = row[np.isfinite(row)]
+        assert np.all(np.diff(row) > 0)
+
+
+class TestPanoramicMaps:
+    def test_cylindrical_shape_and_coverage(self, small_sensor, small_lens):
+        f = cylindrical_map(small_sensor, small_lens, 48, 24)
+        assert f.shape == (24, 48)
+        assert f.coverage() > 0.5
+
+    def test_cylindrical_rejects_bad_fov(self, small_sensor, small_lens):
+        with pytest.raises(MappingError):
+            cylindrical_map(small_sensor, small_lens, 48, 24, hfov=7.0)
+
+    def test_equirectangular_center(self, small_sensor, small_lens):
+        f = equirectangular_map(small_sensor, small_lens, 33, 33)
+        assert f.map_x[16, 16] == pytest.approx(small_sensor.cx, abs=0.5)
+
+    def test_equirect_rejects_empty(self, small_sensor, small_lens):
+        with pytest.raises(MappingError):
+            equirectangular_map(small_sensor, small_lens, 0, 10)
+
+
+class TestForwardMap:
+    def test_center_roundtrip(self, small_sensor, small_lens):
+        scene = CameraIntrinsics.from_fov(64, 64, np.deg2rad(120.0))
+        f = fisheye_forward_map(scene, small_lens, small_sensor)
+        # fisheye centre samples scene centre
+        cy, cx = small_sensor.height // 2, small_sensor.width // 2
+        assert f.map_x[cy, cx] == pytest.approx(scene.cx, abs=0.5)
+
+    def test_extreme_angles_masked(self, small_sensor, small_lens):
+        scene = CameraIntrinsics.from_fov(64, 64, np.deg2rad(120.0))
+        f = fisheye_forward_map(scene, small_lens, small_sensor)
+        # the rim of the fisheye (theta ~ 90 deg) cannot see the scene plane
+        assert not f.valid_mask()[small_sensor.height // 2, 0]
+
+
+class TestMapAnalyses:
+    def test_source_bbox_contains_samples(self, small_field):
+        bbox = small_field.source_bbox(10, 20, 5, 30, margin=0)
+        sy0, sy1, sx0, sx1 = bbox
+        sub_x = small_field.map_x[10:20, 5:30]
+        sub_y = small_field.map_y[10:20, 5:30]
+        assert sx0 <= np.nanmin(sub_x) and np.nanmax(sub_x) <= sx1
+        assert sy0 <= np.nanmin(sub_y) and np.nanmax(sub_y) <= sy1
+
+    def test_source_bbox_clamped_to_frame(self, small_field):
+        bbox = small_field.source_bbox(0, 5, 0, 64, margin=10)
+        sy0, sy1, sx0, sx1 = bbox
+        assert 0 <= sy0 < sy1 <= small_field.src_height
+        assert 0 <= sx0 < sx1 <= small_field.src_width
+
+    def test_source_bbox_none_for_invalid_tile(self, tilted_field):
+        # find a tile that is fully out of FOV and check it needs no DMA
+        mask = tilted_field.valid_mask()
+        assert not mask[0, 0], "fixture expectation: tilted corner is invalid"
+        bbox = tilted_field.source_bbox(0, 2, 0, 4)
+        assert bbox is None
+
+    def test_source_bbox_ignores_out_of_bounds_samples(self, tilted_field):
+        # bbox derives from fetched (valid) samples only, so it is always
+        # inside the source frame even when the map points outside it
+        for r in range(0, 64, 16):
+            bbox = tilted_field.source_bbox(r, r + 16, 0, 64)
+            if bbox is None:
+                continue
+            sy0, sy1, sx0, sx1 = bbox
+            assert 0 <= sy0 < sy1 <= 64 and 0 <= sx0 < sx1 <= 64
+
+    def test_row_span_nonnegative_and_zero_for_identity(self):
+        f = identity_map(16, 8)
+        np.testing.assert_array_equal(f.row_span(), 0.0)
+
+    def test_row_span_positive_for_fisheye(self, small_field):
+        spans = small_field.row_span()
+        assert spans.max() > 0.5
+
+    def test_gather_lines_identity_is_coalesced(self):
+        f = identity_map(64, 8)
+        counts = f.gather_lines(group=32, line_bytes=32, pixel_bytes=1)
+        # 32 consecutive 1-byte reads touch exactly one 32-byte line
+        assert counts.max() <= 2.0
+
+    def test_gather_lines_validates(self, small_field):
+        with pytest.raises(MappingError):
+            small_field.gather_lines(group=0)
+
+    def test_coverage_between_zero_and_one(self, tilted_field):
+        assert 0.0 <= tilted_field.coverage() <= 1.0

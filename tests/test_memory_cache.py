@@ -1,0 +1,172 @@
+"""Memory-system model tests: links, shared bus, cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.cache import CacheConfig, CacheSim
+from repro.sim.memory import Link, SharedBus
+from repro.errors import SimulationError
+
+
+class TestLink:
+    def test_transfer_time_includes_setup(self):
+        link = Link("dma", bandwidth_gbps=1.0, setup_ns=100)
+        # 1 GB/s == 1 byte/ns
+        assert link.transfer_ns(1000) == 1100
+
+    def test_zero_bytes_free(self):
+        link = Link("dma", 1.0, setup_ns=100)
+        assert link.transfer_ns(0) == 0
+
+    def test_effective_bandwidth_approaches_peak(self):
+        link = Link("dma", 10.0, setup_ns=1000)
+        small = link.effective_gbps(100)
+        large = link.effective_gbps(10_000_000)
+        assert small < large <= 10.0 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            Link("x", 0.0)
+        with pytest.raises(SimulationError):
+            Link("x", 1.0, setup_ns=-5)
+        with pytest.raises(SimulationError):
+            Link("x", 1.0).transfer_ns(-1)
+
+
+class TestSharedBus:
+    def test_serializes_overlapping_transfers(self):
+        bus = SharedBus("eib", 1.0)  # 1 byte/ns
+        s1, e1 = bus.request(0, 100)
+        s2, e2 = bus.request(0, 100)
+        assert (s1, e1) == (0, 100)
+        assert (s2, e2) == (100, 200)
+
+    def test_idle_gap_respected(self):
+        bus = SharedBus("eib", 1.0)
+        bus.request(0, 10)
+        s, e = bus.request(500, 10)
+        assert s == 500 and e == 510
+
+    def test_busy_accounting(self):
+        bus = SharedBus("eib", 2.0, setup_ns=10)
+        bus.request(0, 100)
+        bus.request(0, 100)
+        assert bus.transfers == 2
+        assert bus.bytes_moved == 200
+        assert bus.busy_ns == 2 * (10 + 50)
+
+    def test_utilization(self):
+        bus = SharedBus("eib", 1.0)
+        bus.request(0, 100)
+        assert bus.utilization(200) == pytest.approx(0.5)
+
+    def test_reset(self):
+        bus = SharedBus("eib", 1.0)
+        bus.request(0, 50)
+        bus.reset()
+        assert bus.busy_ns == 0
+        assert bus.request(0, 10)[0] == 0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            SharedBus("x", -1.0)
+        bus = SharedBus("x", 1.0)
+        with pytest.raises(SimulationError):
+            bus.request(-1, 10)
+        with pytest.raises(SimulationError):
+            bus.utilization(0)
+
+
+class TestCacheConfig:
+    def test_sets_computed(self):
+        cfg = CacheConfig(size_bytes=32 * 1024, line_bytes=64, ways=8)
+        assert cfg.sets == 64
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            CacheConfig(size_bytes=0)
+        with pytest.raises(SimulationError):
+            CacheConfig(size_bytes=1024, line_bytes=48)  # not power of two
+        with pytest.raises(SimulationError):
+            CacheConfig(size_bytes=1000, line_bytes=64, ways=8)  # not divisible
+        with pytest.raises(SimulationError):
+            CacheConfig(size_bytes=64 * 3 * 8, line_bytes=64, ways=8)  # 3 sets
+
+
+class TestCacheSim:
+    def cfg(self, **kw):
+        defaults = dict(size_bytes=1024, line_bytes=64, ways=2)
+        defaults.update(kw)
+        return CacheConfig(**defaults)
+
+    def test_cold_miss_then_hit(self):
+        sim = CacheSim(self.cfg())
+        stats = sim.access(np.array([0, 0, 0]))
+        assert stats.accesses == 3
+        assert stats.hits == 2
+        assert stats.misses == 1
+
+    def test_same_line_hits(self):
+        sim = CacheSim(self.cfg())
+        stats = sim.access(np.array([0, 63, 32]))
+        assert stats.misses == 1
+
+    def test_different_lines_miss(self):
+        sim = CacheSim(self.cfg())
+        stats = sim.access(np.array([0, 64, 128]))
+        assert stats.misses == 3
+
+    def test_lru_eviction(self):
+        # 2-way set: three conflicting lines evict the least recent
+        cfg = self.cfg()
+        sets = cfg.sets
+        stride = cfg.line_bytes * sets  # same set, different tags
+        sim = CacheSim(cfg)
+        a, b, c = 0, stride, 2 * stride
+        sim.access(np.array([a, b]))        # both resident
+        sim.access(np.array([c]))           # evicts a (LRU)
+        stats = sim.access(np.array([b]))   # b still resident -> hit
+        assert stats.hits == 1
+        stats = sim.access(np.array([a]))   # a evicted -> miss
+        assert stats.hits == 1
+
+    def test_working_set_fits(self):
+        cfg = self.cfg(size_bytes=4096, ways=4)
+        sim = CacheSim(cfg)
+        addrs = np.arange(0, 4096, 64)
+        sim.access(addrs)              # cold fill
+        stats = sim.access(addrs)      # now everything hits
+        assert stats.hit_rate == pytest.approx((64 * 2 - 64) / 128)
+
+    def test_replay_resets(self):
+        sim = CacheSim(self.cfg())
+        sim.access(np.array([0]))
+        stats = sim.replay(np.array([0]))
+        assert stats.accesses == 1
+        assert stats.misses == 1
+
+    def test_negative_addresses_rejected(self):
+        sim = CacheSim(self.cfg())
+        with pytest.raises(SimulationError):
+            sim.access(np.array([-64]))
+
+    def test_miss_bytes(self):
+        sim = CacheSim(self.cfg())
+        stats = sim.replay(np.array([0, 64, 128]))
+        assert stats.miss_bytes(64) == 192
+
+
+@given(seed=st.integers(0, 500), size_kb=st.sampled_from([1, 2, 4]))
+@settings(max_examples=25, deadline=None)
+def test_property_more_ways_never_hurt(seed, size_kb):
+    """Growing associativity at a fixed set count never loses hits.
+
+    This is the LRU stack-inclusion property per set; it only holds
+    when the set count stays constant, hence ways scale with size.
+    """
+    rng = np.random.default_rng(seed)
+    trace = rng.integers(0, 8192, size=300)
+    small = CacheSim(CacheConfig(size_kb * 1024, 64, 2)).replay(trace)
+    large = CacheSim(CacheConfig(size_kb * 4 * 1024, 64, 8)).replay(trace)
+    assert large.hits >= small.hits

@@ -1,0 +1,130 @@
+"""SMP platform model tests."""
+
+import numpy as np
+import pytest
+
+from repro.accel.multicore import SMPModel
+from repro.accel.platform import Workload
+from repro.accel.presets import sequential_reference, xeon_2010, xeon_modern
+from repro.parallel.simd import SSE2
+from repro.errors import PlatformError
+
+
+@pytest.fixture()
+def workload_otf(small_field):
+    return Workload.from_field(small_field, mode="otf")
+
+
+@pytest.fixture()
+def workload_lut(small_field):
+    return Workload.from_field(small_field, mode="lut")
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(PlatformError):
+            SMPModel(cores=0)
+        with pytest.raises(PlatformError):
+            SMPModel(clock_ghz=0.0)
+        with pytest.raises(PlatformError):
+            SMPModel(serial_ns=-1)
+
+    def test_peak_gflops_includes_simd(self):
+        scalar = SMPModel(cores=4, clock_ghz=2.0, flops_per_cycle=2.0, isa=None)
+        simd = SMPModel(cores=4, clock_ghz=2.0, flops_per_cycle=2.0, isa=SSE2)
+        assert simd.peak_gflops == 4 * scalar.peak_gflops
+
+    def test_describe_row(self):
+        d = xeon_2010().describe()
+        assert d["cores"] == 4 and d["simd"] == "sse2"
+
+
+class TestEstimate:
+    def test_more_threads_never_slower(self, workload_otf):
+        smp = xeon_modern()
+        times = [smp.estimate_frame(workload_otf, threads=t).frame_ns
+                 for t in (1, 2, 4, 8, 16)]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_compute_bound_scales_nearly_linearly(self, workload_otf):
+        smp = SMPModel(cores=8, clock_ghz=3.0, mem_bw_gbps=1000.0,
+                       serial_ns=0, sync_ns=0)
+        t1 = smp.estimate_frame(workload_otf, threads=1).frame_ns
+        t8 = smp.estimate_frame(workload_otf, threads=8).frame_ns
+        assert t1 / t8 == pytest.approx(8.0, rel=0.05)
+
+    def test_bandwidth_ceiling_binds(self, workload_lut):
+        smp = SMPModel(cores=16, clock_ghz=3.0, mem_bw_gbps=0.5,
+                       serial_ns=0, sync_ns=0)
+        rep = smp.estimate_frame(workload_lut, threads=16)
+        assert rep.bottleneck == "memory"
+        # frame time is at least traffic / bandwidth
+        traffic = rep.notes["traffic_bytes"]
+        assert rep.frame_ns >= traffic / 0.5 - 1
+
+    def test_serial_floor(self, workload_otf):
+        smp = SMPModel(cores=4, serial_ns=10_000_000)
+        rep = smp.estimate_frame(workload_otf)
+        assert rep.frame_ns >= 10_000_000
+
+    def test_simd_speeds_up_compute(self, workload_otf):
+        base = dict(cores=1, clock_ghz=3.0, mem_bw_gbps=100.0, serial_ns=0,
+                    sync_ns=0)
+        scalar = SMPModel(isa=None, **base).estimate_frame(workload_otf).frame_ns
+        simd = SMPModel(isa=SSE2, **base).estimate_frame(workload_otf).frame_ns
+        assert simd < scalar
+
+    def test_thread_bounds_checked(self, workload_otf):
+        smp = xeon_2010()
+        with pytest.raises(PlatformError):
+            smp.estimate_frame(workload_otf, threads=0)
+        with pytest.raises(PlatformError):
+            smp.estimate_frame(workload_otf, threads=5)
+
+    def test_breakdown_sums_sensibly(self, workload_otf):
+        rep = xeon_2010().estimate_frame(workload_otf)
+        assert rep.breakdown.total_ns >= rep.frame_ns * 0.5
+
+    def test_scaling_helper(self, workload_otf):
+        reports = xeon_2010().scaling(workload_otf)
+        assert [r.notes["threads"] for r in reports] == [1, 2, 4]
+
+
+class TestImbalance:
+    def test_tilted_field_creates_static_imbalance(self, tilted_field):
+        workload = Workload.from_field(tilted_field, mode="otf")
+        smp = SMPModel(cores=8, schedule="static")
+        factor, assignment = smp.imbalance_factor(workload, threads=8)
+        assert factor > 1.0
+        assert assignment is not None
+
+    def test_dynamic_less_imbalanced_than_static(self, tilted_field):
+        workload = Workload.from_field(tilted_field, mode="otf")
+        static = SMPModel(cores=8, schedule="static")
+        dynamic = SMPModel(cores=8, schedule="dynamic")
+        f_static, _ = static.imbalance_factor(workload, threads=8)
+        f_dynamic, _ = dynamic.imbalance_factor(workload, threads=8)
+        assert f_dynamic <= f_static
+
+    def test_single_thread_no_imbalance(self, tilted_field):
+        workload = Workload.from_field(tilted_field)
+        factor, assignment = SMPModel(cores=4).imbalance_factor(workload, 1)
+        assert factor == 1.0 and assignment is None
+
+    def test_no_field_no_imbalance(self):
+        from repro.accel.kernels import kernel_spec
+
+        w = Workload(out_width=64, out_height=64, src_width=64, src_height=64,
+                     spec=kernel_spec())
+        factor, _ = SMPModel(cores=4).imbalance_factor(w, 4)
+        assert factor == 1.0
+
+
+class TestPresets:
+    def test_sequential_is_single_core(self):
+        assert sequential_reference().cores == 1
+
+    def test_modern_beats_2010(self, workload_otf):
+        old = xeon_2010().estimate_frame(workload_otf)
+        new = xeon_modern().estimate_frame(workload_otf)
+        assert new.fps > old.fps

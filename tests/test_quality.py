@@ -1,0 +1,147 @@
+"""Quality metric tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mapping import identity_map
+from repro.core.quality import (
+    center_scale,
+    fov_retention,
+    line_straightness,
+    psnr,
+    ssim,
+)
+from repro.errors import GeometryError, ImageFormatError
+
+
+class TestPSNR:
+    def test_identical_is_infinite(self, random_image):
+        assert psnr(random_image, random_image) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((10, 10))
+        b = np.full((10, 10), 10.0)
+        # mse = 100, peak = 255 -> 10 log10(65025/100)
+        assert psnr(a, b, peak=255.0) == pytest.approx(10 * np.log10(65025 / 100))
+
+    def test_mask_restricts(self, random_image):
+        noisy = random_image.copy()
+        noisy[:32] = 0  # destroy the top half
+        mask = np.zeros_like(random_image, dtype=bool)
+        mask[32:] = True
+        assert psnr(random_image, noisy, mask=mask) == float("inf")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ImageFormatError):
+            psnr(np.zeros((4, 4)), np.zeros((5, 5)))
+
+    def test_monotone_in_noise(self, random_image, rng):
+        img = random_image.astype(np.float64)
+        small = psnr(img, img + rng.normal(0, 1, img.shape))
+        large = psnr(img, img + rng.normal(0, 8, img.shape))
+        assert small > large
+
+    def test_auto_peak_for_unit_range(self):
+        a = np.zeros((8, 8))
+        b = np.full((8, 8), 0.1)
+        assert psnr(a, b) == pytest.approx(10 * np.log10(1.0 / 0.01))
+
+
+class TestSSIM:
+    def test_identical_is_one(self, random_image):
+        assert ssim(random_image, random_image) == pytest.approx(1.0)
+
+    def test_noise_reduces_similarity(self, gradient_image, rng):
+        noisy = np.clip(gradient_image + rng.normal(0, 30, gradient_image.shape),
+                        0, 255)
+        assert ssim(gradient_image, noisy) < 0.95
+
+    def test_color_averaged(self, rgb_image):
+        assert ssim(rgb_image, rgb_image) == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ImageFormatError):
+            ssim(np.zeros((4, 4)), np.zeros((4, 5)))
+
+    def test_constant_shift_scores_below_one(self):
+        a = np.full((32, 32), 100.0)
+        b = np.full((32, 32), 140.0)
+        assert ssim(a, b, peak=255.0) < 1.0
+
+
+class TestLineStraightness:
+    def test_perfect_line(self):
+        t = np.linspace(0, 1, 20)
+        pts = np.stack([3 * t + 1, -2 * t + 5], axis=1)
+        rms, mx = line_straightness(pts)
+        assert rms == pytest.approx(0.0, abs=1e-12)
+        assert mx == pytest.approx(0.0, abs=1e-12)
+
+    def test_vertical_line_supported(self):
+        pts = np.stack([np.full(10, 2.0), np.arange(10.0)], axis=1)
+        rms, _ = line_straightness(pts)
+        assert rms == pytest.approx(0.0, abs=1e-12)
+
+    def test_bowed_points_measured(self):
+        t = np.linspace(-1, 1, 21)
+        pts = np.stack([t, 0.5 * t ** 2], axis=1)
+        rms, mx = line_straightness(pts)
+        assert rms > 0.05
+        assert mx >= rms
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            line_straightness(np.zeros((2, 2)))
+        with pytest.raises(GeometryError):
+            line_straightness(np.zeros((5, 3)))
+
+
+class TestFieldMetrics:
+    def test_center_scale_identity_is_one(self):
+        assert center_scale(identity_map(16, 16)) == pytest.approx(1.0)
+
+    def test_center_scale_scaled_map(self):
+        f = identity_map(16, 16)
+        f2 = type(f)(f.map_x * 2.0, f.map_y * 2.0, 32, 32)
+        assert center_scale(f2) == pytest.approx(2.0)
+
+    def test_center_scale_small_field_rejected(self):
+        with pytest.raises(GeometryError):
+            center_scale(identity_map(2, 2))
+
+    def test_fov_retention_full_for_wide_view(self, small_field, small_lens,
+                                              small_sensor):
+        # the zoom-0.5 view reaches deep into the periphery
+        ret = fov_retention(small_field, small_lens, small_sensor)
+        assert 0.7 < ret <= 1.0
+
+    def test_fov_retention_small_for_zoomed_view(self, small_sensor, small_lens):
+        from repro.core.intrinsics import CameraIntrinsics
+        from repro.core.mapping import perspective_map
+
+        focal = small_sensor.focal * 4.0  # heavy zoom-in
+        out = CameraIntrinsics(fx=focal, fy=focal, cx=31.5, cy=31.5,
+                               width=64, height=64)
+        f = perspective_map(small_sensor, small_lens, out)
+        narrow = fov_retention(f, small_lens, small_sensor)
+        wide = fov_retention(
+            perspective_map(small_sensor, small_lens,
+                            CameraIntrinsics(fx=focal / 8, fy=focal / 8, cx=31.5,
+                                             cy=31.5, width=64, height=64)),
+            small_lens, small_sensor)
+        assert narrow < wide
+
+    def test_fov_retention_empty_field_zero(self, small_lens, small_sensor):
+        from repro.core.mapping import RemapField
+
+        f = RemapField(np.full((4, 4), np.nan), np.full((4, 4), np.nan), 64, 64)
+        assert fov_retention(f, small_lens, small_sensor) == 0.0
+
+
+@given(scale=st.floats(0.25, 4.0))
+@settings(max_examples=40, deadline=None)
+def test_property_center_scale_tracks_uniform_scaling(scale):
+    f = identity_map(16, 16)
+    scaled = type(f)(f.map_x * scale, f.map_y * scale, 64, 64)
+    assert center_scale(scaled) == pytest.approx(scale, rel=1e-9)

@@ -1,0 +1,148 @@
+"""Remap engine tests: on-the-fly vs LUT vs tile application."""
+
+import numpy as np
+import pytest
+
+from repro.core import interpolation as interp
+from repro.core.mapping import RemapField, identity_map
+from repro.core.remap import RemapLUT, remap, remap_profiled
+from repro.errors import InterpolationError, MappingError
+
+
+class TestRemapOnTheFly:
+    def test_identity_map_is_noop(self, random_image):
+        f = identity_map(64, 64)
+        out = remap(random_image, f, method="bilinear")
+        np.testing.assert_array_equal(out, random_image)
+
+    def test_rejects_wrong_source_size(self, random_image):
+        f = identity_map(32, 32)
+        with pytest.raises(MappingError):
+            remap(random_image, f)
+
+    @pytest.mark.parametrize("method", interp.METHODS)
+    def test_matches_direct_sampling(self, method, small_field, random_image):
+        via_remap = remap(random_image, small_field, method=method)
+        direct = interp.sample(random_image, small_field.map_x, small_field.map_y,
+                               method=method)
+        np.testing.assert_array_equal(via_remap, direct)
+
+
+class TestRemapLUT:
+    @pytest.mark.parametrize("method", interp.METHODS)
+    def test_lut_matches_otf(self, method, small_field, random_image):
+        lut = RemapLUT(small_field, method=method)
+        out_lut = lut.apply(random_image)
+        out_otf = remap(random_image, small_field, method=method)
+        np.testing.assert_allclose(out_lut.astype(int), out_otf.astype(int), atol=1)
+
+    def test_taps_per_method(self, small_field):
+        assert RemapLUT(small_field, method="nearest").taps == 1
+        assert RemapLUT(small_field, method="bilinear").taps == 4
+        assert RemapLUT(small_field, method="bicubic").taps == 16
+
+    def test_weights_sum_to_one_where_valid(self, small_field):
+        lut = RemapLUT(small_field, method="bilinear")
+        sums = lut.weights.sum(axis=1)
+        valid = lut.mask
+        np.testing.assert_allclose(sums[valid], 1.0, atol=1e-6)
+
+    def test_masked_pixels_get_fill(self, tilted_field, random_image):
+        lut = RemapLUT(tilted_field, method="bilinear", fill=123.0)
+        out = lut.apply(random_image)
+        invalid = ~tilted_field.valid_mask()
+        assert invalid.any()
+        np.testing.assert_array_equal(out[invalid], 123)
+
+    def test_indices_in_bounds(self, small_field):
+        for method in interp.METHODS:
+            lut = RemapLUT(small_field, method=method)
+            assert lut.indices.min() >= 0
+            assert lut.indices.max() < 64 * 64
+
+    def test_nbytes_and_entry_bytes_consistent(self, small_field):
+        lut = RemapLUT(small_field, method="bilinear")
+        pixels = 64 * 64
+        assert lut.nbytes == pytest.approx(lut.entry_bytes() * pixels, rel=0.01)
+
+    def test_apply_out_buffer_reused(self, small_field, random_image):
+        lut = RemapLUT(small_field)
+        buf = np.empty((64, 64), dtype=np.uint8)
+        out = lut.apply(random_image, out=buf)
+        assert out is buf
+        np.testing.assert_array_equal(buf, lut.apply(random_image))
+
+    def test_apply_rejects_wrong_frame(self, small_field):
+        lut = RemapLUT(small_field)
+        with pytest.raises(MappingError):
+            lut.apply(np.zeros((10, 10), dtype=np.uint8))
+
+    def test_rejects_unknown_method(self, small_field):
+        with pytest.raises(InterpolationError):
+            RemapLUT(small_field, method="spline")
+
+    def test_rejects_unknown_border(self, small_field):
+        with pytest.raises(InterpolationError):
+            RemapLUT(small_field, border="mirror99")
+
+    def test_multichannel(self, small_field, rgb_image):
+        lut = RemapLUT(small_field)
+        out = lut.apply(rgb_image)
+        assert out.shape == (64, 64, 3)
+        for c in range(3):
+            np.testing.assert_array_equal(out[..., c], lut.apply(rgb_image[..., c]))
+
+
+class TestApplyRows:
+    def test_stitched_rows_equal_full_apply(self, small_field, random_image):
+        lut = RemapLUT(small_field, method="bilinear")
+        full = lut.apply(random_image)
+        parts = [lut.apply_rows(random_image, r, min(r + 13, 64))
+                 for r in range(0, 64, 13)]
+        stitched = np.concatenate(parts, axis=0)
+        np.testing.assert_array_equal(stitched, full)
+
+    def test_bad_row_range_rejected(self, small_field, random_image):
+        lut = RemapLUT(small_field)
+        with pytest.raises(MappingError):
+            lut.apply_rows(random_image, 10, 5)
+        with pytest.raises(MappingError):
+            lut.apply_rows(random_image, 0, 100)
+
+    def test_rgb_rows(self, small_field, rgb_image):
+        lut = RemapLUT(small_field)
+        block = lut.apply_rows(rgb_image, 8, 16)
+        np.testing.assert_array_equal(block, lut.apply(rgb_image)[8:16])
+
+
+class TestRemapProfiled:
+    def test_output_matches_lut(self, small_field, random_image):
+        out, prof = remap_profiled(random_image, small_field)
+        lut = RemapLUT(small_field)
+        np.testing.assert_array_equal(out, lut.apply(random_image))
+
+    def test_profile_has_positive_stages(self, small_field, random_image):
+        _, prof = remap_profiled(random_image, small_field)
+        d = prof.as_dict()
+        for stage in ("lut_build", "gather", "interpolate", "store"):
+            assert d[stage] >= 0.0
+        assert prof.total == pytest.approx(sum(v for k, v in d.items() if k != "total"))
+
+    def test_profile_fill_applied(self, tilted_field, random_image):
+        out, _ = remap_profiled(random_image, tilted_field, fill=50.0)
+        invalid = ~tilted_field.valid_mask()
+        np.testing.assert_array_equal(out[invalid], 50)
+
+
+class TestFloatFrames:
+    def test_float32_frames_supported(self, small_field):
+        frame = np.linspace(0, 1, 64 * 64, dtype=np.float32).reshape(64, 64)
+        lut = RemapLUT(small_field)
+        out = lut.apply(frame)
+        assert out.dtype == np.float32
+        assert np.isfinite(out).all()
+
+    def test_uint16_frames_supported(self, small_field, rng):
+        frame = rng.integers(0, 65535, size=(64, 64), dtype=np.uint16)
+        out = RemapLUT(small_field).apply(frame)
+        assert out.dtype == np.uint16

@@ -1,0 +1,124 @@
+"""Loop-schedule replay tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel.schedule import (
+    SCHEDULES,
+    cyclic_chunks,
+    simulate,
+    static_chunks,
+)
+from repro.errors import ScheduleError
+
+
+class TestChunkHelpers:
+    def test_static_contiguous_and_complete(self):
+        chunks = static_chunks(10, 3)
+        flat = [u for c in chunks for u in c]
+        assert flat == list(range(10))
+        assert all(c == sorted(c) for c in chunks)
+
+    def test_static_sizes_balanced(self):
+        sizes = [len(c) for c in static_chunks(11, 4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_cyclic_round_robin(self):
+        chunks = cyclic_chunks(6, 2, chunk=1)
+        assert chunks[0] == [0, 2, 4]
+        assert chunks[1] == [1, 3, 5]
+
+    def test_cyclic_chunked(self):
+        chunks = cyclic_chunks(8, 2, chunk=2)
+        assert chunks[0] == [0, 1, 4, 5]
+        assert chunks[1] == [2, 3, 6, 7]
+
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            static_chunks(5, 0)
+        with pytest.raises(ScheduleError):
+            cyclic_chunks(5, 2, chunk=0)
+
+
+class TestSimulate:
+    def test_single_worker_makespan_is_sum(self):
+        costs = np.array([3.0, 1.0, 2.0])
+        for schedule in SCHEDULES:
+            a = simulate(costs, 1, schedule=schedule)
+            assert a.makespan == pytest.approx(6.0)
+
+    def test_every_unit_scheduled_once(self):
+        costs = np.arange(1, 21, dtype=float)
+        for schedule in SCHEDULES:
+            a = simulate(costs, 4, schedule=schedule)
+            flat = sorted(u for w in a.order for u in w)
+            assert flat == list(range(20))
+
+    def test_makespan_lower_bounds(self):
+        rng = np.random.default_rng(5)
+        costs = rng.uniform(0.5, 2.0, size=30)
+        for schedule in SCHEDULES:
+            a = simulate(costs, 4, schedule=schedule)
+            assert a.makespan >= costs.max() - 1e-12
+            assert a.makespan >= costs.sum() / 4 - 1e-12
+
+    def test_dynamic_beats_static_on_skewed_costs(self):
+        # one contiguous run of expensive units (out-of-FOV pattern)
+        costs = np.ones(32)
+        costs[:8] = 10.0
+        static = simulate(costs, 4, schedule="static")
+        dynamic = simulate(costs, 4, schedule="dynamic")
+        assert dynamic.makespan < static.makespan
+
+    def test_guided_uses_fewer_dispatches_than_dynamic(self):
+        costs = np.ones(256)
+        dynamic = simulate(costs, 4, schedule="dynamic", chunk=1)
+        guided = simulate(costs, 4, schedule="guided", chunk=1)
+        assert guided.dispatches < dynamic.dispatches
+
+    def test_dispatch_overhead_slows_fine_chunks(self):
+        costs = np.ones(64)
+        cheap = simulate(costs, 4, schedule="dynamic", chunk=16,
+                         dispatch_overhead=0.5)
+        pricey = simulate(costs, 4, schedule="dynamic", chunk=1,
+                          dispatch_overhead=0.5)
+        assert cheap.makespan < pricey.makespan
+
+    def test_imbalance_metric(self):
+        a = simulate(np.array([4.0, 1.0]), 2, schedule="static")
+        assert a.imbalance == pytest.approx(4.0 / 2.5)
+
+    def test_speedup(self):
+        costs = np.ones(16)
+        a = simulate(costs, 4, schedule="dynamic")
+        assert a.speedup() == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            simulate(np.ones(4), 0)
+        with pytest.raises(ScheduleError):
+            simulate(np.array([]), 2)
+        with pytest.raises(ScheduleError):
+            simulate(np.array([-1.0]), 2)
+        with pytest.raises(ScheduleError):
+            simulate(np.ones(4), 2, schedule="fifo")
+        with pytest.raises(ScheduleError):
+            simulate(np.ones(4), 2, chunk=0)
+
+
+@given(n=st.integers(1, 60), workers=st.integers(1, 8),
+       schedule=st.sampled_from(SCHEDULES), seed=st.integers(0, 999))
+@settings(max_examples=120, deadline=None)
+def test_property_conservation_and_bounds(n, workers, schedule, seed):
+    """Work is conserved and the makespan respects classic bounds."""
+    rng = np.random.default_rng(seed)
+    costs = rng.uniform(0.0, 3.0, size=n)
+    a = simulate(costs, workers, schedule=schedule)
+    flat = sorted(u for w in a.order for u in w)
+    assert flat == list(range(n))
+    assert a.busy.sum() == pytest.approx(costs.sum())
+    assert a.makespan >= max(costs.max(), costs.sum() / workers) - 1e-9
+    # list scheduling is within 2x of optimal (Graham's bound)
+    assert a.makespan <= costs.sum() / workers + costs.max() + 1e-9 or \
+        schedule in ("static", "static_cyclic")

@@ -1,0 +1,92 @@
+"""Synthetic scene generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.video.synth import checkerboard, circle_grid, gradient, noise, radial_circles, urban
+from repro.errors import ImageFormatError
+
+
+class TestCheckerboard:
+    def test_shape_and_dtype(self):
+        img = checkerboard(32, 24, square=8)
+        assert img.shape == (24, 32)
+        assert img.dtype == np.uint8
+
+    def test_alternation(self):
+        img = checkerboard(16, 16, square=4, low=0, high=255)
+        assert img[0, 0] == 0
+        assert img[0, 4] == 255
+        assert img[4, 0] == 255
+        assert img[4, 4] == 0
+
+    def test_only_two_levels(self):
+        img = checkerboard(20, 20, square=3, low=10, high=200)
+        assert set(np.unique(img)) == {10, 200}
+
+    def test_validation(self):
+        with pytest.raises(ImageFormatError):
+            checkerboard(0, 10)
+        with pytest.raises(ImageFormatError):
+            checkerboard(10, 10, square=0)
+
+
+class TestCircleGrid:
+    def test_point_count(self):
+        _, pts = circle_grid(64, 64, rings=3, spokes=8)
+        assert pts.shape == (1 + 3 * 8, 2)
+
+    def test_center_dot_first(self):
+        img, pts = circle_grid(65, 65, rings=1, spokes=4)
+        assert pts[0, 0] == pytest.approx(32.0)
+        assert pts[0, 1] == pytest.approx(32.0)
+        assert img[32, 32] == 255
+
+    def test_dots_inside_frame(self):
+        _, pts = circle_grid(64, 48, rings=4, spokes=12)
+        assert pts[:, 0].min() >= 0 and pts[:, 0].max() <= 63
+        assert pts[:, 1].min() >= 0 and pts[:, 1].max() <= 47
+
+    def test_validation(self):
+        with pytest.raises(ImageFormatError):
+            circle_grid(64, 64, rings=0)
+        with pytest.raises(ImageFormatError):
+            circle_grid(64, 64, spokes=2)
+        with pytest.raises(ImageFormatError):
+            circle_grid(64, 64, margin=1.5)
+
+
+class TestOtherScenes:
+    def test_radial_circles_center_dark(self):
+        img = radial_circles(65, 65, rings=4)
+        assert img[32, 32] == 0
+        assert img.max() == 255
+
+    def test_urban_deterministic_by_seed(self):
+        a = urban(48, 48, seed=3)
+        b = urban(48, 48, seed=3)
+        c = urban(48, 48, seed=4)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_urban_has_structure(self):
+        img = urban(64, 64)
+        assert img.std() > 10.0
+
+    def test_gradient_monotone(self):
+        img = gradient(32, 8, horizontal=True)
+        assert img[0, 0] == 0 and img[0, -1] == 255
+        assert np.all(np.diff(img[0].astype(int)) >= 0)
+        vert = gradient(8, 32, horizontal=False)
+        assert vert[-1, 0] == 255
+
+    def test_noise_deterministic(self):
+        np.testing.assert_array_equal(noise(16, 16, seed=1), noise(16, 16, seed=1))
+
+    def test_validation(self):
+        with pytest.raises(ImageFormatError):
+            radial_circles(10, 10, rings=0)
+        with pytest.raises(ImageFormatError):
+            urban(10, 10, buildings=0)
+        with pytest.raises(ImageFormatError):
+            gradient(0, 4)

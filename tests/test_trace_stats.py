@@ -1,0 +1,112 @@
+"""Address-trace extraction and simulation-counter tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import identity_map
+from repro.core.remap import RemapLUT
+from repro.parallel.partition import Tile
+from repro.sim.stats import Breakdown, Counters
+from repro.sim.trace import gather_trace, output_trace, tile_gather_trace
+from repro.errors import SimulationError
+
+
+class TestGatherTrace:
+    def test_identity_nearest_is_sequential(self):
+        lut = RemapLUT(identity_map(8, 8), method="nearest")
+        trace = gather_trace(lut, pixel_bytes=1)
+        np.testing.assert_array_equal(trace, np.arange(64))
+
+    def test_pixel_bytes_scale(self):
+        lut = RemapLUT(identity_map(4, 4), method="nearest")
+        trace = gather_trace(lut, pixel_bytes=4)
+        np.testing.assert_array_equal(trace, np.arange(16) * 4)
+
+    def test_base_offset(self):
+        lut = RemapLUT(identity_map(2, 2), method="nearest")
+        trace = gather_trace(lut, base=1000)
+        assert trace.min() == 1000
+
+    def test_taps_expand_trace(self, small_field):
+        lut = RemapLUT(small_field, method="bilinear")
+        trace = gather_trace(lut)
+        assert trace.size == 64 * 64 * 4
+
+    def test_validation(self, small_field):
+        lut = RemapLUT(small_field)
+        with pytest.raises(SimulationError):
+            gather_trace(lut, pixel_bytes=0)
+
+
+class TestTileGatherTrace:
+    def test_tile_subset_of_full(self, small_field):
+        lut = RemapLUT(small_field, method="nearest")
+        tile = Tile(4, 8, 8, 16)
+        trace = tile_gather_trace(lut, tile)
+        assert trace.size == tile.pixels
+        full = gather_trace(lut).reshape(64, 64)
+        np.testing.assert_array_equal(trace.reshape(4, 8), full[4:8, 8:16])
+
+    def test_out_of_range_tile_rejected(self, small_field):
+        lut = RemapLUT(small_field)
+        with pytest.raises(SimulationError):
+            tile_gather_trace(lut, Tile(0, 100, 0, 8))
+
+
+class TestOutputTrace:
+    def test_sequential(self):
+        trace = output_trace(2, 3, pixel_bytes=2)
+        np.testing.assert_array_equal(trace, [0, 2, 4, 6, 8, 10])
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            output_trace(0, 5)
+
+
+class TestCounters:
+    def test_add_and_read(self):
+        c = Counters()
+        c.add("hits", 3)
+        c.add("hits")
+        assert c["hits"] == 4
+        assert c["absent"] == 0
+
+    def test_as_dict(self):
+        c = Counters()
+        c.add("a", 2)
+        assert c.as_dict() == {"a": 2}
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            Counters().add("x", -1)
+
+    def test_repr_sorted(self):
+        c = Counters()
+        c.add("b", 1)
+        c.add("a", 2)
+        assert repr(c) == "Counters(a=2, b=1)"
+
+
+class TestBreakdown:
+    def test_accumulates(self):
+        b = Breakdown()
+        b.add("compute", 100)
+        b.add("compute", 50)
+        b.add("dma", 30)
+        assert b.total_ns == 180
+        assert b.fraction("compute") == pytest.approx(150 / 180)
+
+    def test_empty_fraction_zero(self):
+        assert Breakdown().fraction("x") == 0.0
+
+    def test_merge(self):
+        a = Breakdown({"compute": 10})
+        b = Breakdown({"compute": 5, "dma": 7})
+        merged = a.merged(b)
+        assert merged.as_dict() == {"compute": 15, "dma": 7}
+        # originals untouched
+        assert a.as_dict() == {"compute": 10}
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            Breakdown().add("x", -1)

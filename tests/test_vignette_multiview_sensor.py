@@ -1,0 +1,247 @@
+"""Tests: vignetting model, multi-view composition, sensor noise."""
+
+import numpy as np
+import pytest
+
+from repro.core.multiview import ViewSpec, compose_views, quad_view
+from repro.core.remap import RemapLUT
+from repro.core.vignette import VignetteModel, correct_vignette
+from repro.video.sensor import SensorNoise
+from repro.errors import GeometryError, ImageFormatError, MappingError
+
+
+# ----------------------------------------------------------------------
+# Vignetting
+# ----------------------------------------------------------------------
+class TestVignetteModel:
+    @pytest.fixture()
+    def model(self, small_sensor, small_lens):
+        return VignetteModel(small_lens, small_sensor, alpha=3.0)
+
+    def test_center_full_illumination(self, model):
+        assert float(model.falloff_at_radius(0.0)) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self, model):
+        radii = np.linspace(0, 30, 20)
+        fall = model.falloff_at_radius(radii)
+        assert all(a >= b - 1e-12 for a, b in zip(fall, fall[1:]))
+
+    def test_floor_respected(self, small_sensor, small_lens):
+        model = VignetteModel(small_lens, small_sensor, alpha=6.0, floor=0.2)
+        assert float(model.falloff_at_radius(30.0)) >= 0.2
+
+    def test_cos4_law_value(self, small_sensor, small_lens):
+        model = VignetteModel(small_lens, small_sensor, alpha=4.0, floor=0.01)
+        r45 = float(small_lens.angle_to_radius(np.pi / 4))
+        assert float(model.falloff_at_radius(r45)) == pytest.approx(
+            np.cos(np.pi / 4) ** 4, rel=1e-6)
+
+    def test_apply_darkens_periphery_not_center(self, model):
+        img = np.full((64, 64), 200, dtype=np.uint8)
+        out = model.apply(img)
+        assert out[32, 32] >= 198
+        assert out[32, 2] < 150
+
+    def test_apply_geometry_checked(self, model):
+        with pytest.raises(GeometryError):
+            model.apply(np.zeros((10, 10), dtype=np.uint8))
+
+    def test_gain_inverts_falloff(self, model):
+        img = np.full((64, 64), 128, dtype=np.uint8)
+        dark = model.apply(img)
+        restored = correct_vignette(dark, model.gain_map())
+        # within the un-capped gain region the roundtrip is near-exact
+        inner = restored[20:44, 20:44]
+        assert np.abs(inner.astype(int) - 128).max() <= 2
+
+    def test_gain_cap(self, small_sensor, small_lens):
+        model = VignetteModel(small_lens, small_sensor, alpha=6.0, floor=0.01)
+        gains = model.gain_map(max_gain=4.0)
+        assert gains.max() <= 4.0
+
+    def test_gain_for_field_aligned(self, model, small_field):
+        gains = model.gain_for_field(small_field)
+        assert gains.shape == small_field.shape
+        # output centre looks at the fisheye centre: gain ~ 1
+        assert gains[32, 32] == pytest.approx(1.0, abs=0.01)
+        # output edge looks at the periphery: gain > 1
+        assert gains[32, 2] > 1.5
+
+    def test_fused_correction_pipeline(self, model, small_field, gradient_image):
+        """Remap then out-domain gain == the fused formulation."""
+        dark = model.apply(gradient_image)
+        lut = RemapLUT(small_field)
+        remapped = lut.apply(dark)
+        corrected = correct_vignette(remapped, model.gain_for_field(small_field))
+        reference = lut.apply(gradient_image)
+        inner = np.s_[16:48, 16:48]
+        err = np.abs(corrected[inner].astype(int) - reference[inner].astype(int))
+        assert np.median(err) <= 2
+
+    def test_validation(self, small_sensor, small_lens):
+        with pytest.raises(GeometryError):
+            VignetteModel(small_lens, small_sensor, alpha=-1.0)
+        with pytest.raises(GeometryError):
+            VignetteModel(small_lens, small_sensor, floor=0.0)
+        model = VignetteModel(small_lens, small_sensor)
+        with pytest.raises(GeometryError):
+            model.gain_map(max_gain=0.5)
+        with pytest.raises(GeometryError):
+            correct_vignette(np.zeros((4, 4)), np.ones((5, 5)))
+
+
+# ----------------------------------------------------------------------
+# Multi-view composition
+# ----------------------------------------------------------------------
+class TestComposeViews:
+    def test_single_pane_matches_direct_map(self, small_sensor, small_lens):
+        from repro.core.intrinsics import CameraIntrinsics
+        from repro.core.mapping import perspective_map
+
+        field = compose_views(small_sensor, small_lens,
+                              [ViewSpec(0, 0, 64, 64, zoom=0.5)], 64, 64)
+        focal = float(small_lens.magnification(1e-4)) * 0.5
+        cam = CameraIntrinsics(fx=focal, fy=focal, cx=31.5, cy=31.5,
+                               width=64, height=64)
+        direct = perspective_map(small_sensor, small_lens, cam)
+        np.testing.assert_allclose(field.map_x, direct.map_x, atol=1e-12)
+
+    def test_pane_placement(self, small_sensor, small_lens):
+        views = [ViewSpec(0, 0, 32, 32, zoom=0.5),
+                 ViewSpec(32, 32, 32, 32, zoom=1.0)]
+        field = compose_views(small_sensor, small_lens, views, 64, 64)
+        mask = field.valid_mask()
+        assert mask[:32, :32].all()
+        assert mask[32:, 32:].all()
+        # uncovered panes are invalid
+        assert not mask[:32, 32:].any()
+
+    def test_overlap_rejected(self, small_sensor, small_lens):
+        views = [ViewSpec(0, 0, 40, 40), ViewSpec(20, 20, 40, 40)]
+        with pytest.raises(MappingError):
+            compose_views(small_sensor, small_lens, views, 64, 64)
+
+    def test_out_of_bounds_pane_rejected(self, small_sensor, small_lens):
+        with pytest.raises(MappingError):
+            compose_views(small_sensor, small_lens,
+                          [ViewSpec(40, 0, 32, 32)], 64, 64)
+
+    def test_empty_views_rejected(self, small_sensor, small_lens):
+        with pytest.raises(MappingError):
+            compose_views(small_sensor, small_lens, [], 64, 64)
+
+    def test_mosaic_corrects_in_one_pass(self, small_sensor, small_lens,
+                                         random_image):
+        views = [ViewSpec(0, 0, 32, 64, zoom=0.5),
+                 ViewSpec(32, 0, 32, 64, zoom=1.2, pitch=0.4)]
+        field = compose_views(small_sensor, small_lens, views, 64, 64)
+        out = RemapLUT(field).apply(random_image)
+        assert out.shape == (64, 64)
+        # each pane independently equals its standalone correction
+        lone = compose_views(small_sensor, small_lens,
+                             [ViewSpec(0, 0, 32, 64, zoom=0.5)], 32, 64)
+        np.testing.assert_array_equal(out[:, :32], RemapLUT(lone).apply(random_image))
+
+    def test_viewspec_validation(self):
+        with pytest.raises(MappingError):
+            ViewSpec(0, 0, 0, 10)
+        with pytest.raises(MappingError):
+            ViewSpec(-1, 0, 10, 10)
+        with pytest.raises(MappingError):
+            ViewSpec(0, 0, 10, 10, zoom=0.0)
+
+
+class TestQuadView:
+    def test_quad_covers_everything(self, small_sensor, small_lens):
+        field = quad_view(small_sensor, small_lens, 64, 64)
+        assert field.coverage() > 0.95
+
+    def test_quad_panes_differ(self, small_sensor, small_lens, random_image):
+        field = quad_view(small_sensor, small_lens, 64, 64)
+        out = RemapLUT(field).apply(random_image)
+        assert not np.array_equal(out[:32, :32], out[:32, 32:])
+        assert not np.array_equal(out[32:, :32], out[32:, 32:])
+
+    def test_odd_size_rejected(self, small_sensor, small_lens):
+        with pytest.raises(MappingError):
+            quad_view(small_sensor, small_lens, 63, 64)
+
+    def test_single_lut_for_whole_mosaic(self, small_sensor, small_lens):
+        field = quad_view(small_sensor, small_lens, 64, 64)
+        lut = RemapLUT(field)
+        assert lut.out_shape == (64, 64)  # one table drives all four panes
+
+
+# ----------------------------------------------------------------------
+# Sensor noise
+# ----------------------------------------------------------------------
+class TestSensorNoise:
+    def test_deterministic_per_seed_and_frame(self, gradient_image):
+        noise = SensorNoise(seed=5)
+        a = noise.apply(gradient_image, frame_index=3)
+        b = noise.apply(gradient_image, frame_index=3)
+        c = noise.apply(gradient_image, frame_index=4)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_mean_preserved(self, gradient_image):
+        noise = SensorNoise(full_well=4000.0, read_noise=4.0, seed=1)
+        noisy = noise.apply(gradient_image)
+        assert abs(float(noisy.mean()) - float(gradient_image.mean())) < 2.0
+
+    def test_noise_scales_inversely_with_full_well(self, gradient_image):
+        small = SensorNoise(full_well=500.0, seed=2).apply(gradient_image)
+        large = SensorNoise(full_well=50000.0, seed=2).apply(gradient_image)
+        err_small = np.abs(small.astype(int) - gradient_image.astype(int)).std()
+        err_large = np.abs(large.astype(int) - gradient_image.astype(int)).std()
+        assert err_small > err_large
+
+    def test_defects_injected(self, gradient_image):
+        noise = SensorNoise(defect_rate=0.05, read_noise=0.0, seed=3)
+        noisy = noise.apply(gradient_image)
+        frac_extreme = float(((noisy == 0) | (noisy == 255)).mean())
+        assert frac_extreme > 0.02
+
+    def test_snr_increases_with_signal(self):
+        noise = SensorNoise(full_well=4000.0, read_noise=6.0)
+        assert noise.snr_db(1.0) > noise.snr_db(0.1)
+
+    def test_validation(self, gradient_image):
+        with pytest.raises(ImageFormatError):
+            SensorNoise(full_well=0.0)
+        with pytest.raises(ImageFormatError):
+            SensorNoise(defect_rate=1.0)
+        with pytest.raises(ImageFormatError):
+            SensorNoise().apply(gradient_image.astype(np.float32))
+        with pytest.raises(ImageFormatError):
+            SensorNoise().snr_db(0.0)
+
+    def test_calibration_survives_noise(self):
+        """Robustness loop: blob calibration under realistic noise."""
+        from repro.core.calibration import calibrate, detect_blobs
+        from repro.core.intrinsics import FisheyeIntrinsics
+        from repro.core.lens import EquidistantLens
+        from repro.video.distort import FisheyeRenderer, scene_camera_for_sensor
+        from repro.video.synth import circle_grid
+
+        size = 256
+        circle = size / 2.0 - 1.0
+        sensor = FisheyeIntrinsics.centered(size, size, focal=circle / (np.pi / 2.0))
+        lens = EquidistantLens(sensor.focal)
+        scene_cam = scene_camera_for_sensor(sensor, lens, size, size)
+        target, pts = circle_grid(size, size, rings=4, spokes=8, dot_radius=4,
+                                  margin=0.7)
+        frame = FisheyeRenderer(scene_cam, lens, sensor).render(target)
+        noisy = SensorNoise(full_well=2000.0, read_noise=8.0, seed=9).apply(frame)
+
+        xn, yn = scene_cam.normalize(pts[:, 0], pts[:, 1])
+        thetas = np.arctan(np.hypot(xn, yn))
+        blobs = detect_blobs(noisy.astype(float), min_area=4)
+        assert len(blobs) == len(pts)
+        blob_pts = np.array([[b.x, b.y] for b in blobs])
+        guess = blob_pts.mean(axis=0)
+        order = np.argsort(np.hypot(blob_pts[:, 0] - guess[0],
+                                    blob_pts[:, 1] - guess[1]))
+        result = calibrate(blob_pts[order][1:], np.sort(thetas)[1:],
+                           center_guess=tuple(guess))
+        assert result.focal == pytest.approx(sensor.focal, rel=0.02)
