@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Fast perf-regression gate for the fused LUT kernel.
+
+Smoke-runs the two experiments most sensitive to the remap hot path
+(F7 LUT-vs-OTF and F1 multicore scaling) at VGA so their invariants
+still hold, then times the fused bilinear apply on a 1080p frame and
+compares it against the pre-compact-layout baseline recorded in
+``BENCH_baseline.json`` at the repo root.
+
+Exit status 0 = no regression; 1 = the fused kernel has become slower
+than the old per-tap kernel it replaced (or an invariant broke).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.bench.experiments import f1_multicore_scaling, f7_lut_vs_otf  # noqa: E402
+from repro.bench.harness import standard_field, resolution       # noqa: E402
+from repro.core.remap import RemapLUT                            # noqa: E402
+from repro.video import synth                                    # noqa: E402
+
+BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_baseline.json")
+REPEATS = 5
+
+
+def _check(label: str, ok: bool, detail: str) -> bool:
+    print(f"  [{'ok' if ok else 'FAIL'}] {label}: {detail}")
+    return ok
+
+
+def smoke_experiments() -> bool:
+    """The cheap invariant sweep: both experiments still tell their story."""
+    print("== smoke: F7 LUT vs on-the-fly (VGA) ==")
+    t7 = f7_lut_vs_otf(res="VGA")
+    adv = dict(zip(t7.column("platform"), t7.column("lut_advantage")))
+    ok = _check("sequential favours LUT", adv["sequential"] > 1.5,
+                f"advantage {adv['sequential']:.2f}")
+    ok &= _check("host(numpy) favours LUT", adv["host(numpy)"] > 1.5,
+                 f"advantage {adv['host(numpy)']:.2f}")
+
+    print("== smoke: F1 multicore scaling (VGA) ==")
+    t1 = f1_multicore_scaling(resolutions=("VGA",))
+    speedups = t1.column("speedup")
+    ok &= _check("parallel speedup positive", all(s > 0 for s in speedups),
+                 f"min speedup {min(speedups):.2f}")
+    return ok
+
+
+def time_fused_apply() -> float:
+    """Best-of-N fused bilinear apply on a 1080p frame (steady state)."""
+    w, h = resolution("1080p")
+    field = standard_field(w, h)
+    frame = synth.urban(w, h)
+    lut = RemapLUT(field, method="bilinear")
+    out = np.empty(lut.out_shape, dtype=frame.dtype)
+    lut.apply_into(frame, out)  # warmup: derive + cache the weight table
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        lut.apply_into(frame, out)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main() -> int:
+    with open(BASELINE_PATH) as fh:
+        base = json.load(fh)
+
+    ok = smoke_experiments()
+
+    print("== fused apply vs seed baseline (1080p bilinear) ==")
+    measured = time_fused_apply()
+    seed = float(base["seed_apply_s"])
+    ok &= _check("fused apply beats seed kernel", measured < seed,
+                 f"measured {measured * 1e3:.1f} ms vs seed {seed * 1e3:.1f} ms "
+                 f"({seed / measured:.2f}x)")
+
+    entry = RemapLUT.entry_bytes_for("bilinear")
+    seed_entry = float(base["entry_bytes_seed"]["bilinear"])
+    ok &= _check("bilinear entry >= 40% smaller", entry <= 0.6 * seed_entry,
+                 f"{entry} B vs seed {seed_entry:.0f} B")
+
+    print("PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

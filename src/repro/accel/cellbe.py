@@ -36,12 +36,20 @@ __all__ = ["CellModel", "TileJob"]
 
 @dataclass(frozen=True)
 class TileJob:
-    """One SPE work unit: byte volumes and compute time for a tile."""
+    """One SPE work unit: byte volumes and compute time for a tile.
+
+    ``dma_in_bytes`` is the inbound total; ``dma_src_bytes`` /
+    ``dma_lut_bytes`` break it down into source-pixel and LUT-entry
+    traffic so the entry-size accounting (the axis the compact int32
+    table layout optimizes) is visible per tile.
+    """
 
     tile: Tile
     dma_in_bytes: int
     dma_out_bytes: int
     compute_ns: int
+    dma_src_bytes: int = 0
+    dma_lut_bytes: int = 0
 
     @property
     def working_set(self) -> int:
@@ -133,8 +141,44 @@ class CellModel(PlatformModel):
                 valid_px = t.pixels
             compute_ns = int(round(valid_px * cycles_valid / self.clock_ghz
                                    + (t.pixels - valid_px) * 1.0 / self.clock_ghz))
-            jobs.append(TileJob(t, src_bytes + lut_bytes, out_bytes, compute_ns))
+            jobs.append(TileJob(t, src_bytes + lut_bytes, out_bytes, compute_ns,
+                                dma_src_bytes=src_bytes, dma_lut_bytes=lut_bytes))
         return jobs
+
+    def dma_profile(self, workload: Workload, tile_rows: int | None = None,
+                    tile_cols: int | None = None,
+                    double_buffering: bool = True) -> dict:
+        """Per-frame DMA ledger for one tiling: the entry-size accounting.
+
+        Breaks the frame's DMA traffic into source, LUT and output
+        bytes — the LUT share scales linearly with the table's
+        ``entry_bytes`` (e.g. halving the bilinear entry from the
+        int64 layout's 49 B to the compact int32 layout's 25 B removes
+        that fraction of EIB traffic).  Returns totals plus per-pixel
+        figures.
+        """
+        if tile_rows is None:
+            auto_rows, auto_cols = self.max_tile_shape(workload, double_buffering)
+            tile_rows = auto_rows
+            if tile_cols is None:
+                tile_cols = auto_cols
+        jobs = self._jobs(workload, tile_rows, tile_cols)
+        src = sum(j.dma_src_bytes for j in jobs)
+        lut = sum(j.dma_lut_bytes for j in jobs)
+        out = sum(j.dma_out_bytes for j in jobs)
+        total = src + lut + out
+        return {
+            "tiles": len(jobs),
+            "tile_rows": tile_rows,
+            "tile_cols": tile_cols if tile_cols is not None else workload.out_width,
+            "src_bytes": src,
+            "lut_bytes": lut,
+            "out_bytes": out,
+            "total_bytes": total,
+            "lut_entry_bytes": workload.spec.lut_bytes,
+            "bytes_per_output_px": total / workload.pixels,
+            "dma_setup_ns_total": len(jobs) * 2 * self.dma_setup_ns,
+        }
 
     def usable_local_store(self, double_buffering: bool) -> int:
         """Bytes available for tile buffers (halved by double buffering)."""

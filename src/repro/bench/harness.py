@@ -76,12 +76,20 @@ def standard_field(width: int, height: int, zoom: float = 0.5,
 def standard_workload(res: str = "1080p", method: str = "bilinear",
                       mode: str = "lut", pixel_bytes: int = 1,
                       zoom: float = 0.5, pitch: float = 0.0,
-                      yaw: float = 0.0) -> Workload:
-    """A fully-measured workload at a named standard resolution."""
+                      yaw: float = 0.0,
+                      lut_entry_bytes: float | None = None) -> Workload:
+    """A fully-measured workload at a named standard resolution.
+
+    ``lut_entry_bytes`` optionally overrides the table-entry size the
+    models price (e.g. ``RemapLUT.entry_bytes_for(method)`` to bill the
+    host library's materialized compact int32 layout instead of the
+    default deployed packed layout).
+    """
     w, h = resolution(res)
     field = standard_field(w, h, zoom, pitch=pitch, yaw=yaw)
     return Workload.from_field(field, method=method, mode=mode,
-                               pixel_bytes=pixel_bytes)
+                               pixel_bytes=pixel_bytes,
+                               lut_entry_bytes=lut_entry_bytes)
 
 
 def amdahl_fit(threads, speedups):

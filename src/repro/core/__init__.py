@@ -40,6 +40,7 @@ from .mapping import (
     perspective_map,
 )
 from .antialias import SupersampledLUT, minification_map, supersample_field
+from .lutcache import LUTCache, field_fingerprint
 from .compose import affine_field, compose_fields, crop_field
 from .multiview import ViewSpec, compose_views, quad_view
 from .pipeline import FisheyeCorrector, SequentialExecutor, StreamStats
@@ -86,6 +87,8 @@ __all__ = [
     "SequentialExecutor",
     "StreamStats",
     "RemapLUT",
+    "LUTCache",
+    "field_fingerprint",
     "StageProfile",
     "remap",
     "remap_profiled",

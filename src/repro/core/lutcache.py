@@ -1,0 +1,193 @@
+"""LUT memoization: reuse built remap tables across streams and restarts.
+
+The T2 profile shows the per-stream cost of the LUT pipeline is
+dominated by table *construction* (map analysis, border resolution,
+fraction extraction), not application — roughly two orders of magnitude
+more than correcting one frame.  A long-running service that restarts
+streams, rotates views, or multiplexes a handful of camera geometries
+re-pays that cost every time unless the tables are memoized.
+
+:class:`LUTCache` keys built :class:`~repro.core.remap.RemapLUT` tables
+by *field content* (a SHA-1 over the coordinate arrays) plus the build
+parameters, so two fields that are numerically identical share one
+table no matter how they were constructed.  Two tiers:
+
+- an in-process LRU of live ``RemapLUT`` objects (``capacity`` entries);
+- an optional on-disk tier (``cache_dir``): each entry is a directory
+  of ``.npy`` tables that are **memory-mapped** on load, so a restarted
+  process pays file-open cost, not a rebuild, and the OS page cache
+  shares the bytes between processes.
+
+Typical streaming-restart usage::
+
+    cache = LUTCache(cache_dir="~/.cache/repro-luts")
+    lut = cache.get(field, method="bilinear")   # build once...
+    ...                                          # process restarts
+    lut = cache.get(field, method="bilinear")   # ...mmap'd back, no build
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+from ..errors import MappingError
+from .mapping import RemapField
+from .remap import RemapLUT
+
+__all__ = ["LUTCache", "field_fingerprint"]
+
+_FORMAT_VERSION = 1
+
+
+def field_fingerprint(field: RemapField) -> str:
+    """Content hash of a coordinate field (SHA-1 hex digest).
+
+    Hashes the raw bytes of ``map_x``/``map_y`` plus their shapes and
+    the source geometry, so equality means "same remap", independent of
+    how the field object was produced.
+    """
+    h = hashlib.sha1()
+    for arr in (field.map_x, field.map_y):
+        a = np.ascontiguousarray(arr)
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    h.update(f"{field.src_width}x{field.src_height}".encode())
+    return h.hexdigest()
+
+
+class LUTCache:
+    """Two-tier (memory + optional disk) cache of built remap LUTs.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum live LUTs kept in memory (LRU eviction).
+    cache_dir:
+        Optional directory for persistent entries.  Created on first
+        write; tables are loaded back memory-mapped (read-only).
+
+    Attributes
+    ----------
+    hits, misses, disk_hits:
+        Counters; ``hits`` are memory-tier hits, ``disk_hits`` count
+        loads that skipped a rebuild via the disk tier (they also
+        increment ``misses`` for the memory tier).
+    """
+
+    def __init__(self, capacity: int = 8, cache_dir: Optional[str] = None):
+        if capacity < 1:
+            raise MappingError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.cache_dir = os.path.expanduser(cache_dir) if cache_dir else None
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, RemapLUT]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key_for(field: RemapField, method: str = "bilinear",
+                border: str = "constant", fill: float = 0.0) -> str:
+        """Cache key: field content hash + build parameters."""
+        tail = f"|{method}|{border}|{float(fill)!r}"
+        return field_fingerprint(field) + hashlib.sha1(tail.encode()).hexdigest()[:8]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop the memory tier (the disk tier is left intact)."""
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    def get(self, field: RemapField, method: str = "bilinear",
+            border: str = "constant", fill: float = 0.0) -> RemapLUT:
+        """Return the LUT for this configuration, building at most once."""
+        key = self.key_for(field, method, border, fill)
+        with self._lock:
+            lut = self._entries.get(key)
+            if lut is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return lut
+            self.misses += 1
+        lut = self._load(key)
+        if lut is None:
+            lut = RemapLUT(field, method=method, border=border, fill=fill)
+            self._store(key, lut)
+        else:
+            self.disk_hits += 1
+        with self._lock:
+            self._entries[key] = lut
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return lut
+
+    # ------------------------------------------------------------------
+    # Disk tier
+    # ------------------------------------------------------------------
+    def _entry_dir(self, key: str) -> Optional[str]:
+        return os.path.join(self.cache_dir, key) if self.cache_dir else None
+
+    def _store(self, key: str, lut: RemapLUT) -> None:
+        path = self._entry_dir(key)
+        if path is None:
+            return
+        tmp = path + ".tmp"
+        os.makedirs(tmp, exist_ok=True)
+        np.save(os.path.join(tmp, "indices.npy"), lut.indices)
+        if lut.fracs is not None:
+            np.save(os.path.join(tmp, "fracs.npy"), lut.fracs)
+        if lut.mask is not None:
+            np.save(os.path.join(tmp, "mask.npy"), lut.mask)
+        meta = {
+            "version": _FORMAT_VERSION,
+            "method": lut.method,
+            "border": lut.border,
+            "fill": lut.fill,
+            "out_shape": list(lut.out_shape),
+            "src_shape": list(lut.src_shape),
+        }
+        with open(os.path.join(tmp, "meta.json"), "w") as fh:
+            json.dump(meta, fh)
+        # Atomic publish: a reader either sees the full entry or nothing.
+        try:
+            os.replace(tmp, path)
+        except OSError:
+            # Entry appeared concurrently (or non-empty dir on this
+            # platform): keep the existing one.
+            import shutil
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    def _load(self, key: str) -> Optional[RemapLUT]:
+        path = self._entry_dir(key)
+        if path is None or not os.path.isdir(path):
+            return None
+        try:
+            with open(os.path.join(path, "meta.json")) as fh:
+                meta = json.load(fh)
+            if meta.get("version") != _FORMAT_VERSION:
+                return None
+            indices = np.load(os.path.join(path, "indices.npy"), mmap_mode="r")
+            fracs_path = os.path.join(path, "fracs.npy")
+            fracs = np.load(fracs_path, mmap_mode="r") if os.path.exists(fracs_path) else None
+            mask_path = os.path.join(path, "mask.npy")
+            mask = np.load(mask_path, mmap_mode="r") if os.path.exists(mask_path) else None
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            return None
+        return RemapLUT.from_tables(
+            indices, fracs, mask,
+            out_shape=tuple(meta["out_shape"]), src_shape=tuple(meta["src_shape"]),
+            method=meta["method"], border=meta["border"], fill=meta["fill"])

@@ -86,16 +86,24 @@ class FisheyeCorrector:
     executor:
         Optional :class:`RemapExecutor`; defaults to
         :class:`SequentialExecutor`.
+    lut_cache:
+        Optional :class:`~repro.core.lutcache.LUTCache`.  When given,
+        the remap table is fetched through it instead of being built
+        unconditionally, so correctors sharing a cache (or restarting
+        against its disk tier) skip the most expensive per-stream
+        stage.
     """
 
     def __init__(self, field: RemapField, method: str = "bilinear",
                  border: str = "constant", fill: float = 0.0,
-                 executor: Optional[RemapExecutor] = None):
+                 executor: Optional[RemapExecutor] = None,
+                 lut_cache=None):
         self.field = field
         self.method = method
         self.border = border
         self.fill = fill
         self.executor = executor or SequentialExecutor()
+        self.lut_cache = lut_cache
         self._lut: Optional[RemapLUT] = None
 
     # ------------------------------------------------------------------
@@ -107,7 +115,8 @@ class FisheyeCorrector:
                    yaw: float = 0.0, pitch: float = 0.0, roll: float = 0.0,
                    method: str = "bilinear", border: str = "constant",
                    fill: float = 0.0,
-                   executor: Optional[RemapExecutor] = None) -> "FisheyeCorrector":
+                   executor: Optional[RemapExecutor] = None,
+                   lut_cache=None) -> "FisheyeCorrector":
         """Build a perspective-view corrector for a fisheye sensor.
 
         ``zoom`` scales the output focal length relative to the value
@@ -127,15 +136,20 @@ class FisheyeCorrector:
             width=out_width, height=out_height,
         )
         field = perspective_map(sensor, lens, out, yaw=yaw, pitch=pitch, roll=roll)
-        return cls(field, method=method, border=border, fill=fill, executor=executor)
+        return cls(field, method=method, border=border, fill=fill, executor=executor,
+                   lut_cache=lut_cache)
 
     # ------------------------------------------------------------------
     @property
     def lut(self) -> RemapLUT:
         """The frozen remap table (built lazily, reused across frames)."""
         if self._lut is None:
-            self._lut = RemapLUT(self.field, method=self.method,
-                                 border=self.border, fill=self.fill)
+            if self.lut_cache is not None:
+                self._lut = self.lut_cache.get(self.field, method=self.method,
+                                               border=self.border, fill=self.fill)
+            else:
+                self._lut = RemapLUT(self.field, method=self.method,
+                                     border=self.border, fill=self.fill)
         return self._lut
 
     @property

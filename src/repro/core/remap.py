@@ -15,6 +15,24 @@ explores:
     accelerator models ship to device memory (its entry size determines
     DMA traffic).
 
+The LUT stores the *compact* table layout: ``int32`` flat gather
+offsets plus per-axis interpolation fractions (nothing at all for
+nearest), from which the per-tap weight vectors are derived — the same
+entry the paper DMAs to a Cell SPE or streams through a GPU texture
+path.  :meth:`RemapLUT.entry_bytes` prices exactly this layout.
+
+Frame application is a fused gather-multiply-accumulate
+(:meth:`RemapLUT.apply`) that reuses pooled scratch buffers, so
+steady-state streaming performs **zero allocations**:
+
+- ``apply(image)``            returns a fresh output array;
+- ``apply(image, out=buf)`` / ``apply_into(image, buf)``
+                              write the destination buffer directly
+                              (no materialize-then-copy);
+- ``apply_rows(image, r0, r1)`` is the tile primitive for the parallel
+  executors, and ``apply_rows_into`` its in-place twin for executors
+  that own a shared output buffer.
+
 Both paths share exact semantics with
 :func:`repro.core.interpolation.sample`; the test-suite cross-checks
 all three against the scalar oracle.
@@ -22,8 +40,9 @@ all three against the scalar oracle.
 
 from __future__ import annotations
 
+import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -87,8 +106,80 @@ class StageProfile:
         }
 
 
+class _StageTimers:
+    """Gather/interpolate/store accumulators for the profiled path."""
+
+    __slots__ = ("gather", "interpolate", "store")
+
+    def __init__(self):
+        self.gather = 0.0
+        self.interpolate = 0.0
+        self.store = 0.0
+
+
+class _ScratchPool:
+    """Thread-safe pool of (accumulator, gather) scratch buffer pairs.
+
+    The fused kernel borrows a pair per call and returns it afterwards,
+    so a steady-state stream touches the allocator only on its first
+    frame.  Keys are ``(rows, channels, dtype)`` — concurrent tile
+    workers with equal band sizes each get their own pair.
+    """
+
+    _MAX_PER_KEY = 8  # bound idle memory under bursty concurrency
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._free = {}
+
+    def acquire(self, n: int, channels: int, dtype):
+        key = (n, channels, np.dtype(dtype).str)
+        with self._lock:
+            stack = self._free.get(key)
+            if stack:
+                return stack.pop()
+        return (np.empty((n, channels), dtype=dtype),
+                np.empty((n, channels), dtype=dtype))
+
+    def release(self, pair):
+        acc = pair[0]
+        key = (acc.shape[0], acc.shape[1], acc.dtype.str)
+        with self._lock:
+            stack = self._free.setdefault(key, [])
+            if len(stack) < self._MAX_PER_KEY:
+                stack.append(pair)
+
+
+def _store_epilogue(acc, invalid, fill, dtype, out_shape, squeeze,
+                    out=None, timers=None):
+    """Shared store stage: fill, round, clip, cast, (optionally) emit.
+
+    ``acc`` is the float accumulator, reshaped — never returned — so the
+    caller can recycle it.  With ``out`` the destination buffer is
+    written directly; otherwise a fresh array of ``dtype`` is returned.
+    """
+    t0 = time.perf_counter() if timers is not None else 0.0
+    if invalid is not None:
+        np.copyto(acc, fill, where=invalid[:, None])
+    if np.issubdtype(dtype, np.integer):
+        info = np.iinfo(dtype)
+        np.rint(acc, out=acc)
+        np.clip(acc, info.min, info.max, out=acc)
+    view = acc.reshape(out_shape + (acc.shape[1],))
+    if squeeze:
+        view = view[..., 0]
+    if out is not None:
+        np.copyto(out, view, casting="unsafe")
+        result = out
+    else:
+        result = view.astype(dtype, copy=True)
+    if timers is not None:
+        timers.store += time.perf_counter() - t0
+    return result
+
+
 class RemapLUT:
-    """Precomputed gather indices + weights for one coordinate field.
+    """Precomputed gather indices + interpolation fractions for one field.
 
     Parameters
     ----------
@@ -104,11 +195,18 @@ class RemapLUT:
 
     Notes
     -----
-    Indices are stored as flat row-major offsets into the source frame
-    so that a frame application is a single fancy-indexed gather —
-    the same dataflow as a DMA'd scatter-gather list or a texture
-    fetch.  Weights are float32 (the precision an embedded fixed-point
-    implementation would start from; see :mod:`repro.core.fixedpoint`).
+    Indices are stored as flat row-major ``int32`` offsets into the
+    source frame so that a frame application is a single fancy-indexed
+    gather — the same dataflow as a DMA'd scatter-gather list or a
+    texture fetch, at half the index traffic of an ``int64`` table.
+    Instead of materialized per-tap weights, the table keeps only the
+    per-axis interpolation fractions (``fracs``): 2 float32 for
+    bilinear, the two 4-vector Catmull-Rom axis weights for bicubic,
+    nothing for nearest.  The full ``(taps,)`` weight vector is derived
+    from them once, lazily, into a reusable scratch table — in a
+    hardware kernel that derivation happens in-register, which is why
+    :meth:`entry_bytes` (DMA sizing) prices only indices + fractions
+    (+ 1 mask byte).
     """
 
     def __init__(self, field: RemapField, method: str = "bilinear",
@@ -125,6 +223,10 @@ class RemapLUT:
         self.out_shape = field.shape
         self.src_shape = (field.src_height, field.src_width)
         h, w = self.src_shape
+        if h * w - 1 > np.iinfo(np.int32).max:
+            raise MappingError(
+                f"source frame {w}x{h} exceeds the int32 index range of the "
+                f"compact LUT layout")
         self.mask = field.valid_mask().ravel() if border == "constant" else None
 
         if method == "nearest":
@@ -134,46 +236,85 @@ class RemapLUT:
             iy = np.rint(my).astype(np.int64).ravel()
             ix = _resolve_border(ix, w, border)
             iy = _resolve_border(iy, h, border)
-            self.indices = (iy * w + ix).reshape(-1, 1)
-            self.weights = np.ones((self.indices.shape[0], 1), dtype=np.float32)
+            self.indices = (iy * w + ix).reshape(-1, 1).astype(np.int32)
+            self.fracs = None
         elif method == "bilinear":
             ix, iy, fx, fy = interp.bilinear_taps(field.map_x, field.map_y)
             ix, iy = ix.ravel(), iy.ravel()
-            fx, fy = fx.ravel().astype(np.float32), fy.ravel().astype(np.float32)
             x0 = _resolve_border(ix, w, border)
             x1 = _resolve_border(ix + 1, w, border)
             y0 = _resolve_border(iy, h, border)
             y1 = _resolve_border(iy + 1, h, border)
             self.indices = np.stack(
                 [y0 * w + x0, y0 * w + x1, y1 * w + x0, y1 * w + x1], axis=1
-            ).astype(np.int64)
-            one = np.float32(1.0)
-            self.weights = np.stack(
-                [(one - fx) * (one - fy), fx * (one - fy), (one - fx) * fy, fx * fy],
-                axis=1,
-            )
+            ).astype(np.int32)
+            self.fracs = np.stack(
+                [fx.ravel(), fy.ravel()], axis=1).astype(np.float32)
         else:  # bicubic
             ix, iy, wx, wy = interp.bicubic_taps(field.map_x, field.map_y)
             ix, iy = ix.ravel(), iy.ravel()
-            wx = wx.reshape(-1, 4).astype(np.float32)
-            wy = wy.reshape(-1, 4).astype(np.float32)
             cols = [_resolve_border(ix - 1 + i, w, border) for i in range(4)]
             rows = [_resolve_border(iy - 1 + j, h, border) for j in range(4)]
-            idx = np.empty((ix.size, 16), dtype=np.int64)
-            wgt = np.empty((ix.size, 16), dtype=np.float32)
+            idx = np.empty((ix.size, 16), dtype=np.int32)
             for j in range(4):
+                base = rows[j] * w
                 for i in range(4):
-                    k = j * 4 + i
-                    idx[:, k] = rows[j] * w + cols[i]
-                    wgt[:, k] = wy[:, j] * wx[:, i]
+                    idx[:, j * 4 + i] = base + cols[i]
             self.indices = idx
-            self.weights = wgt
+            self.fracs = np.concatenate(
+                [wx.reshape(-1, 4), wy.reshape(-1, 4)], axis=1).astype(np.float32)
 
         if self.mask is not None:
             # Invalid output pixels contribute nothing; keep their taps at 0
             # so the gather stays in-bounds and branch-free.
             self.indices[~self.mask] = 0
-            self.weights[~self.mask] = 0.0
+
+        self._invalid = None       # lazily ~mask
+        self._wtab = None          # lazily derived (taps, N) weight table
+        self._pool = _ScratchPool()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tables(cls, indices, fracs, mask, out_shape, src_shape,
+                    method: str, border: str, fill: float,
+                    weight_table=None) -> "RemapLUT":
+        """Reconstruct a LUT from prebuilt tables (cache / shared memory).
+
+        Arrays are adopted as-is (no copy), so memory-mapped or
+        shared-memory-backed tables stay zero-copy.  ``weight_table``
+        optionally injects an already-derived ``(taps, N)`` float32
+        weight table, e.g. one living in a shared segment.
+        """
+        self = cls.__new__(cls)
+        self.method = method
+        self.border = border
+        self.fill = float(fill)
+        self.out_shape = tuple(out_shape)
+        self.src_shape = tuple(src_shape)
+        self.indices = indices
+        self.fracs = fracs
+        self.mask = mask
+        n = int(np.prod(self.out_shape))
+        if indices.ndim != 2 or indices.shape[0] != n:
+            raise MappingError(
+                f"index table {indices.shape} does not cover output {self.out_shape}")
+        self._invalid = None
+        self._wtab = weight_table
+        self._pool = _ScratchPool()
+        return self
+
+    # Scratch pools and derived tables are per-process state; drop them
+    # when a LUT is pickled to a worker.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        state["_wtab"] = None
+        state["_invalid"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._pool = _ScratchPool()
 
     # ------------------------------------------------------------------
     @property
@@ -182,23 +323,182 @@ class RemapLUT:
         return self.indices.shape[1]
 
     @property
+    def weights(self):
+        """Derived per-tap weight matrix, shape ``(N, taps)`` float32.
+
+        This is the *expanded* form of the stored fractions (scratch, not
+        part of the streamed table); rows of invalid output pixels are
+        zero.  Kept for consumers that need explicit weights, e.g.
+        :class:`~repro.core.fixedpoint.FixedPointLUT` quantization.
+        """
+        return self._weight_table_full().T
+
+    @property
     def nbytes(self) -> int:
-        """Memory footprint of the table (indices + weights + mask)."""
-        n = self.indices.nbytes + self.weights.nbytes
+        """Memory footprint of the stored table (indices + fracs + mask)."""
+        n = self.indices.nbytes
+        if self.fracs is not None:
+            n += self.fracs.nbytes
         if self.mask is not None:
             n += self.mask.nbytes
         return n
 
     def entry_bytes(self) -> int:
-        """Bytes per output pixel of LUT data (DMA sizing)."""
-        per = self.indices.dtype.itemsize * self.taps + self.weights.dtype.itemsize * self.taps
+        """Bytes per output pixel of streamed LUT data (DMA sizing).
+
+        Compact layout: ``taps`` int32 offsets, the per-axis fractions
+        (8 B bilinear, 32 B bicubic, 0 B nearest) and one validity byte
+        in ``constant`` mode.  The derived tap weights are *not*
+        counted — a device kernel rebuilds them in-register.
+        """
+        per = self.indices.dtype.itemsize * self.taps
+        if self.fracs is not None:
+            per += self.fracs.dtype.itemsize * self.fracs.shape[1]
         if self.mask is not None:
             per += 1
         return per
 
+    @staticmethod
+    def entry_bytes_for(method: str, border: str = "constant") -> int:
+        """Predict :meth:`entry_bytes` for a configuration without building.
+
+        Used by the accelerator models and benchmarks to price DMA/LUT
+        traffic of the host table layout.
+        """
+        if method not in interp.METHODS:
+            raise InterpolationError(
+                f"unknown interpolation method {method!r}; known: {interp.METHODS}")
+        taps = interp.footprint(method)
+        frac_floats = {"nearest": 0, "bilinear": 2, "bicubic": 8}[method]
+        return 4 * taps + 4 * frac_floats + (1 if border == "constant" else 0)
+
+    # ------------------------------------------------------------------
+    # Derived tables (scratch; lazily built, reused across frames)
+    # ------------------------------------------------------------------
+    def _invalid_mask(self):
+        if self.mask is None:
+            return None
+        if self._invalid is None:
+            self._invalid = ~self.mask
+        return self._invalid
+
+    def _weight_table(self):
+        """``(taps, N)`` float32 weight rows, or ``None`` for nearest."""
+        if self.fracs is None:
+            return None
+        return self._weight_table_full()
+
+    def _weight_table_full(self):
+        if self._wtab is None:
+            n = self.indices.shape[0]
+            if self.fracs is None:
+                wtab = np.ones((1, n), dtype=np.float32)
+            elif self.method == "bilinear":
+                fx = self.fracs[:, 0]
+                fy = self.fracs[:, 1]
+                one = np.float32(1.0)
+                wtab = np.empty((4, n), dtype=np.float32)
+                wtab[0] = (one - fx) * (one - fy)
+                wtab[1] = fx * (one - fy)
+                wtab[2] = (one - fx) * fy
+                wtab[3] = fx * fy
+            else:  # bicubic
+                wx = self.fracs[:, :4]
+                wy = self.fracs[:, 4:]
+                wtab = np.empty((16, n), dtype=np.float32)
+                for j in range(4):
+                    for i in range(4):
+                        wtab[j * 4 + i] = wy[:, j] * wx[:, i]
+            inv = self._invalid_mask()
+            if inv is not None:
+                wtab[:, inv] = 0.0
+            self._wtab = wtab
+        return self._wtab
+
+    # ------------------------------------------------------------------
+    # The fused kernel
+    # ------------------------------------------------------------------
+    def _prepare(self, image):
+        image = np.asarray(image)
+        if image.shape[:2] != self.src_shape:
+            raise MappingError(
+                f"frame {image.shape[:2]} does not match LUT source {self.src_shape}")
+        squeeze = image.ndim == 2
+        # Accumulate in float32 (the embedded-precision baseline) except
+        # for float64 frames, which keep their native precision instead
+        # of being forced through a lossy float32 round-trip.
+        acc_dtype = np.float64 if image.dtype == np.float64 else np.float32
+        flat = image.reshape(
+            self.src_shape[0] * self.src_shape[1], -1).astype(acc_dtype, copy=False)
+        return image, flat, squeeze, acc_dtype
+
+    def _accumulate(self, flat, idx, wtab, acc, scratch, timers=None):
+        """Fused gather-multiply-accumulate into preallocated ``acc``."""
+        if wtab is None:  # nearest: one unweighted gather, straight into acc
+            t0 = time.perf_counter() if timers is not None else 0.0
+            flat.take(idx[:, 0], axis=0, out=acc, mode="clip")
+            if timers is not None:
+                timers.gather += time.perf_counter() - t0
+            return
+        taps = idx.shape[1]
+        if timers is None:
+            flat.take(idx[:, 0], axis=0, out=scratch, mode="clip")
+            np.multiply(scratch, wtab[0][:, None], out=acc)
+            for k in range(1, taps):
+                flat.take(idx[:, k], axis=0, out=scratch, mode="clip")
+                np.multiply(scratch, wtab[k][:, None], out=scratch)
+                np.add(acc, scratch, out=acc)
+            return
+        for k in range(taps):
+            t0 = time.perf_counter()
+            flat.take(idx[:, k], axis=0, out=scratch, mode="clip")
+            timers.gather += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            if k == 0:
+                np.multiply(scratch, wtab[0][:, None], out=acc)
+            else:
+                np.multiply(scratch, wtab[k][:, None], out=scratch)
+                np.add(acc, scratch, out=acc)
+            timers.interpolate += time.perf_counter() - t0
+
+    def _run(self, image, row0=None, row1=None, out=None, timers=None):
+        """Shared implementation of apply/apply_rows/profiled apply."""
+        image, flat, squeeze, acc_dtype = self._prepare(image)
+        h_out, w_out = self.out_shape
+        if row0 is None:
+            sl = slice(None)
+            n = self.indices.shape[0]
+            shape2d = self.out_shape
+        else:
+            sl = slice(row0 * w_out, row1 * w_out)
+            n = sl.stop - sl.start
+            shape2d = (row1 - row0, w_out)
+        channels = flat.shape[1]
+        if out is not None:
+            expected = shape2d if squeeze else shape2d + (channels,)
+            if out.shape != expected or out.dtype != image.dtype:
+                raise MappingError(
+                    f"output buffer {out.shape}/{out.dtype} does not match "
+                    f"{expected}/{image.dtype}")
+        idx = self.indices[sl]
+        wtab = self._weight_table()
+        if wtab is not None and row0 is not None:
+            wtab = wtab[:, sl]
+        invalid = self._invalid_mask()
+        if invalid is not None and row0 is not None:
+            invalid = invalid[sl]
+        pair = self._pool.acquire(n, channels, acc_dtype)
+        try:
+            acc, scratch = pair
+            self._accumulate(flat, idx, wtab, acc, scratch, timers=timers)
+            return _store_epilogue(acc, invalid, self.fill, image.dtype,
+                                   shape2d, squeeze, out=out, timers=timers)
+        finally:
+            self._pool.release(pair)
+
     # ------------------------------------------------------------------
     def apply(self, image, out=None):
-        """Correct one frame: pure gather + weighted accumulate.
+        """Correct one frame: fused gather + weighted accumulate.
 
         Parameters
         ----------
@@ -206,31 +506,25 @@ class RemapLUT:
             Source frame matching the field's source size.
         out:
             Optional preallocated output array of shape
-            ``out_shape (+ channels)`` and the source dtype; reusing it
-            across frames avoids per-frame allocation (streaming mode).
+            ``out_shape (+ channels)`` and the source dtype.  When
+            given, the result is written into it directly (no
+            intermediate full-frame materialization) and reusing it
+            across frames makes the steady-state path allocation-free
+            (streaming mode).
         """
-        image = np.asarray(image)
-        if image.shape[:2] != self.src_shape:
-            raise MappingError(
-                f"frame {image.shape[:2]} does not match LUT source {self.src_shape}")
-        squeeze = image.ndim == 2
-        flat = image.reshape(self.src_shape[0] * self.src_shape[1], -1).astype(np.float32, copy=False)
-        acc = np.zeros((self.indices.shape[0], flat.shape[1]), dtype=np.float32)
-        for k in range(self.taps):
-            acc += flat[self.indices[:, k]] * self.weights[:, k, None]
-        if self.mask is not None:
-            acc[~self.mask] = self.fill
-        result = acc.reshape(self.out_shape + (flat.shape[1],))
-        if np.issubdtype(image.dtype, np.integer):
-            info = np.iinfo(image.dtype)
-            result = np.clip(np.rint(result), info.min, info.max)
-        result = result.astype(image.dtype, copy=False)
-        if squeeze:
-            result = result[..., 0]
-        if out is not None:
-            np.copyto(out, result)
-            return out
-        return result
+        return self._run(image, out=out)
+
+    def apply_into(self, image, out):
+        """Correct one frame directly into ``out`` (required, validated).
+
+        The explicit-destination twin of :meth:`apply`: the epilogue
+        writes the caller's buffer in place, which is what the
+        streaming pipeline and the shared-memory executors use to keep
+        per-frame allocations at zero.
+        """
+        if out is None:
+            raise MappingError("apply_into requires a destination buffer")
+        return self._run(image, out=out)
 
     def apply_rows(self, image, row0: int, row1: int):
         """Correct only output rows ``[row0, row1)`` — the tile primitive.
@@ -240,35 +534,33 @@ class RemapLUT:
         """
         if not 0 <= row0 < row1 <= self.out_shape[0]:
             raise MappingError(f"bad row range [{row0}, {row1}) for output {self.out_shape}")
-        image = np.asarray(image)
-        w = self.out_shape[1]
-        sl = slice(row0 * w, row1 * w)
-        flat = image.reshape(self.src_shape[0] * self.src_shape[1], -1).astype(np.float32, copy=False)
-        idx = self.indices[sl]
-        wgt = self.weights[sl]
-        acc = np.zeros((idx.shape[0], flat.shape[1]), dtype=np.float32)
-        for k in range(self.taps):
-            acc += flat[idx[:, k]] * wgt[:, k, None]
-        if self.mask is not None:
-            acc[~self.mask[sl]] = self.fill
-        result = acc.reshape((row1 - row0, w, flat.shape[1]))
-        if np.issubdtype(image.dtype, np.integer):
-            info = np.iinfo(image.dtype)
-            result = np.clip(np.rint(result), info.min, info.max)
-        result = result.astype(image.dtype, copy=False)
-        if image.ndim == 2:
-            result = result[..., 0]
-        return result
+        return self._run(image, row0=row0, row1=row1)
+
+    def apply_rows_into(self, image, row0: int, row1: int, out):
+        """Correct rows ``[row0, row1)`` straight into ``out``.
+
+        ``out`` must be the destination *block* (e.g. a slice of a
+        shared output frame); writing in place skips the
+        stitch-by-copy of :meth:`apply_rows`.
+        """
+        if not 0 <= row0 < row1 <= self.out_shape[0]:
+            raise MappingError(f"bad row range [{row0}, {row1}) for output {self.out_shape}")
+        if out is None:
+            raise MappingError("apply_rows_into requires a destination buffer")
+        return self._run(image, row0=row0, row1=row1, out=out)
 
 
 def remap_profiled(image, field: RemapField, method: str = "bilinear",
                    border: str = "constant", fill: float = 0.0):
     """Remap one frame while timing each pipeline stage (T2 profile).
 
-    Stages: LUT build (tap/weight resolution), gather (source fetches),
-    interpolate (weighted accumulate), store (rounding, dtype cast,
-    fill).  The ``map_build`` stage is timed by the caller, which owns
-    map construction; it is left 0 here.
+    Stages: LUT build (tap/fraction resolution + weight derivation),
+    gather (source fetches), interpolate (weighted accumulate), store
+    (fill, rounding, dtype cast).  The stage times are measured *inside
+    the shipping fused kernel* — the profile reflects exactly the code
+    path :meth:`RemapLUT.apply` executes, not a parallel
+    re-implementation.  The ``map_build`` stage is timed by the caller,
+    which owns map construction; it is left 0 here.
 
     Returns
     -------
@@ -279,29 +571,12 @@ def remap_profiled(image, field: RemapField, method: str = "bilinear",
 
     t0 = time.perf_counter()
     lut = RemapLUT(field, method=method, border=border, fill=fill)
+    lut._weight_table()  # derive tap weights now; part of the build cost
     prof.lut_build = time.perf_counter() - t0
 
-    flat = image.reshape(image.shape[0] * image.shape[1], -1).astype(np.float32, copy=False)
-
-    t0 = time.perf_counter()
-    gathered = [flat[lut.indices[:, k]] for k in range(lut.taps)]
-    prof.gather = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    acc = np.zeros_like(gathered[0])
-    for k in range(lut.taps):
-        acc += gathered[k] * lut.weights[:, k, None]
-    prof.interpolate = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    if lut.mask is not None:
-        acc[~lut.mask] = fill
-    result = acc.reshape(field.shape + (flat.shape[1],))
-    if np.issubdtype(image.dtype, np.integer):
-        info = np.iinfo(image.dtype)
-        result = np.clip(np.rint(result), info.min, info.max)
-    result = result.astype(image.dtype, copy=False)
-    if image.ndim == 2:
-        result = result[..., 0]
-    prof.store = time.perf_counter() - t0
+    timers = _StageTimers()
+    result = lut._run(image, timers=timers)
+    prof.gather = timers.gather
+    prof.interpolate = timers.interpolate
+    prof.store = timers.store
     return result, prof

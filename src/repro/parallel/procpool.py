@@ -1,15 +1,27 @@
-"""Process-based executor: the no-shared-GIL configuration.
+"""Process-based executors: the no-shared-GIL configurations.
 
-Mirrors :class:`repro.parallel.threadpool.ThreadedExecutor` but runs
-tiles in worker *processes*, exchanging data through POSIX shared
-memory (``multiprocessing.shared_memory``) so frames are written once
-and never pickled per tile.  This is the configuration a pure-Python
-deployment without GIL-releasing kernels would need; it also
-demonstrates the communication-vs-computation accounting the Cell BE
-model formalizes (the shared-memory setup is the "DMA" here).
+Two tile-parallel process executors mirror
+:class:`repro.parallel.threadpool.ThreadedExecutor`:
 
-The LUT itself is transferred once per executor lifetime via the
-fork inheritance of the initializer arguments.
+:class:`ProcessExecutor`
+    Frames travel through POSIX shared memory
+    (``multiprocessing.shared_memory``); the LUT itself reaches the
+    workers once, through fork inheritance of the initializer
+    arguments.  Workers return row blocks by writing the shared output
+    segment directly.
+
+:class:`SharedMemoryExecutor`
+    Everything — source frame, output frame *and the LUT tables*
+    (int32 indices, fraction table, validity mask, derived weight
+    rows) — lives in named shared-memory segments that workers attach
+    to by name.  Nothing large is ever pickled, the table exists once
+    in physical memory no matter the worker count, and the setup works
+    under any multiprocessing start method (``fork`` or ``spawn``).
+    Workers run the fused :meth:`~repro.core.remap.RemapLUT
+    .apply_rows_into` kernel straight into the shared output, so a
+    steady-state frame costs one frame-copy in, the remap, and one
+    frame-copy out — the communication/computation split the Cell BE
+    model prices as DMA.
 """
 
 from __future__ import annotations
@@ -23,12 +35,13 @@ from ..errors import ScheduleError
 from ..core.remap import RemapLUT
 from .partition import row_bands
 
-__all__ = ["ProcessExecutor"]
+__all__ = ["ProcessExecutor", "SharedMemoryExecutor"]
 
-# Worker-side globals, installed by _init_worker in each child.
+# Worker-side globals, installed by the initializers in each child.
 _WORKER_LUT = None
 _WORKER_SRC = None
 _WORKER_DST = None
+_SHM_STATE = None
 
 
 def _init_worker(lut, src_name, src_shape, src_dtype, dst_name, dst_shape, dst_dtype):
@@ -50,8 +63,97 @@ def _run_tile(rows):
     return row1 - row0
 
 
-class ProcessExecutor:
-    """Tile-parallel LUT application on a process pool + shared memory.
+class _FrameSegments:
+    """Create/own the source+destination shared-memory frame buffers."""
+
+    def __init__(self, frame_shape, frame_dtype, out_shape):
+        nbytes_src = int(np.prod(frame_shape)) * frame_dtype.itemsize
+        nbytes_dst = int(np.prod(out_shape)) * frame_dtype.itemsize
+        self.src_shm = shared_memory.SharedMemory(create=True, size=nbytes_src)
+        self.dst_shm = shared_memory.SharedMemory(create=True, size=nbytes_dst)
+        self.src_view = np.ndarray(frame_shape, dtype=frame_dtype, buffer=self.src_shm.buf)
+        self.dst_view = np.ndarray(out_shape, dtype=frame_dtype, buffer=self.dst_shm.buf)
+
+    def release(self):
+        self.src_view = None
+        self.dst_view = None
+        for shm in (self.src_shm, self.dst_shm):
+            shm.close()
+            shm.unlink()
+
+
+class _BoundExecutorBase:
+    """Shared plumbing: fixed geometry, pool lifecycle, run validation."""
+
+    def __init__(self, lut: RemapLUT, frame_shape, frame_dtype, workers,
+                 bands_per_worker):
+        if workers < 1:
+            raise ScheduleError(f"workers must be >= 1, got {workers}")
+        if bands_per_worker < 1:
+            raise ScheduleError(f"bands_per_worker must be >= 1, got {bands_per_worker}")
+        frame_shape = tuple(frame_shape)
+        if frame_shape[:2] != lut.src_shape:
+            raise ScheduleError(
+                f"frame shape {frame_shape} does not match LUT source {lut.src_shape}")
+        self.lut = lut
+        self.workers = workers
+        self.bands_per_worker = bands_per_worker
+        self.frame_shape = frame_shape
+        self.frame_dtype = np.dtype(frame_dtype)
+        channels = frame_shape[2:] if len(frame_shape) == 3 else ()
+        self.out_shape = lut.out_shape + channels
+        self._pool = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _release_segments(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def close(self):
+        """Terminate workers and release shared segments (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+        self._release_segments()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    def _check_run(self, lut, image):
+        if self._closed:
+            raise ScheduleError("executor already closed")
+        if lut is not self.lut:
+            raise ScheduleError(
+                f"{type(self).__name__} is bound to the LUT given at construction")
+        image = np.asarray(image)
+        if image.shape != self.frame_shape or image.dtype != self.frame_dtype:
+            raise ScheduleError(
+                f"frame {image.shape}/{image.dtype} does not match bound geometry "
+                f"{self.frame_shape}/{self.frame_dtype}")
+        return image
+
+    def _band_ranges(self):
+        h, w = self.lut.out_shape
+        count = min(h, self.workers * self.bands_per_worker)
+        return [(t.row0, t.row1) for t in row_bands(h, w, count)]
+
+
+class ProcessExecutor(_BoundExecutorBase):
+    """Tile-parallel LUT application on a process pool + shared frames.
 
     Unlike the thread executor this one is bound to a fixed frame
     geometry at construction (the shared segments are sized once);
@@ -73,84 +175,154 @@ class ProcessExecutor:
 
     def __init__(self, lut: RemapLUT, frame_shape, frame_dtype=np.uint8,
                  workers: int = 2, bands_per_worker: int = 2):
-        if workers < 1:
-            raise ScheduleError(f"workers must be >= 1, got {workers}")
-        frame_shape = tuple(frame_shape)
-        if frame_shape[:2] != lut.src_shape:
-            raise ScheduleError(
-                f"frame shape {frame_shape} does not match LUT source {lut.src_shape}")
-        self.lut = lut
-        self.workers = workers
-        self.bands_per_worker = bands_per_worker
-        self.frame_shape = frame_shape
-        self.frame_dtype = np.dtype(frame_dtype)
-        channels = frame_shape[2:] if len(frame_shape) == 3 else ()
-        self.out_shape = lut.out_shape + channels
-
-        nbytes_src = int(np.prod(frame_shape)) * self.frame_dtype.itemsize
-        nbytes_dst = int(np.prod(self.out_shape)) * self.frame_dtype.itemsize
-        self._src_shm = shared_memory.SharedMemory(create=True, size=nbytes_src)
-        self._dst_shm = shared_memory.SharedMemory(create=True, size=nbytes_dst)
-        self.src_view = np.ndarray(frame_shape, dtype=self.frame_dtype,
-                                   buffer=self._src_shm.buf)
-        self.dst_view = np.ndarray(self.out_shape, dtype=self.frame_dtype,
-                                   buffer=self._dst_shm.buf)
+        super().__init__(lut, frame_shape, frame_dtype, workers, bands_per_worker)
+        self._frames = _FrameSegments(self.frame_shape, self.frame_dtype,
+                                      self.out_shape)
+        self.src_view = self._frames.src_view
+        self.dst_view = self._frames.dst_view
         ctx = mp.get_context("fork")
         self._pool = ctx.Pool(
-            processes=workers,
+            processes=self.workers,
             initializer=_init_worker,
-            initargs=(lut, self._src_shm.name, frame_shape, self.frame_dtype,
-                      self._dst_shm.name, self.out_shape, self.frame_dtype),
+            initargs=(lut, self._frames.src_shm.name, self.frame_shape,
+                      self.frame_dtype, self._frames.dst_shm.name,
+                      self.out_shape, self.frame_dtype),
         )
-        self._closed = False
 
-    # ------------------------------------------------------------------
-    def close(self):
-        """Terminate workers and release shared segments (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        self._pool.close()
-        self._pool.join()
-        # Drop our views before unlinking the segments.
+    def _release_segments(self):
         self.src_view = None
         self.dst_view = None
-        for shm in (self._src_shm, self._dst_shm):
-            shm.close()
-            shm.unlink()
-
-    def __enter__(self):
-        return self
-
-    def __exit__(self, *exc):
-        self.close()
-        return False
-
-    def __del__(self):  # pragma: no cover - GC safety net
-        try:
-            self.close()
-        except Exception:
-            pass
+        self._frames.release()
 
     # ------------------------------------------------------------------
     def run(self, lut: RemapLUT, image, out=None):
         """Correct one frame (``lut`` must be the bound LUT)."""
-        if self._closed:
-            raise ScheduleError("executor already closed")
-        if lut is not self.lut:
-            raise ScheduleError("ProcessExecutor is bound to the LUT given at construction")
-        image = np.asarray(image)
-        if image.shape != self.frame_shape or image.dtype != self.frame_dtype:
-            raise ScheduleError(
-                f"frame {image.shape}/{image.dtype} does not match bound geometry "
-                f"{self.frame_shape}/{self.frame_dtype}")
-        np.copyto(self.src_view, image)
-        h, w = lut.out_shape
-        count = min(h, self.workers * self.bands_per_worker)
-        ranges = [(t.row0, t.row1) for t in row_bands(h, w, count)]
-        self._pool.map(_run_tile, ranges)
-        result = self.dst_view.copy()
+        image = self._check_run(lut, image)
+        np.copyto(self._frames.src_view, image)
+        self._pool.map(_run_tile, self._band_ranges())
         if out is not None:
-            np.copyto(out, result)
+            np.copyto(out, self._frames.dst_view)
             return out
-        return result
+        return self._frames.dst_view.copy()
+
+
+# ----------------------------------------------------------------------
+# Fully shared-memory executor (frames + LUT tables)
+# ----------------------------------------------------------------------
+def _share_array(arr):
+    """Copy ``arr`` into a fresh named segment; returns (shm, view)."""
+    arr = np.ascontiguousarray(arr)
+    shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+    view[...] = arr
+    return shm, view
+
+
+def _init_shm_worker(table_spec, lut_meta):
+    """Attach to every shared segment and rebuild a zero-copy LUT."""
+    global _SHM_STATE
+    segments = []
+    arrays = {}
+    for key, (name, shape, dtype_str) in table_spec.items():
+        shm = shared_memory.SharedMemory(name=name)
+        segments.append(shm)
+        arrays[key] = np.ndarray(tuple(shape), dtype=np.dtype(dtype_str),
+                                 buffer=shm.buf)
+    lut = RemapLUT.from_tables(
+        arrays["indices"], arrays.get("fracs"), arrays.get("mask"),
+        out_shape=lut_meta["out_shape"], src_shape=lut_meta["src_shape"],
+        method=lut_meta["method"], border=lut_meta["border"],
+        fill=lut_meta["fill"], weight_table=arrays.get("wtab"))
+    _SHM_STATE = (segments, lut, arrays["src"], arrays["dst"])
+
+
+def _run_shm_band(rows):
+    """Fused-kernel correction of one band, written in place."""
+    row0, row1 = rows
+    _, lut, src, dst = _SHM_STATE
+    lut.apply_rows_into(src, row0, row1, dst[row0:row1])
+    return row1 - row0
+
+
+class SharedMemoryExecutor(_BoundExecutorBase):
+    """Tile-parallel correction with frames *and* LUT in shared memory.
+
+    The compact tables (indices, fractions, mask) plus the derived
+    weight rows are published once into named segments; each worker
+    attaches by name and reconstructs a zero-copy
+    :class:`~repro.core.remap.RemapLUT` view over them.  Per frame,
+    workers receive only ``(row0, row1)`` tuples and write their bands
+    straight into the shared destination via ``apply_rows_into`` — no
+    arrays are pickled per task, per frame, or per worker.
+
+    Parameters
+    ----------
+    lut, frame_shape, frame_dtype, workers, bands_per_worker:
+        As for :class:`ProcessExecutor`.
+    context:
+        Multiprocessing start method (``"fork"`` default; ``"spawn"``
+        works because nothing relies on inherited memory).
+    """
+
+    name = "sharedmem"
+
+    def __init__(self, lut: RemapLUT, frame_shape, frame_dtype=np.uint8,
+                 workers: int = 2, bands_per_worker: int = 2,
+                 context: str = "fork"):
+        super().__init__(lut, frame_shape, frame_dtype, workers, bands_per_worker)
+        self._frames = _FrameSegments(self.frame_shape, self.frame_dtype,
+                                      self.out_shape)
+        self.src_view = self._frames.src_view
+        self.dst_view = self._frames.dst_view
+
+        self._table_shms = []
+        table_spec = {}
+
+        def publish(key, arr):
+            shm, _ = _share_array(arr)
+            self._table_shms.append(shm)
+            table_spec[key] = (shm.name, tuple(arr.shape), arr.dtype.str)
+
+        publish("indices", lut.indices)
+        if lut.fracs is not None:
+            publish("fracs", lut.fracs)
+            publish("wtab", lut._weight_table())
+        if lut.mask is not None:
+            publish("mask", np.asarray(lut.mask))
+        table_spec["src"] = (self._frames.src_shm.name, self.frame_shape,
+                             self.frame_dtype.str)
+        table_spec["dst"] = (self._frames.dst_shm.name, self.out_shape,
+                             self.frame_dtype.str)
+        lut_meta = {
+            "out_shape": lut.out_shape,
+            "src_shape": lut.src_shape,
+            "method": lut.method,
+            "border": lut.border,
+            "fill": lut.fill,
+        }
+        ctx = mp.get_context(context)
+        self._pool = ctx.Pool(
+            processes=self.workers,
+            initializer=_init_shm_worker,
+            initargs=(table_spec, lut_meta),
+        )
+
+    def _release_segments(self):
+        self.src_view = None
+        self.dst_view = None
+        self._frames.release()
+        for shm in self._table_shms:
+            shm.close()
+            shm.unlink()
+        self._table_shms = []
+
+    # ------------------------------------------------------------------
+    def run(self, lut: RemapLUT, image, out=None):
+        """Correct one frame (``lut`` must be the bound LUT)."""
+        image = self._check_run(lut, image)
+        np.copyto(self._frames.src_view, image)
+        self._pool.map(_run_shm_band, self._band_ranges())
+        if out is not None:
+            np.copyto(out, self._frames.dst_view)
+            return out
+        return self._frames.dst_view.copy()

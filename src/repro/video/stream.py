@@ -1,4 +1,4 @@
-"""Frame streams: the input side of the streaming-video pipeline.
+"""Frame streams: the input/output sides of the streaming-video pipeline.
 
 :class:`SyntheticStream` produces a deterministic moving scene (a
 panning crop of a larger world image) rendered through the fisheye
@@ -6,20 +6,29 @@ model frame by frame — the closest laptop-scale stand-in for a live
 camera feed, exercising exactly the per-frame code path (the remap)
 while the per-stream work (map/LUT construction) is amortized, as in
 the paper's real-time scenario.
+
+:func:`corrected_stream` is the matching output side: it freezes the
+remap table once (optionally through a
+:class:`~repro.core.lutcache.LUTCache`, so stream *restarts* skip the
+build entirely) and then drives every frame through the fused
+:meth:`~repro.core.remap.RemapLUT.apply_into` kernel with one reused
+output buffer — the steady state performs zero per-frame allocations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterable, Iterator, Optional
 
 import numpy as np
 
 from ..errors import ImageFormatError
 from ..core.image import GRAY8, Frame
+from ..core.mapping import RemapField
+from ..core.remap import RemapLUT
 from .distort import FisheyeRenderer
 
-__all__ = ["SyntheticStream", "panning_crops"]
+__all__ = ["SyntheticStream", "panning_crops", "corrected_stream"]
 
 
 def panning_crops(world: np.ndarray, width: int, height: int, frames: int,
@@ -47,6 +56,51 @@ def panning_crops(world: np.ndarray, width: int, height: int, frames: int,
         x0 = tx if tx <= max_x else 2 * max_x - tx
         y0 = ty if ty <= max_y else 2 * max_y - ty
         yield world[y0:y0 + height, x0:x0 + width]
+
+
+def corrected_stream(frames: Iterable, field: RemapField,
+                     method: str = "bilinear", border: str = "constant",
+                     fill: float = 0.0, lut_cache=None,
+                     copy: bool = False) -> Iterator:
+    """Correct a frame stream through the fused zero-allocation kernel.
+
+    Parameters
+    ----------
+    frames:
+        Iterable of ndarrays or :class:`~repro.core.image.Frame`.
+    field:
+        Backward coordinate field shared by every frame.
+    method, border, fill:
+        LUT build parameters.
+    lut_cache:
+        Optional :class:`~repro.core.lutcache.LUTCache`; when given the
+        table is fetched from it (memory or mmap'd disk tier) instead
+        of rebuilt, which is what makes stream restarts cheap.
+    copy:
+        When false (default) every yielded frame aliases one reused
+        output buffer — consume or copy it before advancing, like any
+        zero-copy decoder API.  When true each frame owns its data.
+
+    Yields
+    ------
+    Corrected frames, same kind as the input items.
+    """
+    if lut_cache is not None:
+        lut = lut_cache.get(field, method=method, border=border, fill=fill)
+    else:
+        lut = RemapLUT(field, method=method, border=border, fill=fill)
+    buffer: Optional[np.ndarray] = None
+    for item in frames:
+        data = item.data if isinstance(item, Frame) else np.asarray(item)
+        shape = lut.out_shape + data.shape[2:]
+        if buffer is None or buffer.shape != shape or buffer.dtype != data.dtype:
+            buffer = np.empty(shape, dtype=data.dtype)
+        lut.apply_into(data, buffer)
+        result = buffer.copy() if copy else buffer
+        if isinstance(item, Frame):
+            yield item.with_data(result)
+        else:
+            yield result
 
 
 @dataclass

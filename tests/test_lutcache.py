@@ -1,0 +1,122 @@
+"""LUT cache tests: keying, LRU behaviour, and the persistent tier."""
+
+import numpy as np
+import pytest
+
+from repro.core.lutcache import LUTCache, field_fingerprint
+from repro.core.mapping import identity_map
+from repro.core.remap import RemapLUT
+from repro.errors import MappingError
+
+
+class TestFingerprint:
+    def test_stable_for_equal_fields(self, small_field):
+        assert field_fingerprint(small_field) == field_fingerprint(small_field)
+
+    def test_differs_for_different_fields(self, small_field, tilted_field):
+        assert field_fingerprint(small_field) != field_fingerprint(tilted_field)
+
+    def test_key_includes_parameters(self, small_field):
+        k1 = LUTCache.key_for(small_field, method="bilinear")
+        k2 = LUTCache.key_for(small_field, method="bicubic")
+        k3 = LUTCache.key_for(small_field, method="bilinear", fill=9.0)
+        assert len({k1, k2, k3}) == 3
+
+
+class TestMemoryTier:
+    def test_hit_and_miss_counters(self, small_field):
+        cache = LUTCache()
+        a = cache.get(small_field, method="bilinear")
+        b = cache.get(small_field, method="bilinear")
+        assert a is b
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_distinct_configs_dont_collide(self, small_field, random_image):
+        cache = LUTCache()
+        bl = cache.get(small_field, method="bilinear")
+        nn = cache.get(small_field, method="nearest")
+        assert bl.taps == 4 and nn.taps == 1
+        assert cache.misses == 2
+
+    def test_lru_eviction(self, small_field, tilted_field):
+        cache = LUTCache(capacity=1)
+        cache.get(small_field)
+        cache.get(tilted_field)
+        assert len(cache) == 1
+        cache.get(small_field)  # evicted above, so a fresh miss
+        assert cache.misses == 3
+
+    def test_clear(self, small_field):
+        cache = LUTCache()
+        cache.get(small_field)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(MappingError):
+            LUTCache(capacity=0)
+
+
+class TestDiskTier:
+    def test_round_trip_skips_rebuild(self, small_field, random_image, tmp_path):
+        warm = LUTCache(cache_dir=str(tmp_path))
+        built = warm.get(small_field, method="bilinear")
+
+        cold = LUTCache(cache_dir=str(tmp_path))  # fresh process stand-in
+        loaded = cold.get(small_field, method="bilinear")
+        assert cold.disk_hits == 1
+        assert cold.misses == 1  # memory tier missed, disk tier answered
+        np.testing.assert_array_equal(np.asarray(loaded.indices),
+                                      np.asarray(built.indices))
+        np.testing.assert_array_equal(loaded.apply(random_image),
+                                      built.apply(random_image))
+
+    def test_loaded_lut_is_memory_mapped(self, small_field, tmp_path):
+        LUTCache(cache_dir=str(tmp_path)).get(small_field)
+        loaded = LUTCache(cache_dir=str(tmp_path)).get(small_field)
+        assert isinstance(loaded.indices, np.memmap)
+
+    def test_all_methods_round_trip(self, small_field, random_image, tmp_path):
+        for method in ("nearest", "bilinear", "bicubic"):
+            warm = LUTCache(cache_dir=str(tmp_path))
+            built = warm.get(small_field, method=method)
+            loaded = LUTCache(cache_dir=str(tmp_path)).get(small_field, method=method)
+            np.testing.assert_array_equal(loaded.apply(random_image),
+                                          built.apply(random_image))
+
+    def test_corrupt_entry_falls_back_to_build(self, small_field, tmp_path):
+        cache = LUTCache(cache_dir=str(tmp_path))
+        key = cache.key_for(small_field)
+        cache.get(small_field)
+        (tmp_path / key / "meta.json").write_text("not json")
+        fresh = LUTCache(cache_dir=str(tmp_path))
+        lut = fresh.get(small_field)  # must rebuild, not crash
+        assert fresh.disk_hits == 0
+        assert isinstance(lut, RemapLUT)
+
+
+class TestStreamIntegration:
+    def test_corrected_stream_uses_cache(self, small_field, rng):
+        from repro.video.stream import corrected_stream
+
+        frames = [rng.integers(0, 255, (64, 64), dtype=np.uint8)
+                  for _ in range(3)]
+        cache = LUTCache()
+        direct = list(corrected_stream(iter(frames), small_field, copy=True))
+        cached = list(corrected_stream(iter(frames), small_field,
+                                       lut_cache=cache, copy=True))
+        assert cache.misses == 1
+        for a, b in zip(direct, cached):
+            np.testing.assert_array_equal(a, b)
+
+    def test_corrector_pipeline_shares_cache(self, small_field, random_image):
+        from repro.core.pipeline import FisheyeCorrector
+
+        cache = LUTCache()
+        c1 = FisheyeCorrector(small_field, lut_cache=cache)
+        c2 = FisheyeCorrector(small_field, lut_cache=cache)
+        np.testing.assert_array_equal(c1.correct(random_image),
+                                      c2.correct(random_image))
+        assert cache.misses == 1
+        assert cache.hits >= 1

@@ -146,3 +146,91 @@ class TestFloatFrames:
         frame = rng.integers(0, 65535, size=(64, 64), dtype=np.uint16)
         out = RemapLUT(small_field).apply(frame)
         assert out.dtype == np.uint16
+
+    def test_float64_keeps_native_precision(self, rng):
+        # On an identity map every output pixel is exactly one source
+        # pixel with weight 1 — a float32 round-trip would corrupt the
+        # low bits of arbitrary float64 data, native accumulation won't.
+        f = identity_map(64, 64)
+        frame = rng.random((64, 64), dtype=np.float64) * 1e9 + rng.random((64, 64))
+        out = RemapLUT(f, method="bilinear").apply(frame)
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(out, frame)
+
+
+class TestScalarOracle:
+    """The fused compact-LUT kernel against the loop-based reference."""
+
+    @pytest.mark.parametrize("method", interp.METHODS)
+    @pytest.mark.parametrize("border", interp.BORDER_MODES)
+    def test_fused_kernel_matches_scalar(self, method, border, small_field,
+                                         random_image):
+        lut = RemapLUT(small_field, method=method, border=border, fill=7.0)
+        got = lut.apply(random_image)
+        want = interp.sample_scalar(random_image, small_field.map_x,
+                                    small_field.map_y, method=method,
+                                    border=border, fill=7.0)
+        np.testing.assert_allclose(got.astype(int), want.astype(int), atol=1)
+
+
+class TestApplyInto:
+    def test_matches_apply(self, small_field, random_image):
+        lut = RemapLUT(small_field, method="bilinear")
+        out = np.empty((64, 64), dtype=np.uint8)
+        ret = lut.apply_into(random_image, out)
+        assert ret is out
+        np.testing.assert_array_equal(out, lut.apply(random_image))
+
+    def test_rgb_into(self, small_field, rgb_image):
+        lut = RemapLUT(small_field)
+        out = np.empty((64, 64, 3), dtype=np.uint8)
+        lut.apply_into(rgb_image, out)
+        np.testing.assert_array_equal(out, lut.apply(rgb_image))
+
+    def test_bad_out_rejected(self, small_field, random_image):
+        lut = RemapLUT(small_field)
+        with pytest.raises(MappingError):
+            lut.apply_into(random_image, np.empty((32, 32), dtype=np.uint8))
+        with pytest.raises(MappingError):
+            lut.apply_into(random_image, np.empty((64, 64), dtype=np.float32))
+
+    def test_rows_into_stitches(self, small_field, random_image):
+        lut = RemapLUT(small_field, method="bicubic")
+        full = lut.apply(random_image)
+        out = np.empty((64, 64), dtype=np.uint8)
+        for r in range(0, 64, 13):
+            r1 = min(r + 13, 64)
+            lut.apply_rows_into(random_image, r, r1, out[r:r1])
+        np.testing.assert_array_equal(out, full)
+
+    def test_repeated_apply_into_is_stable(self, small_field, random_image):
+        # Scratch buffers are pooled; a second call must not see stale
+        # accumulator state from the first.
+        lut = RemapLUT(small_field, method="bilinear")
+        out = np.empty((64, 64), dtype=np.uint8)
+        first = lut.apply_into(random_image, out).copy()
+        second = lut.apply_into(random_image, out)
+        np.testing.assert_array_equal(first, second)
+
+
+class TestCompactLayout:
+    # deployed-size budget of the former float64 index + per-tap weight
+    # layout, per method
+    SEED_ENTRY_BYTES = {"nearest": 13.0, "bilinear": 49.0, "bicubic": 193.0}
+
+    @pytest.mark.parametrize("method", interp.METHODS)
+    def test_entry_bytes_dropped(self, method, small_field):
+        lut = RemapLUT(small_field, method=method)
+        assert lut.indices.dtype == np.int32
+        assert lut.entry_bytes() <= 0.6 * self.SEED_ENTRY_BYTES[method]
+
+    def test_entry_bytes_for_matches_instances(self, small_field):
+        for method in interp.METHODS:
+            lut = RemapLUT(small_field, method=method)
+            assert lut.entry_bytes() == RemapLUT.entry_bytes_for(method)
+
+    def test_weights_property_still_expands(self, small_field):
+        lut = RemapLUT(small_field, method="bicubic")
+        w = lut.weights
+        assert w.shape == (64 * 64, 16)
+        np.testing.assert_allclose(w.sum(axis=1)[lut.mask], 1.0, atol=1e-5)
