@@ -5,10 +5,18 @@ Smoke-runs the two experiments most sensitive to the remap hot path
 (F7 LUT-vs-OTF and F1 multicore scaling) at VGA so their invariants
 still hold, then times the fused bilinear apply on a 1080p frame and
 compares it against the pre-compact-layout baseline recorded in
-``BENCH_baseline.json`` at the repo root.
+``BENCH_baseline.json`` at the repo root.  The same measurement doubles
+as the telemetry overhead gate: with the global registry disabled (the
+default), ``apply_into`` must stay within ``overhead_tolerance`` (5%)
+of the pre-telemetry ``fused_apply_into_s`` baseline.
+
+As a side effect the gate writes ``BENCH_metrics.json`` next to the
+baseline: a telemetry snapshot of an instrumented VGA correction run,
+so CI archives the counter/histogram shape alongside the timings.
 
 Exit status 0 = no regression; 1 = the fused kernel has become slower
-than the old per-tap kernel it replaced (or an invariant broke).
+than the old per-tap kernel it replaced, telemetry leaked overhead
+into the disabled hot path, or an invariant broke.
 
 Run from the repo root::
 
@@ -28,11 +36,13 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.bench.experiments import f1_multicore_scaling, f7_lut_vs_otf  # noqa: E402
-from repro.bench.harness import standard_field, resolution       # noqa: E402
+from repro.bench.harness import capture_metrics, standard_field, resolution  # noqa: E402
 from repro.core.remap import RemapLUT                            # noqa: E402
+from repro.obs import write_metrics                              # noqa: E402
 from repro.video import synth                                    # noqa: E402
 
 BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_baseline.json")
+METRICS_PATH = os.path.join(REPO_ROOT, "BENCH_metrics.json")
 REPEATS = 5
 
 
@@ -75,6 +85,23 @@ def time_fused_apply() -> float:
     return best
 
 
+def emit_metrics_snapshot() -> dict:
+    """Instrumented VGA correction run -> telemetry snapshot on disk."""
+    w, h = resolution("VGA")
+    field = standard_field(w, h)
+    frame = synth.urban(w, h)
+    lut = RemapLUT(field, method="bilinear")
+    out = np.empty(lut.out_shape, dtype=frame.dtype)
+
+    def run():
+        for _ in range(3):
+            lut.apply_into(frame, out)
+
+    _, snap = capture_metrics(run)
+    write_metrics(snap, METRICS_PATH)
+    return snap
+
+
 def main() -> int:
     with open(BASELINE_PATH) as fh:
         base = json.load(fh)
@@ -88,10 +115,24 @@ def main() -> int:
                  f"measured {measured * 1e3:.1f} ms vs seed {seed * 1e3:.1f} ms "
                  f"({seed / measured:.2f}x)")
 
+    print("== disabled-telemetry overhead vs pre-telemetry baseline ==")
+    into_base = float(base["fused_apply_into_s"])
+    tol = float(base.get("overhead_tolerance", 0.05))
+    budget = into_base * (1.0 + tol)
+    ok &= _check("disabled telemetry within budget", measured <= budget,
+                 f"measured {measured * 1e3:.1f} ms vs budget {budget * 1e3:.1f} ms "
+                 f"(baseline {into_base * 1e3:.1f} ms + {tol * 100:.0f}%)")
+
     entry = RemapLUT.entry_bytes_for("bilinear")
     seed_entry = float(base["entry_bytes_seed"]["bilinear"])
     ok &= _check("bilinear entry >= 40% smaller", entry <= 0.6 * seed_entry,
                  f"{entry} B vs seed {seed_entry:.0f} B")
+
+    print("== metrics snapshot ==")
+    snap = emit_metrics_snapshot()
+    frames = snap["counters"].get("remap.frames", 0)
+    ok &= _check("snapshot recorded frames", frames > 0,
+                 f"remap.frames={frames} -> {os.path.relpath(METRICS_PATH, REPO_ROOT)}")
 
     print("PASS" if ok else "FAIL")
     return 0 if ok else 1

@@ -22,9 +22,11 @@ from the *actual* coordinate field when available.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from ..errors import CapacityError, PlatformError
+from ..obs.telemetry import emit_phase_spans, get_telemetry
 from ..parallel.partition import Tile
 from ..sim.event import EventQueue
 from ..sim.memory import SharedBus
@@ -167,6 +169,7 @@ class CellModel(PlatformModel):
         lut = sum(j.dma_lut_bytes for j in jobs)
         out = sum(j.dma_out_bytes for j in jobs)
         total = src + lut + out
+        self._emit_ledger(jobs, src, lut, out)
         return {
             "tiles": len(jobs),
             "tile_rows": tile_rows,
@@ -179,6 +182,37 @@ class CellModel(PlatformModel):
             "bytes_per_output_px": total / workload.pixels,
             "dma_setup_ns_total": len(jobs) * 2 * self.dma_setup_ns,
         }
+
+    #: Tiles replayed into the trace per ledger; a 1080p frame can tile
+    #: into hundreds of jobs, far past what a timeline view needs.
+    _TRACE_TILE_CAP = 64
+
+    def _emit_ledger(self, jobs, src_bytes, lut_bytes, out_bytes) -> None:
+        """Re-emit a DMA ledger through the telemetry registry.
+
+        Counters carry the byte totals; the per-tile ledger is replayed
+        as *modeled* spans (DMA-in, compute, DMA-out laid end to end on
+        a synthetic SPE track), so the analytic timeline renders next
+        to the measured kernels in one Chrome trace.
+        """
+        tel = get_telemetry()
+        if not tel.enabled:
+            return
+        tel.counter("model.cell.ledgers").inc()
+        tel.counter("model.cell.dma_src_bytes").inc(src_bytes)
+        tel.counter("model.cell.dma_lut_bytes").inc(lut_bytes)
+        tel.counter("model.cell.dma_out_bytes").inc(out_bytes)
+        t = time.time()
+        for i, job in enumerate(jobs[: self._TRACE_TILE_CAP]):
+            # EIB at B GB/s moves 1 byte in 1/B ns
+            t = emit_phase_spans(tel, f"cell.tile{i}", {
+                "dma_in": 2 * self.dma_setup_ns + job.dma_in_bytes / self.eib_bw_gbps,
+                "compute": job.compute_ns,
+                "dma_out": job.dma_out_bytes / self.eib_bw_gbps,
+            }, track="model:cell-spe", start=t)
+        if len(jobs) > self._TRACE_TILE_CAP:
+            tel.counter("model.cell.trace_tiles_dropped").inc(
+                len(jobs) - self._TRACE_TILE_CAP)
 
     def usable_local_store(self, double_buffering: bool) -> int:
         """Bytes available for tile buffers (halved by double buffering)."""

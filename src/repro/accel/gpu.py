@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import PlatformError
+from ..obs.telemetry import emit_phase_spans, get_telemetry
 from ..sim.memory import Link
 from ..sim.stats import Breakdown
 from .platform import PerfReport, PlatformModel, Workload
@@ -206,6 +207,13 @@ class GPUModel(PlatformModel):
                         else "compute")
         transfers = h2d_ns + d2h_ns
         bottleneck = "pcie" if (not overlap_transfers and transfers > kernel_ns) else kernel_bound
+
+        tel = get_telemetry()
+        if tel.enabled:
+            # modeled frame timeline next to the measured kernels
+            tel.counter("model.gpu.frames").inc()
+            emit_phase_spans(tel, f"gpu.b{block_size}", breakdown.as_dict(),
+                             track="model:gpu")
 
         return PerfReport(
             platform=f"{self.name}[b{block_size}{'+ovl' if overlap_transfers else ''}]",

@@ -25,7 +25,26 @@ __all__ = [
     "standard_workload",
     "resolution",
     "amdahl_fit",
+    "capture_metrics",
 ]
+
+
+def capture_metrics(fn, *args, **kwargs):
+    """Run ``fn`` under a fresh scoped telemetry registry.
+
+    Returns ``(result, snapshot)`` where ``snapshot`` is the JSON-able
+    :meth:`~repro.obs.telemetry.Telemetry.snapshot` of everything the
+    call recorded — the way an experiment row carries its own metrics
+    without touching the global registry::
+
+        table, metrics = capture_metrics(run_experiment, "F7")
+    """
+    from ..obs.telemetry import Telemetry, scoped
+
+    tel = Telemetry()
+    with scoped(tel):
+        result = fn(*args, **kwargs)
+    return result, tel.snapshot()
 
 
 def resolution(name: str):

@@ -14,6 +14,13 @@ Commands
     Run evaluation experiments by id (``T1``, ``F1``.. ``A3``, ``all``).
 ``info``
     Print the platform park (T1) and the library version.
+``stats``
+    Pretty-print a metrics snapshot written by ``--metrics``.
+
+Every command accepts the global observability flags: ``--metrics
+out.json`` / ``--trace out.trace.json`` enable the telemetry registry
+for the run and write the JSON snapshot / Chrome ``trace_event`` file
+on exit; ``--log-level`` configures the ``repro`` logger.
 
 All commands are plain functions over argparse namespaces so the test
 suite drives them in-process via :func:`main`.
@@ -26,7 +33,7 @@ import sys
 
 import numpy as np
 
-from . import __version__
+from . import __version__, obs
 from .core.intrinsics import FisheyeIntrinsics
 from .core.lens import LENS_MODELS, make_lens
 from .core.pipeline import FisheyeCorrector
@@ -191,6 +198,16 @@ def cmd_map_info(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    """Pretty-print a metrics snapshot file written by ``--metrics``."""
+    import json
+
+    with open(args.snapshot) as fh:
+        snap = json.load(fh)
+    print(obs.format_snapshot(snap), end="")
+    return 0
+
+
 def cmd_info(args) -> int:
     from .bench.experiments import t1_platforms
 
@@ -209,6 +226,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="fisheye distortion correction toolkit")
     parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument("--metrics", metavar="PATH", default=None,
+                        help="enable telemetry; write a JSON metrics snapshot "
+                             "here on exit (pretty-print with 'repro stats')")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="enable telemetry; write a Chrome trace_event "
+                             "JSON here on exit (open in ui.perfetto.dev)")
+    parser.add_argument("--log-level", choices=obs.LOG_LEVELS, default="warning",
+                        help="logging verbosity for the repro logger")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("synth", help="generate a (optionally distorted) test scene")
@@ -269,6 +294,11 @@ def build_parser() -> argparse.ArgumentParser:
                    default="bilinear")
     p.set_defaults(func=cmd_map_info)
 
+    p = sub.add_parser("stats",
+                       help="pretty-print a metrics snapshot from --metrics")
+    p.add_argument("snapshot", help="path to the JSON snapshot file")
+    p.set_defaults(func=cmd_stats)
+
     p = sub.add_parser("info", help="print version, lens models, platform park")
     p.set_defaults(func=cmd_info)
     return parser
@@ -278,14 +308,33 @@ def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    obs.configure_logging(args.log_level)
+    tel = None
+    if args.metrics or args.trace:
+        tel = obs.enable()
     try:
-        return args.func(args)
+        if tel is not None:
+            with tel.span(f"cli.{args.command}", cat="cli"):
+                code = args.func(args)
+        else:
+            code = args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if tel is not None:
+            if args.metrics:
+                obs.write_metrics(tel, args.metrics)
+                print(f"metrics snapshot: {args.metrics}", file=sys.stderr)
+            if args.trace:
+                obs.write_trace(tel, args.trace)
+                print(f"chrome trace: {args.trace} (open in ui.perfetto.dev)",
+                      file=sys.stderr)
+            obs.disable()
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -32,12 +32,14 @@ import hashlib
 import json
 import os
 import threading
+import time
 from collections import OrderedDict
 from typing import Optional
 
 import numpy as np
 
-from ..errors import MappingError
+from ..errors import MappingError, ReproError
+from ..obs.telemetry import get_telemetry
 from .mapping import RemapField
 from .remap import RemapLUT
 
@@ -80,6 +82,12 @@ class LUTCache:
         Counters; ``hits`` are memory-tier hits, ``disk_hits`` count
         loads that skipped a rebuild via the disk tier (they also
         increment ``misses`` for the memory tier).
+    corrupt_reads:
+        Disk-tier entries that existed but could not be loaded
+        (truncated/garbled tables, bad metadata); each one is treated
+        as a miss and rebuilt, never raised to the caller.
+    evictions:
+        Memory-tier LRU evictions.
     """
 
     def __init__(self, capacity: int = 8, cache_dir: Optional[str] = None):
@@ -90,6 +98,8 @@ class LUTCache:
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.corrupt_reads = 0
+        self.evictions = 0
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, RemapLUT]" = OrderedDict()
 
@@ -110,29 +120,53 @@ class LUTCache:
         with self._lock:
             self._entries.clear()
 
+    def stats(self) -> dict:
+        """Counter snapshot across both tiers."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "disk_hits": self.disk_hits,
+                "corrupt_reads": self.corrupt_reads,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+            }
+
     # ------------------------------------------------------------------
     def get(self, field: RemapField, method: str = "bilinear",
             border: str = "constant", fill: float = 0.0) -> RemapLUT:
         """Return the LUT for this configuration, building at most once."""
+        tel = get_telemetry()
         key = self.key_for(field, method, border, fill)
         with self._lock:
             lut = self._entries.get(key)
             if lut is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
+                tel.counter("lutcache.mem.hits").inc()
                 return lut
             self.misses += 1
+        tel.counter("lutcache.mem.misses").inc()
         lut = self._load(key)
         if lut is None:
+            t0 = time.perf_counter() if tel.enabled else 0.0
             lut = RemapLUT(field, method=method, border=border, fill=fill)
+            if tel.enabled:
+                tel.histogram("lutcache.build_seconds").observe(
+                    time.perf_counter() - t0)
+                tel.counter("lutcache.builds").inc()
             self._store(key, lut)
         else:
             self.disk_hits += 1
+            tel.counter("lutcache.disk.hits").inc()
         with self._lock:
             self._entries[key] = lut
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                self.evictions += 1
+                tel.counter("lutcache.evictions").inc()
         return lut
 
     # ------------------------------------------------------------------
@@ -171,10 +205,18 @@ class LUTCache:
             import shutil
             shutil.rmtree(tmp, ignore_errors=True)
 
+    def _corrupt(self) -> None:
+        self.corrupt_reads += 1
+        get_telemetry().counter("lutcache.disk.corrupt").inc()
+
     def _load(self, key: str) -> Optional[RemapLUT]:
         path = self._entry_dir(key)
         if path is None or not os.path.isdir(path):
             return None
+        # Any defect in an on-disk entry — truncated .npy, garbled
+        # metadata, tables inconsistent with the recorded geometry —
+        # counts as a corrupt read and falls back to a rebuild; a bad
+        # cache entry must never take down the stream it memoizes for.
         try:
             with open(os.path.join(path, "meta.json")) as fh:
                 meta = json.load(fh)
@@ -185,9 +227,14 @@ class LUTCache:
             fracs = np.load(fracs_path, mmap_mode="r") if os.path.exists(fracs_path) else None
             mask_path = os.path.join(path, "mask.npy")
             mask = np.load(mask_path, mmap_mode="r") if os.path.exists(mask_path) else None
-        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            if meta["method"] != "nearest" and fracs is None:
+                self._corrupt()
+                return None
+            return RemapLUT.from_tables(
+                indices, fracs, mask,
+                out_shape=tuple(meta["out_shape"]), src_shape=tuple(meta["src_shape"]),
+                method=meta["method"], border=meta["border"], fill=meta["fill"])
+        except (OSError, EOFError, ValueError, KeyError, TypeError,
+                json.JSONDecodeError, ReproError):
+            self._corrupt()
             return None
-        return RemapLUT.from_tables(
-            indices, fracs, mask,
-            out_shape=tuple(meta["out_shape"]), src_shape=tuple(meta["src_shape"]),
-            method=meta["method"], border=meta["border"], fill=meta["fill"])

@@ -28,6 +28,7 @@ from typing import Iterable, Iterator, Optional, Protocol
 import numpy as np
 
 from ..errors import MappingError
+from ..obs.telemetry import get_telemetry
 from .image import Frame
 from .intrinsics import CameraIntrinsics, FisheyeIntrinsics
 from .lens import LensModel
@@ -105,6 +106,9 @@ class FisheyeCorrector:
         self.executor = executor or SequentialExecutor()
         self.lut_cache = lut_cache
         self._lut: Optional[RemapLUT] = None
+        self._frames_corrected = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     # ------------------------------------------------------------------
     # Constructors
@@ -145,12 +149,28 @@ class FisheyeCorrector:
         """The frozen remap table (built lazily, reused across frames)."""
         if self._lut is None:
             if self.lut_cache is not None:
+                hits0, misses0 = self.lut_cache.hits, self.lut_cache.misses
                 self._lut = self.lut_cache.get(self.field, method=self.method,
                                                border=self.border, fill=self.fill)
+                self._cache_hits += self.lut_cache.hits - hits0
+                self._cache_misses += self.lut_cache.misses - misses0
             else:
                 self._lut = RemapLUT(self.field, method=self.method,
                                      border=self.border, fill=self.fill)
         return self._lut
+
+    def stats(self) -> dict:
+        """Counters for this corrector: frames corrected plus its share
+        of LUT-cache traffic (and, under ``cache``, the live counters of
+        the attached :class:`~repro.core.lutcache.LUTCache`, which may
+        be shared with other correctors)."""
+        return {
+            "frames_corrected": self._frames_corrected,
+            "lut_built": self._lut is not None,
+            "cache_hits": self._cache_hits,
+            "cache_misses": self._cache_misses,
+            "cache": self.lut_cache.stats() if self.lut_cache is not None else None,
+        }
 
     @property
     def out_shape(self):
@@ -167,10 +187,17 @@ class FisheyeCorrector:
         Accepts a bare ndarray or a :class:`~repro.core.image.Frame`;
         returns the same kind.
         """
+        tel = get_telemetry()
+        t0 = time.perf_counter() if tel.enabled else 0.0
         if isinstance(image, Frame):
-            data = self.executor.run(self.lut, image.data, out=out)
-            return image.with_data(data)
-        return self.executor.run(self.lut, np.asarray(image), out=out)
+            result = image.with_data(self.executor.run(self.lut, image.data, out=out))
+        else:
+            result = self.executor.run(self.lut, np.asarray(image), out=out)
+        self._frames_corrected += 1
+        if tel.enabled:
+            tel.counter("pipeline.frames").inc()
+            tel.histogram("pipeline.frame_seconds").observe(time.perf_counter() - t0)
+        return result
 
     def correct_stream(self, frames: Iterable, stats: Optional[StreamStats] = None
                        ) -> Iterator:
@@ -181,6 +208,7 @@ class FisheyeCorrector:
         array aliases the previous one — consume (or copy) each frame
         before advancing, as with any zero-copy decoder API.
         """
+        tel = get_telemetry()
         buffer = None
         for item in frames:
             data = item.data if isinstance(item, Frame) else np.asarray(item)
@@ -190,10 +218,14 @@ class FisheyeCorrector:
             t0 = time.perf_counter()
             result = self.executor.run(self.lut, data, out=buffer)
             elapsed = time.perf_counter() - t0
+            self._frames_corrected += 1
             if stats is not None:
                 stats.frames += 1
                 stats.pixels += int(np.prod(self.out_shape))
                 stats.seconds += elapsed
+            if tel.enabled:
+                tel.counter("pipeline.frames").inc()
+                tel.histogram("pipeline.frame_seconds").observe(elapsed)
             if isinstance(item, Frame):
                 yield item.with_data(result)
             else:

@@ -36,6 +36,13 @@ steady-state streaming performs **zero allocations**:
 Both paths share exact semantics with
 :func:`repro.core.interpolation.sample`; the test-suite cross-checks
 all three against the scalar oracle.
+
+When a :mod:`repro.obs` registry is enabled the kernel reports
+``remap.frames`` / ``remap.bands`` / ``remap.pixels`` /
+``remap.bytes_gathered`` counters and ``remap.apply_seconds`` /
+``remap.band_seconds`` latency histograms; the disabled registry costs
+one branch per call (never per pixel), which the overhead gate in
+``benchmarks/check_regression.py`` enforces.
 """
 
 from __future__ import annotations
@@ -47,6 +54,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import InterpolationError, MappingError
+from ..obs.telemetry import Telemetry, get_telemetry, scoped
 from . import interpolation as interp
 from .mapping import RemapField
 
@@ -106,17 +114,6 @@ class StageProfile:
         }
 
 
-class _StageTimers:
-    """Gather/interpolate/store accumulators for the profiled path."""
-
-    __slots__ = ("gather", "interpolate", "store")
-
-    def __init__(self):
-        self.gather = 0.0
-        self.interpolate = 0.0
-        self.store = 0.0
-
-
 class _ScratchPool:
     """Thread-safe pool of (accumulator, gather) scratch buffer pairs.
 
@@ -151,14 +148,18 @@ class _ScratchPool:
 
 
 def _store_epilogue(acc, invalid, fill, dtype, out_shape, squeeze,
-                    out=None, timers=None):
+                    out=None, tel=None):
     """Shared store stage: fill, round, clip, cast, (optionally) emit.
 
     ``acc`` is the float accumulator, reshaped — never returned — so the
     caller can recycle it.  With ``out`` the destination buffer is
     written directly; otherwise a fresh array of ``dtype`` is returned.
+    ``tel`` (a stage-detail telemetry registry) wraps the stage in a
+    ``remap.store`` span for the profiled path.
     """
-    t0 = time.perf_counter() if timers is not None else 0.0
+    span = tel.span("remap.store", cat="kernel") if tel is not None else None
+    if span is not None:
+        span.__enter__()
     if invalid is not None:
         np.copyto(acc, fill, where=invalid[:, None])
     if np.issubdtype(dtype, np.integer):
@@ -173,8 +174,8 @@ def _store_epilogue(acc, invalid, fill, dtype, out_shape, squeeze,
         result = out
     else:
         result = view.astype(dtype, copy=True)
-    if timers is not None:
-        timers.store += time.perf_counter() - t0
+    if span is not None:
+        span.__exit__(None, None, None)
     return result
 
 
@@ -432,16 +433,23 @@ class RemapLUT:
             self.src_shape[0] * self.src_shape[1], -1).astype(acc_dtype, copy=False)
         return image, flat, squeeze, acc_dtype
 
-    def _accumulate(self, flat, idx, wtab, acc, scratch, timers=None):
-        """Fused gather-multiply-accumulate into preallocated ``acc``."""
+    def _accumulate(self, flat, idx, wtab, acc, scratch, tel=None):
+        """Fused gather-multiply-accumulate into preallocated ``acc``.
+
+        ``tel`` is a stage-detail telemetry registry (or ``None`` on the
+        shipping fast path): when present each gather/interpolate stage
+        is wrapped in a span — the profiled path times exactly this
+        kernel, never a re-implementation.
+        """
         if wtab is None:  # nearest: one unweighted gather, straight into acc
-            t0 = time.perf_counter() if timers is not None else 0.0
-            flat.take(idx[:, 0], axis=0, out=acc, mode="clip")
-            if timers is not None:
-                timers.gather += time.perf_counter() - t0
+            if tel is None:
+                flat.take(idx[:, 0], axis=0, out=acc, mode="clip")
+            else:
+                with tel.span("remap.gather", cat="kernel"):
+                    flat.take(idx[:, 0], axis=0, out=acc, mode="clip")
             return
         taps = idx.shape[1]
-        if timers is None:
+        if tel is None:
             flat.take(idx[:, 0], axis=0, out=scratch, mode="clip")
             np.multiply(scratch, wtab[0][:, None], out=acc)
             for k in range(1, taps):
@@ -450,19 +458,19 @@ class RemapLUT:
                 np.add(acc, scratch, out=acc)
             return
         for k in range(taps):
-            t0 = time.perf_counter()
-            flat.take(idx[:, k], axis=0, out=scratch, mode="clip")
-            timers.gather += time.perf_counter() - t0
-            t0 = time.perf_counter()
-            if k == 0:
-                np.multiply(scratch, wtab[0][:, None], out=acc)
-            else:
-                np.multiply(scratch, wtab[k][:, None], out=scratch)
-                np.add(acc, scratch, out=acc)
-            timers.interpolate += time.perf_counter() - t0
+            with tel.span("remap.gather", cat="kernel"):
+                flat.take(idx[:, k], axis=0, out=scratch, mode="clip")
+            with tel.span("remap.interpolate", cat="kernel"):
+                if k == 0:
+                    np.multiply(scratch, wtab[0][:, None], out=acc)
+                else:
+                    np.multiply(scratch, wtab[k][:, None], out=scratch)
+                    np.add(acc, scratch, out=acc)
 
-    def _run(self, image, row0=None, row1=None, out=None, timers=None):
+    def _run(self, image, row0=None, row1=None, out=None):
         """Shared implementation of apply/apply_rows/profiled apply."""
+        tel = get_telemetry()
+        t0 = time.perf_counter() if tel.enabled else 0.0
         image, flat, squeeze, acc_dtype = self._prepare(image)
         h_out, w_out = self.out_shape
         if row0 is None:
@@ -490,11 +498,24 @@ class RemapLUT:
         pair = self._pool.acquire(n, channels, acc_dtype)
         try:
             acc, scratch = pair
-            self._accumulate(flat, idx, wtab, acc, scratch, timers=timers)
-            return _store_epilogue(acc, invalid, self.fill, image.dtype,
-                                   shape2d, squeeze, out=out, timers=timers)
+            detail = tel if tel.stage_detail else None
+            self._accumulate(flat, idx, wtab, acc, scratch, tel=detail)
+            result = _store_epilogue(acc, invalid, self.fill, image.dtype,
+                                     shape2d, squeeze, out=out, tel=detail)
         finally:
             self._pool.release(pair)
+        if tel.enabled:
+            dt = time.perf_counter() - t0
+            if row0 is None:
+                tel.counter("remap.frames").inc()
+                tel.histogram("remap.apply_seconds").observe(dt)
+            else:
+                tel.counter("remap.bands").inc()
+                tel.histogram("remap.band_seconds").observe(dt)
+            tel.counter("remap.pixels").inc(n)
+            tel.counter("remap.bytes_gathered").inc(
+                n * self.indices.shape[1] * channels * flat.dtype.itemsize)
+        return result
 
     # ------------------------------------------------------------------
     def apply(self, image, out=None):
@@ -556,11 +577,14 @@ def remap_profiled(image, field: RemapField, method: str = "bilinear",
 
     Stages: LUT build (tap/fraction resolution + weight derivation),
     gather (source fetches), interpolate (weighted accumulate), store
-    (fill, rounding, dtype cast).  The stage times are measured *inside
-    the shipping fused kernel* — the profile reflects exactly the code
-    path :meth:`RemapLUT.apply` executes, not a parallel
-    re-implementation.  The ``map_build`` stage is timed by the caller,
-    which owns map construction; it is left 0 here.
+    (fill, rounding, dtype cast).  The stage times come from the
+    :mod:`repro.obs` span API: a private stage-detail registry is
+    scoped in and the *shipping fused kernel* emits ``remap.gather`` /
+    ``remap.interpolate`` / ``remap.store`` spans as it runs — the
+    profile reflects exactly the code path :meth:`RemapLUT.apply`
+    executes, not a parallel re-implementation, and cannot drift from
+    it.  The ``map_build`` stage is timed by the caller, which owns map
+    construction; it is left 0 here.
 
     Returns
     -------
@@ -569,14 +593,14 @@ def remap_profiled(image, field: RemapField, method: str = "bilinear",
     image = np.asarray(image)
     prof = StageProfile()
 
-    t0 = time.perf_counter()
-    lut = RemapLUT(field, method=method, border=border, fill=fill)
-    lut._weight_table()  # derive tap weights now; part of the build cost
-    prof.lut_build = time.perf_counter() - t0
-
-    timers = _StageTimers()
-    result = lut._run(image, timers=timers)
-    prof.gather = timers.gather
-    prof.interpolate = timers.interpolate
-    prof.store = timers.store
+    tel = Telemetry(stage_detail=True)
+    with scoped(tel):
+        with tel.span("remap.lut_build", cat="kernel"):
+            lut = RemapLUT(field, method=method, border=border, fill=fill)
+            lut._weight_table()  # derive tap weights now; part of the build cost
+        result = lut._run(image)
+    prof.lut_build = tel.span_total("remap.lut_build")
+    prof.gather = tel.span_total("remap.gather")
+    prof.interpolate = tel.span_total("remap.interpolate")
+    prof.store = tel.span_total("remap.store")
     return result, prof

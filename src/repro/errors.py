@@ -22,6 +22,7 @@ __all__ = [
     "PlatformError",
     "CapacityError",
     "BenchmarkError",
+    "TelemetryError",
 ]
 
 
@@ -80,3 +81,7 @@ class CapacityError(PlatformError):
 
 class BenchmarkError(ReproError, RuntimeError):
     """A benchmark harness precondition failed."""
+
+
+class TelemetryError(ReproError, ValueError):
+    """Invalid telemetry request (bad buckets, mismatched merge, ...)."""

@@ -1,0 +1,69 @@
+"""Observability: telemetry registry, exporters, logging setup.
+
+The runtime-visibility layer the production pipeline reports through:
+
+- :mod:`repro.obs.telemetry` — counters, gauges, fixed-bucket latency
+  histograms and nested timing spans, behind an off-by-default global
+  registry whose disabled path is a branch per frame;
+- :mod:`repro.obs.export` — JSON snapshot, Prometheus text exposition
+  and Chrome ``trace_event`` exporters over one snapshot schema;
+- :mod:`repro.obs.logsetup` — the single ``logging`` configuration
+  helper shared by the CLI and the executors.
+
+Quick use::
+
+    from repro import obs
+
+    tel = obs.enable()                    # global, or obs.scoped(...) local
+    ... run the pipeline ...
+    obs.write_metrics(tel, "metrics.json")
+    obs.write_trace(tel, "trace.json")    # open in ui.perfetto.dev
+"""
+
+from .telemetry import (  # noqa: F401
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    NullTelemetry,
+    Telemetry,
+    disable,
+    emit_phase_spans,
+    enable,
+    get_telemetry,
+    scoped,
+    set_telemetry,
+)
+from .export import (  # noqa: F401
+    chrome_trace,
+    format_snapshot,
+    metrics_json,
+    prometheus_text,
+    write_metrics,
+    write_trace,
+)
+from .logsetup import LOG_LEVELS, configure_logging, get_logger  # noqa: F401
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Telemetry",
+    "NullTelemetry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "get_telemetry",
+    "set_telemetry",
+    "enable",
+    "disable",
+    "scoped",
+    "emit_phase_spans",
+    "metrics_json",
+    "prometheus_text",
+    "chrome_trace",
+    "write_metrics",
+    "write_trace",
+    "format_snapshot",
+    "configure_logging",
+    "get_logger",
+    "LOG_LEVELS",
+]

@@ -1,0 +1,194 @@
+"""Exporters: JSON snapshots, Prometheus text, Chrome ``trace_event``.
+
+All three render the same :meth:`~repro.obs.telemetry.Telemetry
+.snapshot` payload, so a snapshot written by a worker, merged in a
+parent, or loaded back from disk exports identically:
+
+- :func:`metrics_json` / :func:`write_metrics` — the canonical
+  machine-readable dump (what ``repro --metrics out.json`` writes and
+  ``repro stats`` pretty-prints);
+- :func:`prometheus_text` — `text exposition format
+  <https://prometheus.io/docs/instrumenting/exposition_formats/>`_ with
+  cumulative histogram buckets, for scrape endpoints;
+- :func:`chrome_trace` — a ``trace_event`` JSON array loadable in
+  ``chrome://tracing`` or `Perfetto <https://ui.perfetto.dev>`_,
+  containing both measured spans and the platform models' injected
+  timelines.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+__all__ = [
+    "metrics_json",
+    "prometheus_text",
+    "chrome_trace",
+    "write_metrics",
+    "write_trace",
+    "format_snapshot",
+]
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _snap(tel_or_snap) -> dict:
+    if isinstance(tel_or_snap, dict):
+        return tel_or_snap
+    return tel_or_snap.snapshot()
+
+
+def metrics_json(tel_or_snap) -> dict:
+    """The JSON-able snapshot (passes dicts through unchanged)."""
+    return _snap(tel_or_snap)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_name(name: str, prefix: str = "repro_") -> str:
+    return prefix + _PROM_BAD.sub("_", name.replace(".", "_"))
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float) and v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v) if isinstance(v, float) else str(v)
+
+
+def prometheus_text(tel_or_snap, prefix: str = "repro_") -> str:
+    """Render the snapshot in Prometheus text exposition format.
+
+    Dotted metric names flatten to underscores under ``prefix``;
+    histogram buckets are emitted cumulatively with the closing
+    ``+Inf`` bucket, ``_sum`` and ``_count`` series.
+    """
+    snap = _snap(tel_or_snap)
+    lines = []
+    for name in sorted(snap.get("counters", {})):
+        pname = _prom_name(name, prefix)
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {_fmt(snap['counters'][name])}")
+    for name in sorted(snap.get("gauges", {})):
+        pname = _prom_name(name, prefix)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {_fmt(snap['gauges'][name])}")
+    for name in sorted(snap.get("histograms", {})):
+        h = snap["histograms"][name]
+        pname = _prom_name(name, prefix)
+        lines.append(f"# TYPE {pname} histogram")
+        cum = 0
+        for bound, count in zip(h["bounds"], h["counts"]):
+            cum += count
+            lines.append(f'{pname}_bucket{{le="{_fmt(float(bound))}"}} {cum}')
+        cum += h["counts"][-1]
+        lines.append(f'{pname}_bucket{{le="+Inf"}} {cum}')
+        lines.append(f"{pname}_sum {_fmt(float(h['sum']))}")
+        lines.append(f"{pname}_count {h['count']}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event JSON
+# ----------------------------------------------------------------------
+def chrome_trace(tel_or_snap) -> list:
+    """Render spans as a ``trace_event`` JSON array of ``X`` events.
+
+    Timestamps are rebased so the earliest span starts at 0 µs.
+    String track ids (the models' synthetic timelines) are mapped to
+    stable integer ``tid``s with ``thread_name`` metadata events so
+    Perfetto labels the tracks.
+    """
+    snap = _snap(tel_or_snap)
+    spans = snap.get("spans", [])
+    events = []
+    origin = min((s["ts"] for s in spans), default=0.0)
+    tid_map: dict[str, int] = {}
+    for s in sorted(spans, key=lambda s: (s["ts"], -s["dur"])):
+        tid = s.get("tid", 0)
+        if isinstance(tid, str):
+            if tid not in tid_map:
+                tid_map[tid] = 1000 + len(tid_map)
+                events.append({"ph": "M", "name": "thread_name",
+                               "pid": s.get("pid", 0), "tid": tid_map[tid],
+                               "args": {"name": tid}})
+            tid = tid_map[tid]
+        ev = {
+            "name": s["name"],
+            "cat": s.get("cat") or "repro",
+            "ph": "X",
+            "ts": round((s["ts"] - origin) * 1e6, 3),
+            "dur": round(s["dur"] * 1e6, 3),
+            "pid": s.get("pid", 0),
+            "tid": tid,
+        }
+        if s.get("args"):
+            ev["args"] = s["args"]
+        events.append(ev)
+    return events
+
+
+# ----------------------------------------------------------------------
+# file writers + pretty printer
+# ----------------------------------------------------------------------
+def write_metrics(tel_or_snap, path: str) -> dict:
+    """Write the JSON snapshot to ``path``; returns the snapshot."""
+    snap = _snap(tel_or_snap)
+    with open(path, "w") as fh:
+        json.dump(snap, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return snap
+
+
+def write_trace(tel_or_snap, path: str) -> list:
+    """Write the Chrome ``trace_event`` array to ``path``; returns it."""
+    events = chrome_trace(tel_or_snap)
+    with open(path, "w") as fh:
+        json.dump(events, fh)
+        fh.write("\n")
+    return events
+
+
+def format_snapshot(tel_or_snap) -> str:
+    """Human-readable rendering (the ``repro stats`` command)."""
+    snap = _snap(tel_or_snap)
+    out = []
+    counters = snap.get("counters", {})
+    if counters:
+        out.append("counters:")
+        width = max(len(n) for n in counters)
+        for name in sorted(counters):
+            out.append(f"  {name:<{width}}  {_fmt(counters[name])}")
+    gauges = snap.get("gauges", {})
+    if gauges:
+        out.append("gauges:")
+        width = max(len(n) for n in gauges)
+        for name in sorted(gauges):
+            out.append(f"  {name:<{width}}  {gauges[name]:.4g}")
+    hists = snap.get("histograms", {})
+    if hists:
+        out.append("histograms:")
+        for name in sorted(hists):
+            h = hists[name]
+            mean = h["sum"] / h["count"] if h["count"] else 0.0
+            out.append(f"  {name}: count {h['count']}, mean {mean * 1e3:.3f} ms")
+            peak = max(h["counts"]) or 1
+            labels = [f"<={_fmt(float(b))}" for b in h["bounds"]] + ["+Inf"]
+            for label, count in zip(labels, h["counts"]):
+                if count:
+                    bar = "#" * max(1, round(24 * count / peak))
+                    out.append(f"    {label:>10}  {count:>8}  {bar}")
+    spans = snap.get("spans", [])
+    if spans:
+        totals: dict[str, list] = {}
+        for s in spans:
+            agg = totals.setdefault(s["name"], [0, 0.0])
+            agg[0] += 1
+            agg[1] += s["dur"]
+        out.append("spans:")
+        width = max(len(n) for n in totals)
+        for name in sorted(totals):
+            n, dur = totals[name]
+            out.append(f"  {name:<{width}}  x{n:<6} total {dur * 1e3:.3f} ms")
+    return "\n".join(out) + ("\n" if out else "(empty snapshot)\n")

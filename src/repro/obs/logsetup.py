@@ -1,0 +1,56 @@
+"""One-stop ``logging`` configuration for the library and its CLI.
+
+The library logs under the ``repro`` namespace (``repro.parallel``,
+``repro.video``, ...) and never configures handlers on import — that
+is an application decision.  :func:`configure_logging` is that
+decision, made exactly once: the CLI calls it from ``--log-level``,
+the executors call it defensively with the default level so their
+worker lifecycle messages are never silently dropped on the floor,
+and embedding applications may ignore it entirely and attach their own
+handlers to the ``repro`` logger.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["configure_logging", "get_logger", "LOG_LEVELS"]
+
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+_configured = False
+
+
+def configure_logging(level: str = "warning", stream=None,
+                      force: bool = False) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` root logger.
+
+    Idempotent: repeated calls only adjust the level unless ``force``
+    re-installs the handler (tests use this with a fresh stream).
+    Returns the configured ``repro`` logger.
+    """
+    global _configured
+    if level not in LOG_LEVELS:
+        raise ValueError(f"unknown log level {level!r}; known: {LOG_LEVELS}")
+    logger = logging.getLogger("repro")
+    if force:
+        for h in list(logger.handlers):
+            logger.removeHandler(h)
+        _configured = False
+    if not _configured:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)-7s %(name)s: %(message)s"))
+        logger.addHandler(handler)
+        logger.propagate = False
+        _configured = True
+    logger.setLevel(getattr(logging, level.upper()))
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``get_logger("video")``)."""
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")

@@ -27,15 +27,20 @@ Two tile-parallel process executors mirror
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 from multiprocessing import shared_memory
 
 import numpy as np
 
 from ..errors import ScheduleError
 from ..core.remap import RemapLUT
+from ..obs.logsetup import get_logger
+from ..obs.telemetry import Telemetry, get_telemetry, set_telemetry
 from .partition import row_bands
 
 __all__ = ["ProcessExecutor", "SharedMemoryExecutor"]
+
+log = get_logger(__name__)
 
 # Worker-side globals, installed by the initializers in each child.
 _WORKER_LUT = None
@@ -44,9 +49,28 @@ _WORKER_DST = None
 _SHM_STATE = None
 
 
-def _init_worker(lut, src_name, src_shape, src_dtype, dst_name, dst_shape, dst_dtype):
+def _init_worker_telemetry(enabled: bool) -> None:
+    """Give this worker its own registry (fork *and* spawn safe).
+
+    The worker registry starts empty and is drained after every band,
+    so each task result carries a pure counter/histogram delta that the
+    parent folds in with :meth:`~repro.obs.telemetry.Telemetry.merge` —
+    no shared state, no locks across processes.
+    """
+    if enabled:
+        set_telemetry(Telemetry())
+
+
+def _worker_delta():
+    tel = get_telemetry()
+    return tel.drain() if tel.enabled else None
+
+
+def _init_worker(lut, src_name, src_shape, src_dtype, dst_name, dst_shape,
+                 dst_dtype, telemetry_enabled=False):
     """Attach this worker to the shared frame buffers."""
     global _WORKER_LUT, _WORKER_SRC, _WORKER_DST
+    _init_worker_telemetry(telemetry_enabled)
     _WORKER_LUT = lut
     src_shm = shared_memory.SharedMemory(name=src_name)
     dst_shm = shared_memory.SharedMemory(name=dst_name)
@@ -59,8 +83,12 @@ def _run_tile(rows):
     row0, row1 = rows
     src = _WORKER_SRC[1]
     dst = _WORKER_DST[1]
+    tel = get_telemetry()
+    t0 = time.perf_counter() if tel.enabled else 0.0
     dst[row0:row1] = _WORKER_LUT.apply_rows(src, row0, row1)
-    return row1 - row0
+    if tel.enabled:
+        tel.histogram("executor.band_seconds").observe(time.perf_counter() - t0)
+    return row1 - row0, _worker_delta()
 
 
 class _FrameSegments:
@@ -151,6 +179,37 @@ class _BoundExecutorBase:
         count = min(h, self.workers * self.bands_per_worker)
         return [(t.row0, t.row1) for t in row_bands(h, w, count)]
 
+    def _run_bands(self, task):
+        """Fan one frame's bands out to the pool, with telemetry.
+
+        Parent-side: frame latency histogram + span, fan-out counters.
+        Worker-side deltas riding back on the task results are merged
+        into the parent registry here — the process-safe aggregation
+        path (workers never share registries; they ship snapshots).
+        """
+        tel = get_telemetry()
+        bands = self._band_ranges()
+        if not tel.enabled:
+            self._pool.map(task, bands)
+            return
+        t0 = time.perf_counter()
+        results = self._pool.map(task, bands)
+        dt = time.perf_counter() - t0
+        tel.counter("executor.frames").inc()
+        tel.counter("executor.bands").inc(len(bands))
+        tel.histogram("executor.frame_seconds").observe(dt)
+        tel.add_span("executor.frame", time.time() - dt, dt, cat=self.name,
+                     args={"bands": len(bands), "workers": self.workers})
+        band_total = 0.0
+        for _, delta in results:
+            if delta:
+                h = delta.get("histograms", {}).get("executor.band_seconds")
+                if h:
+                    band_total += h["sum"]
+                tel.merge(delta)
+        tel.histogram("executor.fanout_seconds").observe(
+            max(0.0, dt - band_total / self.workers))
+
 
 class ProcessExecutor(_BoundExecutorBase):
     """Tile-parallel LUT application on a process pool + shared frames.
@@ -181,12 +240,14 @@ class ProcessExecutor(_BoundExecutorBase):
         self.src_view = self._frames.src_view
         self.dst_view = self._frames.dst_view
         ctx = mp.get_context("fork")
+        log.debug("starting %d fork workers (process executor)", self.workers)
         self._pool = ctx.Pool(
             processes=self.workers,
             initializer=_init_worker,
             initargs=(lut, self._frames.src_shm.name, self.frame_shape,
                       self.frame_dtype, self._frames.dst_shm.name,
-                      self.out_shape, self.frame_dtype),
+                      self.out_shape, self.frame_dtype,
+                      get_telemetry().enabled),
         )
 
     def _release_segments(self):
@@ -199,7 +260,7 @@ class ProcessExecutor(_BoundExecutorBase):
         """Correct one frame (``lut`` must be the bound LUT)."""
         image = self._check_run(lut, image)
         np.copyto(self._frames.src_view, image)
-        self._pool.map(_run_tile, self._band_ranges())
+        self._run_bands(_run_tile)
         if out is not None:
             np.copyto(out, self._frames.dst_view)
             return out
@@ -218,9 +279,10 @@ def _share_array(arr):
     return shm, view
 
 
-def _init_shm_worker(table_spec, lut_meta):
+def _init_shm_worker(table_spec, lut_meta, telemetry_enabled=False):
     """Attach to every shared segment and rebuild a zero-copy LUT."""
     global _SHM_STATE
+    _init_worker_telemetry(telemetry_enabled)
     segments = []
     arrays = {}
     for key, (name, shape, dtype_str) in table_spec.items():
@@ -240,8 +302,12 @@ def _run_shm_band(rows):
     """Fused-kernel correction of one band, written in place."""
     row0, row1 = rows
     _, lut, src, dst = _SHM_STATE
+    tel = get_telemetry()
+    t0 = time.perf_counter() if tel.enabled else 0.0
     lut.apply_rows_into(src, row0, row1, dst[row0:row1])
-    return row1 - row0
+    if tel.enabled:
+        tel.histogram("executor.band_seconds").observe(time.perf_counter() - t0)
+    return row1 - row0, _worker_delta()
 
 
 class SharedMemoryExecutor(_BoundExecutorBase):
@@ -301,10 +367,12 @@ class SharedMemoryExecutor(_BoundExecutorBase):
             "fill": lut.fill,
         }
         ctx = mp.get_context(context)
+        log.debug("starting %d %s workers (shared-memory executor)",
+                  self.workers, context)
         self._pool = ctx.Pool(
             processes=self.workers,
             initializer=_init_shm_worker,
-            initargs=(table_spec, lut_meta),
+            initargs=(table_spec, lut_meta, get_telemetry().enabled),
         )
 
     def _release_segments(self):
@@ -321,7 +389,7 @@ class SharedMemoryExecutor(_BoundExecutorBase):
         """Correct one frame (``lut`` must be the bound LUT)."""
         image = self._check_run(lut, image)
         np.copyto(self._frames.src_view, image)
-        self._pool.map(_run_shm_band, self._band_ranges())
+        self._run_bands(_run_shm_band)
         if out is not None:
             np.copyto(out, self._frames.dst_view)
             return out

@@ -16,15 +16,20 @@ the same ownership argument the paper makes for its data decomposition.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor, wait
 
 import numpy as np
 
 from ..errors import ScheduleError
 from ..core.remap import RemapLUT
+from ..obs.logsetup import get_logger
+from ..obs.telemetry import get_telemetry
 from .partition import row_bands, row_bands_weighted
 
 __all__ = ["ThreadedExecutor"]
+
+log = get_logger(__name__)
 
 
 class ThreadedExecutor:
@@ -58,6 +63,7 @@ class ThreadedExecutor:
     # ------------------------------------------------------------------
     def _ensure_pool(self):
         if self._pool is None:
+            log.debug("starting thread pool: %d workers", self.workers)
             self._pool = ThreadPoolExecutor(max_workers=self.workers,
                                             thread_name_prefix="remap")
         return self._pool
@@ -65,6 +71,7 @@ class ThreadedExecutor:
     def close(self):
         """Shut the pool down (idempotent)."""
         if self._pool is not None:
+            log.debug("shutting down thread pool")
             self._pool.shutdown(wait=True)
             self._pool = None
 
@@ -96,12 +103,34 @@ class ThreadedExecutor:
 
         tiles = self._tiles_for(lut)
         pool = self._ensure_pool()
+        tel = get_telemetry()
+        t_frame = time.perf_counter() if tel.enabled else 0.0
 
-        def worker(tile):
-            out[tile.row0:tile.row1] = lut.apply_rows(image, tile.row0, tile.row1)
+        if tel.enabled:
+            band_secs = []
+
+            def worker(tile):
+                t0 = time.perf_counter()
+                out[tile.row0:tile.row1] = lut.apply_rows(image, tile.row0, tile.row1)
+                dt = time.perf_counter() - t0
+                tel.histogram("executor.band_seconds").observe(dt)
+                band_secs.append(dt)
+        else:
+            def worker(tile):
+                out[tile.row0:tile.row1] = lut.apply_rows(image, tile.row0, tile.row1)
 
         futures = [pool.submit(worker, t) for t in tiles]
         done, _ = wait(futures)
         for f in done:
             f.result()  # re-raise worker exceptions
+        if tel.enabled:
+            dt = time.perf_counter() - t_frame
+            tel.counter("executor.frames").inc()
+            tel.counter("executor.bands").inc(len(tiles))
+            tel.histogram("executor.frame_seconds").observe(dt)
+            tel.add_span("executor.frame", time.time() - dt, dt, cat=self.name,
+                         args={"bands": len(tiles)})
+            # dispatch + join cost on top of an ideal parallel schedule
+            tel.histogram("executor.fanout_seconds").observe(
+                max(0.0, dt - sum(band_secs) / self.workers))
         return out

@@ -17,12 +17,14 @@ output buffer — the steady state performs zero per-frame allocations.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
 import numpy as np
 
 from ..errors import ImageFormatError
+from ..obs.telemetry import get_telemetry
 from ..core.image import GRAY8, Frame
 from ..core.mapping import RemapField
 from ..core.remap import RemapLUT
@@ -85,18 +87,30 @@ def corrected_stream(frames: Iterable, field: RemapField,
     ------
     Corrected frames, same kind as the input items.
     """
+    tel = get_telemetry()
     if lut_cache is not None:
         lut = lut_cache.get(field, method=method, border=border, fill=fill)
     else:
         lut = RemapLUT(field, method=method, border=border, fill=fill)
     buffer: Optional[np.ndarray] = None
+    stream_t0 = time.perf_counter() if tel.enabled else 0.0
+    frames_done = 0
     for item in frames:
+        t0 = time.perf_counter() if tel.enabled else 0.0
         data = item.data if isinstance(item, Frame) else np.asarray(item)
         shape = lut.out_shape + data.shape[2:]
         if buffer is None or buffer.shape != shape or buffer.dtype != data.dtype:
             buffer = np.empty(shape, dtype=data.dtype)
         lut.apply_into(data, buffer)
         result = buffer.copy() if copy else buffer
+        if tel.enabled:
+            now = time.perf_counter()
+            frames_done += 1
+            tel.counter("stream.frames").inc()
+            tel.histogram("stream.frame_seconds").observe(now - t0)
+            # end-to-end rate including the producer's time between frames
+            if now > stream_t0:
+                tel.gauge("stream.fps").set(frames_done / (now - stream_t0))
         if isinstance(item, Frame):
             yield item.with_data(result)
         else:

@@ -1,0 +1,137 @@
+"""Exporters: Prometheus text, Chrome trace_event, writers, pretty-print.
+
+The Prometheus and Chrome renderings are pinned against golden files in
+``tests/golden/`` — the exporter output is an interface (scrapers and
+Perfetto consume it), so formatting changes must be deliberate.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    format_snapshot,
+    metrics_json,
+    prometheus_text,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.telemetry import Telemetry
+
+pytestmark = pytest.mark.tier1
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def reference_registry() -> Telemetry:
+    """A fully deterministic registry exercising every exporter feature."""
+    tel = Telemetry(pid=1234)
+    tel.counter("remap.frames").inc(3)
+    tel.counter("lutcache.mem.hits").inc(2)
+    tel.gauge("stream.fps").set(24.5)
+    h = tel.histogram("remap.apply_seconds", buckets=(0.01, 0.05, 0.1))
+    for v in (0.004, 0.02, 0.02, 0.07, 0.5):
+        h.observe(v)
+    # measured spans on two integer (thread-like) tracks, nested
+    tel.add_span("stream.frame", 100.0, 0.040, cat="stream", tid=1, depth=0)
+    tel.add_span("remap.apply", 100.005, 0.030, cat="remap", tid=1, depth=1,
+                 args={"pixels": 4096})
+    tel.add_span("executor.band", 100.010, 0.012, cat="process", tid=2)
+    # a modeled span on a synthetic string track
+    tel.add_span("cell.tile0.dma_in", 100.0, 0.001, cat="model",
+                 tid="model:cell-spe")
+    return tel
+
+
+def _read_golden(name: str) -> str:
+    with open(os.path.join(GOLDEN, name)) as fh:
+        return fh.read()
+
+
+class TestPrometheus:
+    def test_golden(self):
+        assert prometheus_text(reference_registry()) == _read_golden(
+            "obs_prometheus.txt")
+
+    def test_histogram_is_cumulative_with_inf(self):
+        text = prometheus_text(reference_registry())
+        lines = [l for l in text.splitlines()
+                 if l.startswith("repro_remap_apply_seconds_bucket")]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+        assert counts == sorted(counts)          # cumulative
+        assert 'le="+Inf"' in lines[-1]
+        assert counts[-1] == 5                   # == _count
+        assert "repro_remap_apply_seconds_count 5" in text
+
+    def test_names_flattened_and_prefixed(self):
+        text = prometheus_text(reference_registry())
+        assert "repro_lutcache_mem_hits 2" in text
+        names = [l.split(" ")[0].split("{")[0] for l in text.splitlines()
+                 if l and not l.startswith("#")]
+        assert all("." not in n and n.startswith("repro_") for n in names)
+
+    def test_type_lines_present(self):
+        text = prometheus_text(reference_registry())
+        assert "# TYPE repro_remap_frames counter" in text
+        assert "# TYPE repro_stream_fps gauge" in text
+        assert "# TYPE repro_remap_apply_seconds histogram" in text
+
+
+class TestChromeTrace:
+    def test_golden(self):
+        assert chrome_trace(reference_registry()) == json.loads(
+            _read_golden("obs_trace.json"))
+
+    def test_events_are_perfetto_valid(self):
+        events = chrome_trace(reference_registry())
+        assert isinstance(events, list) and events
+        xs = [e for e in events if e["ph"] == "X"]
+        assert xs, "no duration events"
+        for e in xs:
+            assert isinstance(e["tid"], int)
+            assert e["ts"] >= 0.0            # rebased to the earliest span
+            assert e["dur"] >= 0.0
+            assert e["name"] and e["cat"]
+        assert any(e["ts"] == 0.0 for e in xs)
+
+    def test_string_tracks_get_thread_names(self):
+        events = chrome_trace(reference_registry())
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(meta) == 1
+        assert meta[0]["name"] == "thread_name"
+        assert meta[0]["args"]["name"] == "model:cell-spe"
+        assert meta[0]["tid"] >= 1000
+
+    def test_empty_snapshot(self):
+        assert chrome_trace(Telemetry(pid=1)) == []
+
+
+class TestWritersAndFormat:
+    def test_write_metrics_roundtrip(self, tmp_path):
+        path = str(tmp_path / "m.json")
+        snap = write_metrics(reference_registry(), path)
+        with open(path) as fh:
+            loaded = json.load(fh)
+        assert loaded == snap
+        assert loaded["counters"]["remap.frames"] == 3
+        assert metrics_json(loaded) is loaded   # dicts pass through
+
+    def test_write_trace_roundtrip(self, tmp_path):
+        path = str(tmp_path / "t.trace.json")
+        events = write_trace(reference_registry(), path)
+        with open(path) as fh:
+            assert json.load(fh) == events
+
+    def test_format_snapshot_sections(self):
+        text = format_snapshot(reference_registry())
+        assert "counters:" in text
+        assert "remap.frames" in text
+        assert "gauges:" in text
+        assert "histograms:" in text
+        assert "spans:" in text
+        assert "stream.frame" in text
+
+    def test_format_empty(self):
+        assert "empty" in format_snapshot({})
