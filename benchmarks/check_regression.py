@@ -14,17 +14,31 @@ As a side effect the gate writes ``BENCH_metrics.json`` next to the
 baseline: a telemetry snapshot of an instrumented VGA correction run,
 so CI archives the counter/histogram shape alongside the timings.
 
+The streaming gate runs the same 1080p bilinear workload through the
+fork-join :class:`SharedMemoryExecutor` and the persistent-worker
+:class:`RingEngine` and requires the ring to win by
+``STREAM_SPEEDUP_MIN`` (1.3x).  That ratio is only meaningful with
+real cores, so the full gate is enforced when ``os.cpu_count() >= 4``
+(the CI reference machine); on smaller hosts — and always under
+``--smoke`` — a reduced configuration runs instead, enforcing only
+correctness and a conservative fps floor.  Either way the measured
+numbers land in ``BENCH_stream.json`` (with a ``mode`` field saying
+which gate ran) so CI archives the streaming trend alongside the
+kernel timings.
+
 Exit status 0 = no regression; 1 = the fused kernel has become slower
 than the old per-tap kernel it replaced, telemetry leaked overhead
-into the disabled hot path, or an invariant broke.
+into the disabled hot path, the ring lost its streaming advantage, or
+an invariant broke.
 
 Run from the repo root::
 
-    PYTHONPATH=src python benchmarks/check_regression.py
+    PYTHONPATH=src python benchmarks/check_regression.py [--smoke]
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import sys
@@ -43,7 +57,17 @@ from repro.video import synth                                    # noqa: E402
 
 BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_baseline.json")
 METRICS_PATH = os.path.join(REPO_ROOT, "BENCH_metrics.json")
+STREAM_PATH = os.path.join(REPO_ROOT, "BENCH_stream.json")
 REPEATS = 5
+
+#: full streaming gate: ring must beat fork-join by this factor on the
+#: CI reference machine (1080p bilinear, 64 frames, 4 workers).
+STREAM_SPEEDUP_MIN = 1.3
+#: cores needed for the speedup ratio to mean anything; below this the
+#: reduced smoke configuration runs instead.
+STREAM_FULL_MIN_CORES = 4
+#: conservative end-to-end floor for the reduced smoke (VGA, 2 workers)
+STREAM_SMOKE_FPS_FLOOR = 2.0
 
 
 def _check(label: str, ok: bool, detail: str) -> bool:
@@ -85,6 +109,111 @@ def time_fused_apply() -> float:
     return best
 
 
+def bench_stream(full: bool) -> dict:
+    """Time fork-join vs ring on the same streaming workload.
+
+    Both engines see an identical frame source (panning crops of an
+    urban world — a stand-in decode step with real per-frame cost) and
+    the same prebuilt LUT, so the measured ratio isolates the engine:
+    per-frame fork-join barriers vs persistent workers with frame-level
+    overlap.
+    """
+    from repro.parallel.procpool import SharedMemoryExecutor
+    from repro.parallel.ring import RingEngine
+    from repro.video.stream import panning_crops
+
+    if full:
+        res, frames_n, workers, depth = "1080p", 64, 4, 4
+    else:
+        res, frames_n, workers, depth = "VGA", 12, 2, 2
+    w, h = resolution(res)
+    field = standard_field(w, h)
+    lut = RemapLUT(field, method="bilinear")
+    world = synth.urban(w + 128, h + 128)
+
+    def source():
+        return panning_crops(world, w, h, frames_n, step=16)
+
+    reference = lut.apply(next(source()))
+
+    ex = SharedMemoryExecutor(lut, (h, w), np.uint8, workers=workers)
+    try:
+        out = np.empty(lut.out_shape, dtype=np.uint8)
+        ex.run(lut, next(source()), out=out)  # warmup (workers attach)
+        t0 = time.perf_counter()
+        for frame in source():
+            ex.run(lut, frame, out=out)
+        forkjoin_s = time.perf_counter() - t0
+    finally:
+        ex.close()
+
+    engine = RingEngine(lut, (h, w), np.uint8, workers=workers, depth=depth,
+                        schedule="dynamic")
+    try:
+        first = None
+        delivered = 0
+        t0 = time.perf_counter()
+        for corrected in engine.stream(source()):
+            if first is None:
+                first = corrected.copy()
+            delivered += 1
+        ring_s = time.perf_counter() - t0
+    finally:
+        engine.close()
+
+    return {
+        "mode": "full" if full else "smoke",
+        "cpu_count": os.cpu_count(),
+        "resolution": res,
+        "frames": frames_n,
+        "workers": workers,
+        "depth": depth,
+        "schedule": "dynamic",
+        "method": "bilinear",
+        "forkjoin_fps": frames_n / forkjoin_s,
+        "ring_fps": delivered / ring_s,
+        "ring_speedup": forkjoin_s / ring_s,
+        "ring_max_in_flight": engine.max_in_flight,
+        "delivered": delivered,
+        "first_frame_exact": bool(np.array_equal(first, reference)),
+        "speedup_gate": STREAM_SPEEDUP_MIN if full else None,
+        "fps_floor": None if full else STREAM_SMOKE_FPS_FLOOR,
+    }
+
+
+def check_stream(smoke: bool) -> bool:
+    """The streaming throughput gate; writes ``BENCH_stream.json``."""
+    full = not smoke and (os.cpu_count() or 1) >= STREAM_FULL_MIN_CORES
+    print(f"== streaming: ring vs fork-join "
+          f"({'full gate' if full else 'reduced smoke'}) ==")
+    result = bench_stream(full)
+    with open(STREAM_PATH, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+
+    ok = _check("ring delivered every frame",
+                result["delivered"] == result["frames"],
+                f"{result['delivered']}/{result['frames']}")
+    ok &= _check("ring output matches sequential kernel",
+                 result["first_frame_exact"], "first frame exact")
+    ok &= _check("ring kept frames in flight",
+                 result["ring_max_in_flight"] >= 2,
+                 f"max in flight {result['ring_max_in_flight']} "
+                 f"(depth {result['depth']})")
+    detail = (f"ring {result['ring_fps']:.1f} fps vs fork-join "
+              f"{result['forkjoin_fps']:.1f} fps "
+              f"({result['ring_speedup']:.2f}x)")
+    if full:
+        ok &= _check(f"ring beats fork-join by {STREAM_SPEEDUP_MIN}x",
+                     result["ring_speedup"] >= STREAM_SPEEDUP_MIN, detail)
+    else:
+        ok &= _check(f"ring above {STREAM_SMOKE_FPS_FLOOR} fps floor",
+                     result["ring_fps"] >= STREAM_SMOKE_FPS_FLOOR, detail)
+    print(f"  -> {os.path.relpath(STREAM_PATH, REPO_ROOT)} "
+          f"(mode={result['mode']})")
+    return ok
+
+
 def emit_metrics_snapshot() -> dict:
     """Instrumented VGA correction run -> telemetry snapshot on disk."""
     w, h = resolution("VGA")
@@ -103,6 +232,12 @@ def emit_metrics_snapshot() -> dict:
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="force the reduced streaming configuration "
+                             "(small frames, fps floor instead of the 1.3x "
+                             "gate) regardless of core count")
+    args = parser.parse_args()
     with open(BASELINE_PATH) as fh:
         base = json.load(fh)
 
@@ -123,10 +258,14 @@ def main() -> int:
                  f"measured {measured * 1e3:.1f} ms vs budget {budget * 1e3:.1f} ms "
                  f"(baseline {into_base * 1e3:.1f} ms + {tol * 100:.0f}%)")
 
-    entry = RemapLUT.entry_bytes_for("bilinear")
-    seed_entry = float(base["entry_bytes_seed"]["bilinear"])
-    ok &= _check("bilinear entry >= 40% smaller", entry <= 0.6 * seed_entry,
-                 f"{entry} B vs seed {seed_entry:.0f} B")
+    print("== compact LUT entry sizes vs seed layout ==")
+    for method in ("nearest", "bilinear", "bicubic"):
+        entry = RemapLUT.entry_bytes_for(method)
+        seed_entry = float(base["entry_bytes_seed"][method])
+        ok &= _check(f"{method} entry >= 40% smaller", entry <= 0.6 * seed_entry,
+                     f"{entry} B vs seed {seed_entry:.0f} B")
+
+    ok &= check_stream(smoke=args.smoke)
 
     print("== metrics snapshot ==")
     snap = emit_metrics_snapshot()

@@ -12,6 +12,11 @@ Commands
     circle-grid target and print the fit.
 ``bench``
     Run evaluation experiments by id (``T1``, ``F1``.. ``A3``, ``all``).
+``stream``
+    Drive a synthetic camera stream through a correction engine
+    (``seq``, ``pipelined`` threads, or the ``ring`` persistent-worker
+    shared-memory engine) and report throughput; with ``--trace`` the
+    ring engine's decode/remap/deliver overlap is visible per worker.
 ``info``
     Print the platform park (T1) and the library version.
 ``stats``
@@ -157,6 +162,56 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_stream(args) -> int:
+    """Run a synthetic camera stream through a correction engine."""
+    import time
+
+    from .core.pipeline import StreamStats
+    from .video.distort import FisheyeRenderer, scene_camera_for_sensor
+    from .video.stream import SyntheticStream
+    from .video.synth import urban
+
+    w, h = args.width, args.height
+    focal = args.focal or (min(w, h) / 2.0 - 1.0) / (np.pi / 2.0)
+    sensor = FisheyeIntrinsics.centered(w, h, focal=focal)
+    lens = make_lens(args.model, focal)
+    scene_cam = scene_camera_for_sensor(sensor, lens, w, h)
+    renderer = FisheyeRenderer(scene_cam, lens, sensor)
+    world = urban(int(w * 1.5) + 64, int(h * 1.5) + 64, seed=args.seed)
+    source = SyntheticStream(renderer, world, frames=args.frames, step=12)
+
+    corrector = FisheyeCorrector.for_sensor(
+        sensor, lens, w, h, zoom=args.zoom, method=args.method)
+    engine = {"seq": "sync"}.get(args.engine, args.engine)
+    engine_kwargs = {}
+    if engine == "pipelined":
+        engine_kwargs = {"depth": args.depth}
+    elif engine == "ring":
+        engine_kwargs = {"workers": args.workers, "depth": args.depth,
+                         "schedule": args.schedule, "context": args.context}
+        if args.chunk is not None:
+            engine_kwargs["chunk"] = args.chunk
+
+    stats = StreamStats()
+    frames = 0
+    t0 = time.perf_counter()
+    for _ in corrector.correct_stream(source, stats=stats, engine=engine,
+                                      **engine_kwargs):
+        frames += 1
+    wall = time.perf_counter() - t0
+    detail = ""
+    if engine == "pipelined":
+        detail = f" depth={args.depth}"
+    elif engine == "ring":
+        detail = (f" workers={args.workers} depth={args.depth} "
+                  f"schedule={args.schedule}")
+    print(f"engine={args.engine}{detail}: {frames} frames "
+          f"{w}x{h} {args.method} in {wall:.3f}s "
+          f"-> {frames / wall:.1f} fps end-to-end "
+          f"({stats.mpixels_per_s:.1f} Mpx/s in-engine)")
+    return 0
+
+
 def cmd_map_info(args) -> int:
     """Print the measured properties of a correction map — the numbers
     the platform models consume."""
@@ -280,6 +335,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("ids", nargs="+", metavar="ID",
                    help="experiment ids (T1, F1..F12, A1..A3) or 'all'")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("stream",
+                       help="drive a synthetic stream through a correction engine")
+    p.add_argument("--engine", choices=["seq", "pipelined", "ring"],
+                   default="seq")
+    p.add_argument("--frames", type=int, default=32)
+    p.add_argument("--width", type=int, default=256)
+    p.add_argument("--height", type=int, default=256)
+    p.add_argument("--model", choices=sorted(LENS_MODELS), default="equidistant")
+    p.add_argument("--focal", type=float, default=None)
+    p.add_argument("--zoom", type=float, default=0.5)
+    p.add_argument("--method", choices=["nearest", "bilinear", "bicubic"],
+                   default="bilinear")
+    p.add_argument("--workers", type=int, default=2,
+                   help="ring worker processes")
+    p.add_argument("--depth", type=int, default=2,
+                   help="frames in flight (pipelined threads / ring slots)")
+    p.add_argument("--schedule", choices=["static", "dynamic", "guided"],
+                   default="dynamic", help="ring band-scheduling policy")
+    p.add_argument("--chunk", type=int, default=None,
+                   help="ring band granularity in rows")
+    p.add_argument("--context", choices=["fork", "spawn"], default="fork",
+                   help="ring worker start method")
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_stream)
 
     p = sub.add_parser("map-info",
                        help="print measured properties of a correction map")

@@ -27,7 +27,7 @@ from typing import Iterable, Iterator, Optional, Protocol
 
 import numpy as np
 
-from ..errors import MappingError
+from ..errors import MappingError, ScheduleError
 from ..obs.telemetry import get_telemetry
 from .image import Frame
 from .intrinsics import CameraIntrinsics, FisheyeIntrinsics
@@ -199,15 +199,72 @@ class FisheyeCorrector:
             tel.histogram("pipeline.frame_seconds").observe(time.perf_counter() - t0)
         return result
 
-    def correct_stream(self, frames: Iterable, stats: Optional[StreamStats] = None
-                       ) -> Iterator:
+    def correct_stream(self, frames: Iterable, stats: Optional[StreamStats] = None,
+                       engine: str = "sync", **engine_kwargs) -> Iterator:
         """Correct a frame stream lazily, reusing one output buffer.
 
         Pass a :class:`StreamStats` to accumulate throughput numbers
         while the stream drains.  Buffer reuse means each yielded
         array aliases the previous one — consume (or copy) each frame
         before advancing, as with any zero-copy decoder API.
+
+        ``engine`` selects the execution strategy:
+
+        ``"sync"``
+            This corrector's own executor, one frame at a time
+            (default; honours ``self.executor``).
+        ``"pipelined"``
+            :func:`repro.parallel.stream.pipelined_stream` — ``depth``
+            worker threads keep that many frames in flight; each
+            yielded frame owns its buffer.
+        ``"ring"``
+            :func:`repro.parallel.ring.ring_stream` — persistent
+            worker processes over a shared-memory frame ring;
+            ``engine_kwargs`` (``workers``, ``depth``, ``schedule``,
+            ``chunk``, ``context``, ``copy``) configure the
+            :class:`~repro.parallel.ring.RingEngine`.
         """
+        if engine == "sync":
+            if engine_kwargs:
+                raise ScheduleError(
+                    f"engine 'sync' takes no options, got {sorted(engine_kwargs)}")
+            yield from self._sync_stream(frames, stats)
+        elif engine == "pipelined":
+            # lazy import: repro.parallel imports this module
+            from ..parallel.stream import pipelined_stream
+            yield from self._account(
+                pipelined_stream(self, frames, **engine_kwargs), stats,
+                count=False)  # correct() already counts each frame
+        elif engine == "ring":
+            from ..parallel.ring import ring_stream
+            yield from self._account(
+                ring_stream(self.lut, frames, **engine_kwargs), stats,
+                count=True)
+        else:
+            raise ScheduleError(
+                f"unknown stream engine {engine!r}; known: sync, pipelined, ring")
+
+    def _account(self, inner: Iterator, stats: Optional[StreamStats],
+                 count: bool) -> Iterator:
+        """Fold a delegated engine's output into this corrector's stats."""
+        it = iter(inner)
+        while True:
+            t0 = time.perf_counter()
+            try:
+                item = next(it)
+            except StopIteration:
+                return
+            elapsed = time.perf_counter() - t0
+            if count:
+                self._frames_corrected += 1
+            if stats is not None:
+                stats.frames += 1
+                stats.pixels += int(np.prod(self.out_shape))
+                stats.seconds += elapsed
+            yield item
+
+    def _sync_stream(self, frames: Iterable, stats: Optional[StreamStats]
+                     ) -> Iterator:
         tel = get_telemetry()
         buffer = None
         for item in frames:

@@ -18,6 +18,7 @@ __all__ = [
     "InterpolationError",
     "PartitionError",
     "ScheduleError",
+    "StreamError",
     "SimulationError",
     "PlatformError",
     "CapacityError",
@@ -60,6 +61,11 @@ class PartitionError(ReproError, ValueError):
 
 class ScheduleError(ReproError, ValueError):
     """Invalid scheduling request (zero workers, bad chunk size, ...)."""
+
+
+class StreamError(ReproError, RuntimeError):
+    """A streaming engine failed mid-stream (e.g. a worker process
+    died); the engine releases its shared resources before raising."""
 
 
 class SimulationError(ReproError, RuntimeError):

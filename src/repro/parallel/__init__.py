@@ -6,13 +6,19 @@
   static/dynamic/guided loop schedules,
 - :mod:`~repro.parallel.threadpool` / :mod:`~repro.parallel.procpool`
   — real shared-memory executors for the remap kernel,
+- :mod:`~repro.parallel.ring` — the persistent-worker streaming engine
+  (shared-memory frame ring, frame-level double buffering, dynamic
+  band scheduling),
+- :mod:`~repro.parallel.shmseg` — the shared-segment plumbing both
+  process back ends are built on,
 - :mod:`~repro.parallel.simd` — the SIMD vectorization model.
 """
 
 from .partition import Tile, blocks, row_bands, row_bands_weighted, tile_weights
+from .ring import MAX_RING_DEPTH, RING_SCHEDULES, RingEngine, plan_bands, ring_stream
 from .schedule import SCHEDULES, Assignment, cyclic_chunks, simulate, static_chunks
 from .simd import AVX2, SPU, SSE2, VectorISA, apply_lanewise, simd_speedup
-from .stream import pipelined_stream
+from .stream import MAX_STREAM_DEPTH, pipelined_stream
 from .threadpool import ThreadedExecutor
 
 __all__ = [
@@ -34,4 +40,10 @@ __all__ = [
     "apply_lanewise",
     "ThreadedExecutor",
     "pipelined_stream",
+    "MAX_STREAM_DEPTH",
+    "RingEngine",
+    "ring_stream",
+    "plan_bands",
+    "MAX_RING_DEPTH",
+    "RING_SCHEDULES",
 ]

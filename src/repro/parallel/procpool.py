@@ -22,21 +22,38 @@ Two tile-parallel process executors mirror
     steady-state frame costs one frame-copy in, the remap, and one
     frame-copy out — the communication/computation split the Cell BE
     model prices as DMA.
+
+Both are *fork-join* executors: ``run`` dispatches one frame's bands
+and waits for all of them before returning.  The streaming engine in
+:mod:`repro.parallel.ring` removes that barrier (frame *k+1*'s bands
+start while frame *k* drains); it shares this module's segment and
+worker-bootstrap plumbing via :mod:`repro.parallel.shmseg`, which also
+hardens the segment lifecycle: every parent-owned segment group is
+finalizer/atexit-backed, so dropping an executor without ``close()``
+(or crashing a worker mid-run) cannot leak named segments or provoke
+``resource_tracker`` warnings.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import time
-from multiprocessing import shared_memory
 
 import numpy as np
 
 from ..errors import ScheduleError
 from ..core.remap import RemapLUT
 from ..obs.logsetup import get_logger
-from ..obs.telemetry import Telemetry, get_telemetry, set_telemetry
+from ..obs.telemetry import get_telemetry
 from .partition import row_bands
+from .shmseg import (
+    FrameSegments,
+    SharedTables,
+    attach_segment,
+    attach_tables,
+    init_worker_telemetry,
+    worker_delta,
+)
 
 __all__ = ["ProcessExecutor", "SharedMemoryExecutor"]
 
@@ -49,31 +66,14 @@ _WORKER_DST = None
 _SHM_STATE = None
 
 
-def _init_worker_telemetry(enabled: bool) -> None:
-    """Give this worker its own registry (fork *and* spawn safe).
-
-    The worker registry starts empty and is drained after every band,
-    so each task result carries a pure counter/histogram delta that the
-    parent folds in with :meth:`~repro.obs.telemetry.Telemetry.merge` —
-    no shared state, no locks across processes.
-    """
-    if enabled:
-        set_telemetry(Telemetry())
-
-
-def _worker_delta():
-    tel = get_telemetry()
-    return tel.drain() if tel.enabled else None
-
-
 def _init_worker(lut, src_name, src_shape, src_dtype, dst_name, dst_shape,
                  dst_dtype, telemetry_enabled=False):
     """Attach this worker to the shared frame buffers."""
     global _WORKER_LUT, _WORKER_SRC, _WORKER_DST
-    _init_worker_telemetry(telemetry_enabled)
+    init_worker_telemetry(telemetry_enabled)
     _WORKER_LUT = lut
-    src_shm = shared_memory.SharedMemory(name=src_name)
-    dst_shm = shared_memory.SharedMemory(name=dst_name)
+    src_shm = attach_segment(src_name)
+    dst_shm = attach_segment(dst_name)
     _WORKER_SRC = (src_shm, np.ndarray(src_shape, dtype=src_dtype, buffer=src_shm.buf))
     _WORKER_DST = (dst_shm, np.ndarray(dst_shape, dtype=dst_dtype, buffer=dst_shm.buf))
 
@@ -88,26 +88,7 @@ def _run_tile(rows):
     dst[row0:row1] = _WORKER_LUT.apply_rows(src, row0, row1)
     if tel.enabled:
         tel.histogram("executor.band_seconds").observe(time.perf_counter() - t0)
-    return row1 - row0, _worker_delta()
-
-
-class _FrameSegments:
-    """Create/own the source+destination shared-memory frame buffers."""
-
-    def __init__(self, frame_shape, frame_dtype, out_shape):
-        nbytes_src = int(np.prod(frame_shape)) * frame_dtype.itemsize
-        nbytes_dst = int(np.prod(out_shape)) * frame_dtype.itemsize
-        self.src_shm = shared_memory.SharedMemory(create=True, size=nbytes_src)
-        self.dst_shm = shared_memory.SharedMemory(create=True, size=nbytes_dst)
-        self.src_view = np.ndarray(frame_shape, dtype=frame_dtype, buffer=self.src_shm.buf)
-        self.dst_view = np.ndarray(out_shape, dtype=frame_dtype, buffer=self.dst_shm.buf)
-
-    def release(self):
-        self.src_view = None
-        self.dst_view = None
-        for shm in (self.src_shm, self.dst_shm):
-            shm.close()
-            shm.unlink()
+    return row1 - row0, worker_delta()
 
 
 class _BoundExecutorBase:
@@ -131,11 +112,21 @@ class _BoundExecutorBase:
         channels = frame_shape[2:] if len(frame_shape) == 3 else ()
         self.out_shape = lut.out_shape + channels
         self._pool = None
+        self._segment_groups = []
         self._closed = False
 
     # ------------------------------------------------------------------
-    def _release_segments(self):  # pragma: no cover - overridden
-        raise NotImplementedError
+    def _release_segments(self):
+        """Unlink every owned segment group (idempotent).
+
+        Each group also carries its own :func:`weakref.finalize`
+        finalizer, so the same cleanup runs at GC or interpreter exit
+        if the executor is dropped without ``close()``.
+        """
+        self.src_view = None
+        self.dst_view = None
+        for group in self._segment_groups:
+            group.release()
 
     def close(self):
         """Terminate workers and release shared segments (idempotent)."""
@@ -235,8 +226,9 @@ class ProcessExecutor(_BoundExecutorBase):
     def __init__(self, lut: RemapLUT, frame_shape, frame_dtype=np.uint8,
                  workers: int = 2, bands_per_worker: int = 2):
         super().__init__(lut, frame_shape, frame_dtype, workers, bands_per_worker)
-        self._frames = _FrameSegments(self.frame_shape, self.frame_dtype,
-                                      self.out_shape)
+        self._frames = FrameSegments(self.frame_shape, self.frame_dtype,
+                                     self.out_shape)
+        self._segment_groups.append(self._frames)
         self.src_view = self._frames.src_view
         self.dst_view = self._frames.dst_view
         ctx = mp.get_context("fork")
@@ -249,11 +241,6 @@ class ProcessExecutor(_BoundExecutorBase):
                       self.out_shape, self.frame_dtype,
                       get_telemetry().enabled),
         )
-
-    def _release_segments(self):
-        self.src_view = None
-        self.dst_view = None
-        self._frames.release()
 
     # ------------------------------------------------------------------
     def run(self, lut: RemapLUT, image, out=None):
@@ -270,31 +257,11 @@ class ProcessExecutor(_BoundExecutorBase):
 # ----------------------------------------------------------------------
 # Fully shared-memory executor (frames + LUT tables)
 # ----------------------------------------------------------------------
-def _share_array(arr):
-    """Copy ``arr`` into a fresh named segment; returns (shm, view)."""
-    arr = np.ascontiguousarray(arr)
-    shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
-    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
-    view[...] = arr
-    return shm, view
-
-
 def _init_shm_worker(table_spec, lut_meta, telemetry_enabled=False):
     """Attach to every shared segment and rebuild a zero-copy LUT."""
     global _SHM_STATE
-    _init_worker_telemetry(telemetry_enabled)
-    segments = []
-    arrays = {}
-    for key, (name, shape, dtype_str) in table_spec.items():
-        shm = shared_memory.SharedMemory(name=name)
-        segments.append(shm)
-        arrays[key] = np.ndarray(tuple(shape), dtype=np.dtype(dtype_str),
-                                 buffer=shm.buf)
-    lut = RemapLUT.from_tables(
-        arrays["indices"], arrays.get("fracs"), arrays.get("mask"),
-        out_shape=lut_meta["out_shape"], src_shape=lut_meta["src_shape"],
-        method=lut_meta["method"], border=lut_meta["border"],
-        fill=lut_meta["fill"], weight_table=arrays.get("wtab"))
+    init_worker_telemetry(telemetry_enabled)
+    segments, arrays, lut = attach_tables(table_spec, lut_meta)
     _SHM_STATE = (segments, lut, arrays["src"], arrays["dst"])
 
 
@@ -307,7 +274,7 @@ def _run_shm_band(rows):
     lut.apply_rows_into(src, row0, row1, dst[row0:row1])
     if tel.enabled:
         tel.histogram("executor.band_seconds").observe(time.perf_counter() - t0)
-    return row1 - row0, _worker_delta()
+    return row1 - row0, worker_delta()
 
 
 class SharedMemoryExecutor(_BoundExecutorBase):
@@ -336,53 +303,26 @@ class SharedMemoryExecutor(_BoundExecutorBase):
                  workers: int = 2, bands_per_worker: int = 2,
                  context: str = "fork"):
         super().__init__(lut, frame_shape, frame_dtype, workers, bands_per_worker)
-        self._frames = _FrameSegments(self.frame_shape, self.frame_dtype,
-                                      self.out_shape)
+        self._frames = FrameSegments(self.frame_shape, self.frame_dtype,
+                                     self.out_shape)
+        self._tables = SharedTables(lut)
+        self._segment_groups += [self._frames, self._tables]
         self.src_view = self._frames.src_view
         self.dst_view = self._frames.dst_view
 
-        self._table_shms = []
-        table_spec = {}
-
-        def publish(key, arr):
-            shm, _ = _share_array(arr)
-            self._table_shms.append(shm)
-            table_spec[key] = (shm.name, tuple(arr.shape), arr.dtype.str)
-
-        publish("indices", lut.indices)
-        if lut.fracs is not None:
-            publish("fracs", lut.fracs)
-            publish("wtab", lut._weight_table())
-        if lut.mask is not None:
-            publish("mask", np.asarray(lut.mask))
+        table_spec = dict(self._tables.spec)
         table_spec["src"] = (self._frames.src_shm.name, self.frame_shape,
                              self.frame_dtype.str)
         table_spec["dst"] = (self._frames.dst_shm.name, self.out_shape,
                              self.frame_dtype.str)
-        lut_meta = {
-            "out_shape": lut.out_shape,
-            "src_shape": lut.src_shape,
-            "method": lut.method,
-            "border": lut.border,
-            "fill": lut.fill,
-        }
         ctx = mp.get_context(context)
         log.debug("starting %d %s workers (shared-memory executor)",
                   self.workers, context)
         self._pool = ctx.Pool(
             processes=self.workers,
             initializer=_init_shm_worker,
-            initargs=(table_spec, lut_meta, get_telemetry().enabled),
+            initargs=(table_spec, self._tables.meta, get_telemetry().enabled),
         )
-
-    def _release_segments(self):
-        self.src_view = None
-        self.dst_view = None
-        self._frames.release()
-        for shm in self._table_shms:
-            shm.close()
-            shm.unlink()
-        self._table_shms = []
 
     # ------------------------------------------------------------------
     def run(self, lut: RemapLUT, image, out=None):

@@ -1,0 +1,503 @@
+"""Persistent-worker streaming engine: a shared-memory frame ring.
+
+The paper's Cell BE result rests on double buffering — DMA of tile
+*k+1* overlaps computation of tile *k*.  The fork-join executors in
+:mod:`~repro.parallel.procpool` do not have that property at frame
+granularity: ``run`` dispatches one frame's bands, waits for all of
+them, and returns before the next frame may even be decoded.
+:class:`RingEngine` lifts the overlap into the shipping host pipeline:
+
+- a bounded **frame ring** of ``depth`` slots, each slot a named
+  shared-memory input frame + output buffer tagged with a sequence
+  number;
+- a **decoder thread** in the parent that pulls source frames, blocks
+  while the ring is full (backpressure: memory stays bounded at
+  ``depth`` frames no matter how slow the consumer is), copies each
+  frame into a free slot and enqueues its bands;
+- a pool of **persistent worker processes** that pull ``(slot, band)``
+  items from one shared queue — frame *k+1*'s bands start the moment a
+  worker frees up, with no barrier at frame edges, and the shared
+  queue makes band scheduling genuinely *dynamic* (the
+  ``dynamic``/``guided`` policies that
+  :func:`repro.parallel.schedule.simulate` models are executed here,
+  not simulated: :func:`plan_bands` only chooses the granularity);
+- an **in-order consumer**: the :meth:`RingEngine.stream` generator
+  tracks per-slot band completion and yields frames strictly in input
+  order while later frames keep computing behind it.
+
+Telemetry (when a :mod:`repro.obs` registry is enabled): ``ring.depth``
+/ ``ring.in_flight`` gauges, ``ring.slot_wait_seconds`` /
+``ring.band_seconds`` / ``ring.deliver_wait_seconds`` histograms,
+``ring.frames`` / ``ring.bands`` counters plus per-worker
+``ring.worker.<rank>.busy_seconds`` utilization counters, and spans on
+synthetic ``ring-decode`` / ``ring-worker-<rank>`` / ``ring-deliver``
+tracks, so a Chrome trace shows decode, remap and delivery overlapping
+across in-flight frames — the frame-level analogue of the modeled F5
+DMA-overlap experiment.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import queue as _queue
+import threading
+import time
+from itertools import chain
+
+import numpy as np
+
+from ..errors import ScheduleError, StreamError
+from ..core.image import Frame
+from ..core.remap import RemapLUT
+from ..obs.logsetup import get_logger
+from ..obs.telemetry import get_telemetry
+from .partition import row_bands
+from .shmseg import (
+    FrameSegments,
+    SharedTables,
+    attach_segment,
+    attach_tables,
+    init_worker_telemetry,
+    worker_delta,
+)
+
+__all__ = ["RingEngine", "ring_stream", "plan_bands", "MAX_RING_DEPTH",
+           "RING_SCHEDULES"]
+
+log = get_logger(__name__)
+
+#: hard cap on ring depth — each slot holds a full input + output frame
+#: in shared memory, so unbounded depth is an unbounded allocation.
+MAX_RING_DEPTH = 32
+
+#: band-scheduling policies the ring executes (schedule.simulate models
+#: the same three; ``static_cyclic`` is meaningless on a shared queue).
+RING_SCHEDULES = ("static", "dynamic", "guided")
+
+#: how long the consumer waits on the completion queue before checking
+#: worker liveness (seconds).
+_POLL_S = 0.2
+
+
+def plan_bands(height: int, workers: int, schedule: str = "dynamic",
+               chunk: int | None = None):
+    """Cut ``height`` output rows into ``(row0, row1)`` work items.
+
+    All policies execute on the shared work queue (workers pull the
+    next item when free); the policy chooses granularity:
+
+    ``static``
+        One contiguous band per worker — the fork-join executors'
+        layout, kept for apples-to-apples comparisons.
+    ``dynamic``
+        Fixed ``chunk``-row bands (default ``height // (8 * workers)``,
+        at least 1): many small units, best balance on skewed maps.
+    ``guided``
+        Geometrically shrinking bands, ``max(chunk, remaining / (2 *
+        workers))`` rows each — fewer dispatches than ``dynamic`` with
+        nearly its balance (the same formula
+        :func:`repro.parallel.schedule.simulate` replays).
+    """
+    if height < 1:
+        raise ScheduleError(f"height must be >= 1, got {height}")
+    if workers < 1:
+        raise ScheduleError(f"workers must be >= 1, got {workers}")
+    if schedule not in RING_SCHEDULES:
+        raise ScheduleError(
+            f"unknown ring schedule {schedule!r}; known: {RING_SCHEDULES}")
+    if schedule == "static":
+        return [(t.row0, t.row1) for t in row_bands(height, 1, workers)]
+    if chunk is None:
+        chunk = max(1, height // (8 * workers))
+    if chunk < 1:
+        raise ScheduleError(f"chunk must be >= 1, got {chunk}")
+    if schedule == "dynamic":
+        return [(r0, min(r0 + chunk, height)) for r0 in range(0, height, chunk)]
+    bands = []
+    row, remaining = 0, height
+    while row < height:
+        size = min(max(chunk, math.ceil(remaining / (2 * workers))), height - row)
+        bands.append((row, row + size))
+        row += size
+        remaining -= size
+    return bands
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+def _ring_worker_main(rank, task_q, done_q, table_spec, lut_meta, slot_spec,
+                      telemetry_enabled):
+    """Persistent worker: pull ``(seq, slot, row0, row1)`` items forever.
+
+    Attaches once to the LUT tables and every ring slot, then loops
+    until the poison pill (``None``).  Each completed band posts
+    ``(seq, slot, rows, rank, telemetry_delta)`` on the completion
+    queue; the delta carries this band's counters, histogram samples
+    and its ``ring.band`` span (on the ``ring-worker-<rank>`` track) so
+    the parent's merged trace shows true per-worker utilization.
+    """
+    init_worker_telemetry(telemetry_enabled)
+    segments, _, lut = attach_tables(table_spec, lut_meta)
+    slots = []
+    for src_name, src_shape, dst_name, dst_shape, dtype_str in slot_spec:
+        src_shm = attach_segment(src_name)
+        dst_shm = attach_segment(dst_name)
+        segments += [src_shm, dst_shm]
+        slots.append((np.ndarray(tuple(src_shape), dtype=np.dtype(dtype_str),
+                                 buffer=src_shm.buf),
+                      np.ndarray(tuple(dst_shape), dtype=np.dtype(dtype_str),
+                                 buffer=dst_shm.buf)))
+    track = f"ring-worker-{rank}"
+    try:
+        while True:
+            item = task_q.get()
+            if item is None:
+                break
+            seq, slot_idx, row0, row1 = item
+            src, dst = slots[slot_idx]
+            tel = get_telemetry()
+            wall0 = time.time() if tel.enabled else 0.0
+            t0 = time.perf_counter() if tel.enabled else 0.0
+            lut.apply_rows_into(src, row0, row1, dst[row0:row1])
+            delta = None
+            if tel.enabled:
+                dt = time.perf_counter() - t0
+                tel.counter("ring.bands").inc()
+                tel.counter(f"ring.worker.{rank}.busy_seconds").inc(dt)
+                tel.histogram("ring.band_seconds").observe(dt)
+                tel.add_span("ring.band", wall0, dt, cat="ring", tid=track,
+                             args={"seq": seq, "rows": row1 - row0})
+                delta = worker_delta()
+            done_q.put((seq, slot_idx, row1 - row0, rank, delta))
+    finally:
+        for shm in segments:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover
+                pass
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+class RingEngine:
+    """Bounded shared-memory frame ring with persistent band workers.
+
+    Parameters
+    ----------
+    lut:
+        The frozen remap table (published once into shared memory).
+    frame_shape, frame_dtype:
+        Geometry of the source frames (fixed for the engine's life —
+        the ring slots are sized once).
+    workers:
+        Persistent worker-process count.
+    depth:
+        Ring slots, i.e. maximum frames in flight (decode + compute +
+        undelivered).  ``depth=1`` degenerates to fork-join behaviour;
+        ``depth>=2`` gives frame-level double buffering.  Capped at
+        :data:`MAX_RING_DEPTH` since each slot owns a full input +
+        output frame of shared memory.
+    schedule, chunk:
+        Band-granularity policy; see :func:`plan_bands`.
+    context:
+        Multiprocessing start method (``fork`` default, ``spawn``
+        supported).
+
+    Use as a context manager, or call :meth:`close` — though dropping
+    an engine without closing it is safe too: every segment group
+    carries a GC/atexit finalizer (see :mod:`repro.parallel.shmseg`).
+    """
+
+    name = "ring"
+
+    def __init__(self, lut: RemapLUT, frame_shape, frame_dtype=np.uint8,
+                 workers: int = 2, depth: int = 2, schedule: str = "dynamic",
+                 chunk: int | None = None, context: str = "fork"):
+        if workers < 1:
+            raise ScheduleError(f"workers must be >= 1, got {workers}")
+        if depth < 1:
+            raise ScheduleError(f"depth must be >= 1, got {depth}")
+        if depth > MAX_RING_DEPTH:
+            raise ScheduleError(
+                f"depth {depth} exceeds MAX_RING_DEPTH ({MAX_RING_DEPTH}); "
+                f"each slot allocates a full frame pair in shared memory")
+        frame_shape = tuple(frame_shape)
+        if frame_shape[:2] != lut.src_shape:
+            raise ScheduleError(
+                f"frame shape {frame_shape} does not match LUT source {lut.src_shape}")
+        self.lut = lut
+        self.workers = workers
+        self.depth = depth
+        self.schedule = schedule
+        self.frame_shape = frame_shape
+        self.frame_dtype = np.dtype(frame_dtype)
+        channels = frame_shape[2:] if len(frame_shape) == 3 else ()
+        self.out_shape = lut.out_shape + channels
+        self.bands = plan_bands(lut.out_shape[0], workers, schedule, chunk)
+        #: high-water mark of simultaneously occupied slots (observable
+        #: backpressure witness; also exported as the ``ring.in_flight``
+        #: gauge).
+        self.max_in_flight = 0
+        self._closed = False
+        self._streaming = False
+
+        self._slots = [FrameSegments(self.frame_shape, self.frame_dtype,
+                                     self.out_shape) for _ in range(depth)]
+        self._tables = SharedTables(lut)
+        self._segment_groups = list(self._slots) + [self._tables]
+        slot_spec = [(s.src_shm.name, self.frame_shape, s.dst_shm.name,
+                      self.out_shape, self.frame_dtype.str)
+                     for s in self._slots]
+
+        ctx = mp.get_context(context)
+        self._task_q = ctx.Queue()
+        self._done_q = ctx.Queue()
+        tel = get_telemetry()
+        tel.gauge("ring.depth").set(depth)
+        log.debug("starting %d persistent %s ring workers (depth %d, %s x%d bands)",
+                  workers, context, depth, schedule, len(self.bands))
+        self._procs = []
+        for rank in range(workers):
+            p = ctx.Process(
+                target=_ring_worker_main,
+                args=(rank, self._task_q, self._done_q, dict(self._tables.spec),
+                      self._tables.meta, slot_spec, tel.enabled),
+                daemon=True,
+                name=f"ring-worker-{rank}",
+            )
+            p.start()
+            self._procs.append(p)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self):
+        """Stop workers and unlink every shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for p in self._procs:
+            if p.is_alive():
+                try:
+                    self._task_q.put(None)
+                except Exception:  # pragma: no cover - queue torn down
+                    pass
+        for p in self._procs:
+            p.join(timeout=2.0)
+        for p in self._procs:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=2.0)
+        for q in (self._task_q, self._done_q):
+            q.cancel_join_thread()
+            q.close()
+        for group in self._segment_groups:
+            group.release()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _check_workers(self):
+        for p in self._procs:
+            if not p.is_alive():
+                rank, code = p.name, p.exitcode
+                self.close()
+                raise StreamError(
+                    f"{rank} died with exit code {code} mid-stream; "
+                    f"ring shut down and all shared segments released")
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+    def stream(self, frames, copy: bool = False):
+        """Correct ``frames`` through the ring; yield strictly in order.
+
+        Parameters
+        ----------
+        frames:
+            Iterable of ndarrays or :class:`~repro.core.image.Frame`
+            matching the bound geometry.
+        copy:
+            When false (default) each yielded array aliases the slot's
+            shared output buffer, which is recycled when the consumer
+            advances — consume or copy before the next iteration, like
+            any zero-copy decoder API.  When true each frame owns its
+            data and the slot recycles immediately.
+
+        Raises
+        ------
+        StreamError
+            If a worker process dies mid-stream (all shared segments
+            are released first).
+        ScheduleError
+            On geometry mismatch or concurrent/closed use.
+        """
+        if self._closed:
+            raise ScheduleError("ring engine already closed")
+        if self._streaming:
+            raise ScheduleError("ring engine supports one active stream at a time")
+        self._streaming = True
+        try:
+            yield from self._stream(frames, copy)
+        finally:
+            self._streaming = False
+
+    def _stream(self, frames, copy):
+        tel = get_telemetry()
+        free: _queue.Queue = _queue.Queue()
+        for i in range(self.depth):
+            free.put(i)
+        pending = [0] * self.depth        # outstanding bands per slot
+        slot_items = [None] * self.depth  # original Frame per slot (or None)
+        completed = {}                    # seq -> slot index, bands done
+        abort = threading.Event()
+        state = {"produced": None, "error": None}
+
+        def producer():
+            """Decode thread: fill free slots, enqueue bands."""
+            seq = 0
+            it = iter(frames)
+            try:
+                while not abort.is_set():
+                    t_dec = time.time()
+                    t0 = time.perf_counter()
+                    try:
+                        item = next(it)
+                    except StopIteration:
+                        break
+                    data = item.data if isinstance(item, Frame) else np.asarray(item)
+                    if data.shape != self.frame_shape or data.dtype != self.frame_dtype:
+                        raise ScheduleError(
+                            f"frame {data.shape}/{data.dtype} does not match ring "
+                            f"geometry {self.frame_shape}/{self.frame_dtype}")
+                    t1 = time.perf_counter()
+                    while True:
+                        try:
+                            slot = free.get(timeout=_POLL_S)
+                            break
+                        except _queue.Empty:
+                            if abort.is_set():
+                                return
+                    t2 = time.perf_counter()
+                    np.copyto(self._slots[slot].src_view, data)
+                    slot_items[slot] = item if isinstance(item, Frame) else None
+                    pending[slot] = len(self.bands)
+                    in_flight = self.depth - free.qsize()
+                    self.max_in_flight = max(self.max_in_flight, in_flight)
+                    if tel.enabled:
+                        tel.counter("ring.frames").inc()
+                        tel.histogram("ring.slot_wait_seconds").observe(t2 - t1)
+                        tel.gauge("ring.in_flight").set(in_flight)
+                        tel.add_span("ring.decode", t_dec,
+                                     time.perf_counter() - t0, cat="ring",
+                                     tid="ring-decode", args={"seq": seq,
+                                                              "slot": slot})
+                    for row0, row1 in self.bands:
+                        self._task_q.put((seq, slot, row0, row1))
+                    seq += 1
+                state["produced"] = seq
+            except BaseException as exc:  # noqa: BLE001 - re-raised by consumer
+                state["error"] = exc
+                state["produced"] = seq
+
+        prod = threading.Thread(target=producer, name="ring-decode", daemon=True)
+        prod.start()
+
+        next_seq = 0
+        held_slot = None  # slot whose zero-copy view the consumer still sees
+        clean_exit = False
+        last_live_check = time.monotonic()
+        try:
+            while True:
+                # a dead worker must be noticed even while the healthy
+                # workers keep the completion queue busy (its in-flight
+                # band is lost, so its frame would stall forever)
+                if time.monotonic() - last_live_check > _POLL_S:
+                    self._check_workers()
+                    last_live_check = time.monotonic()
+                if held_slot is not None:
+                    # consumer advanced past the zero-copy view: recycle
+                    slot_items[held_slot] = None
+                    free.put(held_slot)
+                    held_slot = None
+                if state["error"] is not None:
+                    raise state["error"]
+                if next_seq in completed:
+                    slot = completed.pop(next_seq)
+                    result = self._slots[slot].dst_view
+                    item = slot_items[slot]
+                    if copy:
+                        result = result.copy()
+                        slot_items[slot] = None
+                        free.put(slot)
+                    else:
+                        held_slot = slot
+                    next_seq += 1
+                    if tel.enabled:
+                        tel.gauge("ring.in_flight").set(self.depth - free.qsize())
+                    yield item.with_data(result) if item is not None else result
+                    continue
+                if state["produced"] is not None and next_seq >= state["produced"]:
+                    clean_exit = True
+                    return  # everything produced has been delivered
+                t_wait = time.time()
+                t0 = time.perf_counter()
+                try:
+                    seq, slot, rows, rank, delta = self._done_q.get(timeout=_POLL_S)
+                except _queue.Empty:
+                    self._check_workers()
+                    continue
+                if tel.enabled:
+                    dt = time.perf_counter() - t0
+                    tel.histogram("ring.deliver_wait_seconds").observe(dt)
+                    if delta:
+                        tel.merge(delta)
+                    tel.add_span("ring.deliver", t_wait, dt, cat="ring",
+                                 tid="ring-deliver", args={"seq": seq})
+                pending[slot] -= 1  # one completion message per band
+                if pending[slot] == 0:
+                    completed[seq] = slot
+        finally:
+            abort.set()
+            prod.join(timeout=5.0)
+            if not clean_exit and not self._closed:
+                # abandoned or failed mid-stream: stale band tasks may
+                # still reference slots — the engine cannot be reused.
+                self.close()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_stream(cls, lut: RemapLUT, first_frame, **kwargs) -> "RingEngine":
+        """Build an engine sized from the first frame of a stream."""
+        data = first_frame.data if isinstance(first_frame, Frame) else np.asarray(first_frame)
+        return cls(lut, data.shape, data.dtype, **kwargs)
+
+
+def ring_stream(lut: RemapLUT, frames, copy: bool = False, **kwargs):
+    """One-shot helper: build a ring from the stream's first frame,
+    run the whole stream through it, and close the engine.
+
+    The geometry is taken from the first frame (the engine binds to
+    fixed shapes), so the source iterable may be a generator.
+    """
+    it = iter(frames)
+    try:
+        first = next(it)
+    except StopIteration:
+        return
+    engine = RingEngine.for_stream(lut, first, **kwargs)
+    with engine:
+        yield from engine.stream(chain([first], it), copy=copy)

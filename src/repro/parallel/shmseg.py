@@ -1,0 +1,208 @@
+"""Shared-memory segment plumbing for the process-based executors.
+
+Everything the process executors and the streaming ring have in common
+lives here, so :mod:`~repro.parallel.procpool` (per-frame fork-join)
+and :mod:`~repro.parallel.ring` (persistent-worker streaming) share one
+implementation of the fragile parts:
+
+- **publication** of numpy arrays and whole LUT table sets into named
+  POSIX shared-memory segments (:func:`share_array`,
+  :class:`SharedTables`, :class:`FrameSegments`);
+- **attachment** from worker processes (:func:`attach_segment`,
+  :func:`attach_tables`);
+- **lifecycle hardening**: every parent-owned segment group is wired to
+  a :func:`weakref.finalize` finalizer, which Python also runs at
+  interpreter exit (atexit), so segments are unlinked even when an
+  executor is dropped without ``close()`` or a worker crashes mid-run —
+  no ``resource_tracker`` leak warnings survive either event;
+- the worker-side **telemetry bootstrap/drain** pair
+  (:func:`init_worker_telemetry`, :func:`worker_delta`) that lets each
+  child keep a private registry and ship pure deltas back over the
+  result channel.
+
+Resource-tracker model: both ``fork`` and ``spawn`` children inherit
+the parent's tracker process (spawn passes the tracker fd through its
+preparation data), so a worker's attach-time registration deduplicates
+into the same name set the parent's create-time registration lives in.
+The parent's finalizer is therefore the single owner of the unlink —
+workers must *never* unregister (that would strip the shared entry and
+make the parent's unlink race the tracker), and with the finalizer in
+place the tracker's shutdown sweep finds nothing to warn about even
+after a crashed worker or an executor dropped without ``close()``.
+"""
+
+from __future__ import annotations
+
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..core.remap import RemapLUT
+from ..obs.telemetry import Telemetry, get_telemetry, set_telemetry
+
+__all__ = [
+    "share_array",
+    "attach_segment",
+    "release_segments",
+    "FrameSegments",
+    "SharedTables",
+    "attach_tables",
+    "init_worker_telemetry",
+    "worker_delta",
+]
+
+
+# ----------------------------------------------------------------------
+# worker-side telemetry bootstrap
+# ----------------------------------------------------------------------
+def init_worker_telemetry(enabled: bool) -> None:
+    """Give this worker its own registry (fork *and* spawn safe).
+
+    The worker registry starts empty and is drained after every work
+    unit, so each result carries a pure counter/histogram delta that
+    the parent folds in with
+    :meth:`~repro.obs.telemetry.Telemetry.merge` — no shared state, no
+    locks across processes.
+    """
+    if enabled:
+        set_telemetry(Telemetry())
+
+
+def worker_delta():
+    """Drain this worker's registry: the delta shipped with a result."""
+    tel = get_telemetry()
+    return tel.drain() if tel.enabled else None
+
+
+# ----------------------------------------------------------------------
+# segment creation / attachment
+# ----------------------------------------------------------------------
+def share_array(arr):
+    """Copy ``arr`` into a fresh named segment; returns (shm, view)."""
+    arr = np.ascontiguousarray(arr)
+    shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+    view[...] = arr
+    return shm, view
+
+
+def attach_segment(name: str):
+    """Attach to an existing named segment from a worker process.
+
+    The attach-time registration lands in the parent's inherited
+    resource tracker, where it deduplicates against the create-time
+    entry (the tracker's cache is a name set).  The parent's finalizer
+    owns the unlink; workers only ever ``close()`` their mapping.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def release_segments(shms) -> None:
+    """Close + unlink segments, tolerating repeats and races.
+
+    Used as the finalizer callback for every parent-owned segment
+    group; safe to run from ``close()``, from GC, and from atexit, in
+    any order (``unlink`` of an already-unlinked segment is ignored).
+    """
+    for shm in shms:
+        try:
+            shm.close()
+        except Exception:  # pragma: no cover - buffer already released
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        except Exception:  # pragma: no cover - platform quirks
+            pass
+
+
+class _SegmentGroup:
+    """A set of parent-owned segments with a crash-proof finalizer."""
+
+    def __init__(self, shms):
+        self._shms = list(shms)
+        self._finalizer = weakref.finalize(self, release_segments, self._shms)
+
+    @property
+    def released(self) -> bool:
+        return not self._finalizer.alive
+
+    def release(self) -> None:
+        """Unlink now (idempotent; also runs via GC/atexit otherwise)."""
+        self._finalizer()
+
+
+class FrameSegments(_SegmentGroup):
+    """Create/own one source + destination shared frame buffer pair."""
+
+    def __init__(self, frame_shape, frame_dtype, out_shape):
+        frame_dtype = np.dtype(frame_dtype)
+        nbytes_src = int(np.prod(frame_shape)) * frame_dtype.itemsize
+        nbytes_dst = int(np.prod(out_shape)) * frame_dtype.itemsize
+        self.src_shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes_src))
+        self.dst_shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes_dst))
+        self.src_view = np.ndarray(frame_shape, dtype=frame_dtype, buffer=self.src_shm.buf)
+        self.dst_view = np.ndarray(out_shape, dtype=frame_dtype, buffer=self.dst_shm.buf)
+        super().__init__([self.src_shm, self.dst_shm])
+
+    def release(self):
+        self.src_view = None
+        self.dst_view = None
+        super().release()
+
+
+class SharedTables(_SegmentGroup):
+    """The LUT's compact tables published once into named segments.
+
+    ``spec`` maps table keys to ``(segment_name, shape, dtype_str)``
+    triples and ``meta`` carries the scalar LUT parameters — together
+    they are everything a worker needs to rebuild a zero-copy
+    :class:`~repro.core.remap.RemapLUT` with :func:`attach_tables`.
+    """
+
+    def __init__(self, lut: RemapLUT):
+        shms = []
+        self.spec = {}
+
+        def publish(key, arr):
+            shm, _ = share_array(arr)
+            shms.append(shm)
+            self.spec[key] = (shm.name, tuple(arr.shape), arr.dtype.str)
+
+        publish("indices", lut.indices)
+        if lut.fracs is not None:
+            publish("fracs", lut.fracs)
+            publish("wtab", lut._weight_table())
+        if lut.mask is not None:
+            publish("mask", np.asarray(lut.mask))
+        self.meta = {
+            "out_shape": lut.out_shape,
+            "src_shape": lut.src_shape,
+            "method": lut.method,
+            "border": lut.border,
+            "fill": lut.fill,
+        }
+        super().__init__(shms)
+
+
+def attach_tables(spec, meta):
+    """Worker side of :class:`SharedTables`: rebuild a zero-copy LUT.
+
+    Returns ``(segments, arrays, lut)``; the caller must keep
+    ``segments`` alive as long as the LUT is used.
+    """
+    segments = []
+    arrays = {}
+    for key, (name, shape, dtype_str) in spec.items():
+        shm = attach_segment(name)
+        segments.append(shm)
+        arrays[key] = np.ndarray(tuple(shape), dtype=np.dtype(dtype_str),
+                                 buffer=shm.buf)
+    lut = RemapLUT.from_tables(
+        arrays["indices"], arrays.get("fracs"), arrays.get("mask"),
+        out_shape=meta["out_shape"], src_shape=meta["src_shape"],
+        method=meta["method"], border=meta["border"],
+        fill=meta["fill"], weight_table=arrays.get("wtab"))
+    return segments, arrays, lut

@@ -23,7 +23,7 @@ from typing import Iterable, Iterator, Optional
 
 import numpy as np
 
-from ..errors import ImageFormatError
+from ..errors import ImageFormatError, ScheduleError
 from ..obs.telemetry import get_telemetry
 from ..core.image import GRAY8, Frame
 from ..core.mapping import RemapField
@@ -60,10 +60,35 @@ def panning_crops(world: np.ndarray, width: int, height: int, frames: int,
         yield world[y0:y0 + height, x0:x0 + width]
 
 
+def _stream_telemetry(inner: Iterator) -> Iterator:
+    """Wrap a delegated engine with the standard stream metric surface."""
+    tel = get_telemetry()
+    if not tel.enabled:
+        yield from inner
+        return
+    stream_t0 = time.perf_counter()
+    frames_done = 0
+    it = iter(inner)
+    while True:
+        t0 = time.perf_counter()
+        try:
+            item = next(it)
+        except StopIteration:
+            return
+        now = time.perf_counter()
+        frames_done += 1
+        tel.counter("stream.frames").inc()
+        tel.histogram("stream.frame_seconds").observe(now - t0)
+        if now > stream_t0:
+            tel.gauge("stream.fps").set(frames_done / (now - stream_t0))
+        yield item
+
+
 def corrected_stream(frames: Iterable, field: RemapField,
                      method: str = "bilinear", border: str = "constant",
                      fill: float = 0.0, lut_cache=None,
-                     copy: bool = False) -> Iterator:
+                     copy: bool = False, engine: str = "sync",
+                     **engine_kwargs) -> Iterator:
     """Correct a frame stream through the fused zero-allocation kernel.
 
     Parameters
@@ -82,6 +107,14 @@ def corrected_stream(frames: Iterable, field: RemapField,
         When false (default) every yielded frame aliases one reused
         output buffer — consume or copy it before advancing, like any
         zero-copy decoder API.  When true each frame owns its data.
+    engine:
+        ``"sync"`` (default) runs the fused kernel inline;
+        ``"ring"`` routes the stream through a
+        :class:`~repro.parallel.ring.RingEngine` of persistent worker
+        processes (``engine_kwargs``: ``workers``, ``depth``,
+        ``schedule``, ``chunk``, ``context``), keeping decode, remap
+        and delivery overlapped across in-flight frames.  Both engines
+        report the same ``stream.*`` metric surface.
 
     Yields
     ------
@@ -92,6 +125,19 @@ def corrected_stream(frames: Iterable, field: RemapField,
         lut = lut_cache.get(field, method=method, border=border, fill=fill)
     else:
         lut = RemapLUT(field, method=method, border=border, fill=fill)
+    if engine == "ring":
+        # lazy import: keeps repro.video free of the parallel layer
+        # unless the ring engine is actually requested
+        from ..parallel.ring import ring_stream
+        yield from _stream_telemetry(
+            ring_stream(lut, frames, copy=copy, **engine_kwargs))
+        return
+    if engine != "sync":
+        raise ScheduleError(
+            f"unknown stream engine {engine!r}; known: sync, ring")
+    if engine_kwargs:
+        raise ScheduleError(
+            f"engine 'sync' takes no options, got {sorted(engine_kwargs)}")
     buffer: Optional[np.ndarray] = None
     stream_t0 = time.perf_counter() if tel.enabled else 0.0
     frames_done = 0

@@ -109,6 +109,47 @@ class TestBenchInfo:
         assert "gtx280" in out
 
 
+class TestStream:
+    ARGS = ["--frames", "4", "--width", "64", "--height", "64"]
+
+    def test_seq_engine(self, capsys):
+        assert main(["stream", "--engine", "seq"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "engine=seq" in out
+        assert "4 frames" in out
+        assert "fps" in out
+
+    def test_pipelined_engine(self, capsys):
+        assert main(["stream", "--engine", "pipelined", "--depth", "2"]
+                    + self.ARGS) == 0
+        assert "engine=pipelined depth=2" in capsys.readouterr().out
+
+    def test_ring_engine(self, capsys):
+        assert main(["stream", "--engine", "ring", "--workers", "1",
+                     "--depth", "2", "--schedule", "guided"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "engine=ring workers=1 depth=2 schedule=guided" in out
+
+    def test_ring_trace_has_overlapping_tracks(self, tmp_path, capsys):
+        trace = str(tmp_path / "ring.trace.json")
+        assert main(["--trace", trace, "stream", "--engine", "ring",
+                     "--workers", "1", "--depth", "2", "--frames", "6",
+                     "--width", "64", "--height", "64"]) == 0
+        capsys.readouterr()
+        import json
+
+        events = json.load(open(trace))
+        if isinstance(events, dict):
+            events = events["traceEvents"]
+        names = {e["name"] for e in events if e.get("ph") == "X"}
+        assert {"ring.decode", "ring.band", "ring.deliver"} <= names
+
+    def test_ring_depth_overflow_is_clean_error(self, capsys):
+        assert main(["stream", "--engine", "ring", "--depth", "99"]
+                    + self.ARGS) == 1
+        assert "MAX_RING_DEPTH" in capsys.readouterr().err
+
+
 class TestMapInfo:
     def test_prints_measured_properties(self, capsys):
         assert main(["map-info", "--width", "128", "--height", "96"]) == 0

@@ -141,6 +141,45 @@ class TestPipelinedStream:
         with pytest.raises(ScheduleError):
             list(pipelined_stream(corrector, [], depth=0))
 
+    def test_depth_capped(self, small_field):
+        from repro.parallel.stream import MAX_STREAM_DEPTH
+
+        corrector = FisheyeCorrector(small_field)
+        with pytest.raises(ScheduleError, match="MAX_STREAM_DEPTH"):
+            list(pipelined_stream(corrector, [], depth=MAX_STREAM_DEPTH + 1))
+        # the cap itself is fine
+        outs = list(pipelined_stream(corrector, [], depth=MAX_STREAM_DEPTH))
+        assert outs == []
+
+    def test_telemetry_matches_corrected_stream_surface(self, small_field, rng):
+        from repro.obs.telemetry import Telemetry, scoped
+
+        corrector = FisheyeCorrector(small_field)
+        frames = [rng.integers(0, 255, (64, 64), dtype=np.uint8)
+                  for _ in range(4)]
+        tel = Telemetry()
+        with scoped(tel):
+            list(pipelined_stream(corrector, frames, depth=2))
+        snap = tel.snapshot()
+        assert snap["counters"]["stream.frames"] == 4
+        assert snap["histograms"]["stream.frame_seconds"]["count"] == 4
+        assert snap["gauges"]["stream.fps"] > 0
+        assert sum(1 for s in tel.spans if s["name"] == "stream.frame") == 4
+
+    def test_corrector_engine_pipelined(self, small_field, rng):
+        from repro.core.pipeline import StreamStats
+
+        corrector = FisheyeCorrector(small_field)
+        frames = [rng.integers(0, 255, (64, 64), dtype=np.uint8)
+                  for _ in range(5)]
+        expected = [corrector.correct(f) for f in frames]
+        stats = StreamStats()
+        got = list(corrector.correct_stream(frames, stats=stats,
+                                            engine="pipelined", depth=2))
+        assert stats.frames == 5
+        for e, g in zip(expected, got):
+            np.testing.assert_array_equal(e, g)
+
     def test_worker_exception_propagates(self, small_field):
         corrector = FisheyeCorrector(small_field)
         frames = [np.zeros((10, 10), dtype=np.uint8)]  # wrong geometry

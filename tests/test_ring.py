@@ -1,0 +1,296 @@
+"""Tests: the persistent-worker shared-memory frame ring."""
+
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import FisheyeCorrector, StreamStats
+from repro.core.remap import RemapLUT
+from repro.errors import ScheduleError, StreamError
+from repro.core.image import GRAY8, Frame
+from repro.obs.telemetry import Telemetry, scoped
+from repro.parallel.ring import (
+    MAX_RING_DEPTH,
+    RING_SCHEDULES,
+    RingEngine,
+    plan_bands,
+    ring_stream,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+@pytest.fixture(scope="module")
+def lut(small_field):
+    return RemapLUT(small_field, method="bilinear")
+
+
+def _frames(rng, n, shape=(64, 64)):
+    return [rng.integers(0, 255, shape, dtype=np.uint8) for _ in range(n)]
+
+
+class TestPlanBands:
+    def test_static_one_band_per_worker(self):
+        bands = plan_bands(64, 4, "static")
+        assert len(bands) == 4
+        assert bands[0] == (0, 16)
+        assert bands[-1] == (48, 64)
+
+    def test_dynamic_fixed_chunks_cover_height(self):
+        bands = plan_bands(64, 2, "dynamic", chunk=5)
+        assert bands[0] == (0, 5)
+        assert bands[-1][1] == 64
+        rows = sum(r1 - r0 for r0, r1 in bands)
+        assert rows == 64
+
+    def test_guided_bands_shrink(self):
+        bands = plan_bands(256, 2, "guided", chunk=4)
+        sizes = [r1 - r0 for r0, r1 in bands]
+        assert sizes == sorted(sizes, reverse=True)
+        assert all(s >= 4 for s in sizes[:-1])  # tail clamps to what's left
+        assert sum(sizes) == 256
+
+    def test_guided_matches_schedule_formula(self):
+        # same shrink rule schedule.simulate replays
+        import math
+        bands = plan_bands(100, 2, "guided", chunk=1)
+        remaining = 100
+        for r0, r1 in bands:
+            expect = min(max(1, math.ceil(remaining / 4)), remaining)
+            assert r1 - r0 == expect
+            remaining -= r1 - r0
+
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            plan_bands(0, 2)
+        with pytest.raises(ScheduleError):
+            plan_bands(64, 0)
+        with pytest.raises(ScheduleError):
+            plan_bands(64, 2, "cyclic")
+        with pytest.raises(ScheduleError):
+            plan_bands(64, 2, "dynamic", chunk=0)
+
+    def test_all_schedules_cover_all_rows(self):
+        for sched in RING_SCHEDULES:
+            bands = plan_bands(97, 3, sched)
+            covered = np.zeros(97, dtype=bool)
+            for r0, r1 in bands:
+                assert not covered[r0:r1].any()  # no overlap
+                covered[r0:r1] = True
+            assert covered.all()
+
+
+class TestRingEngine:
+    def test_matches_sequential_kernel(self, lut, rng):
+        frames = _frames(rng, 8)
+        expected = [lut.apply(f) for f in frames]
+        with RingEngine(lut, (64, 64), workers=2, depth=3) as engine:
+            got = [f.copy() for f in engine.stream(frames)]
+        assert len(got) == 8
+        for e, g in zip(expected, got):
+            np.testing.assert_array_equal(e, g)
+
+    def test_in_order_despite_out_of_order_bands(self, lut, rng):
+        """Tiny dynamic chunks scatter each frame's bands across both
+        workers, so completion order is effectively arbitrary — the
+        consumer must still see strictly increasing sequence numbers."""
+        frames = [np.full((64, 64), 10 * k, dtype=np.uint8) for k in range(10)]
+        expected = [lut.apply(f) for f in frames]
+        with RingEngine(lut, (64, 64), workers=2, depth=4,
+                        schedule="dynamic", chunk=3) as engine:
+            got = [f.copy() for f in engine.stream(frames)]
+        for e, g in zip(expected, got):
+            np.testing.assert_array_equal(e, g)
+
+    def test_copy_true_yields_owned_buffers(self, lut, rng):
+        frames = _frames(rng, 4)
+        with RingEngine(lut, (64, 64), workers=1, depth=2) as engine:
+            got = list(engine.stream(frames, copy=True))
+        assert len({id(g) for g in got}) == 4
+        # all still valid after the engine is closed
+        for g in got:
+            assert g.shape == lut.out_shape
+
+    def test_frame_objects_pass_through(self, lut, random_image):
+        frames = [Frame(random_image, GRAY8, index=i, timestamp=i / 30.0)
+                  for i in range(3)]
+        with RingEngine(lut, (64, 64), workers=1, depth=2) as engine:
+            outs = list(engine.stream(frames, copy=True))
+        assert [f.index for f in outs] == [0, 1, 2]
+        assert all(isinstance(f, Frame) for f in outs)
+
+    def test_engine_reuse_across_streams(self, lut, rng):
+        frames = _frames(rng, 3)
+        expected = [lut.apply(f) for f in frames]
+        with RingEngine(lut, (64, 64), workers=1, depth=2) as engine:
+            first = [f.copy() for f in engine.stream(frames)]
+            second = [f.copy() for f in engine.stream(frames)]
+        for e, a, b in zip(expected, first, second):
+            np.testing.assert_array_equal(e, a)
+            np.testing.assert_array_equal(e, b)
+
+    def test_backpressure_bounds_in_flight(self, lut, rng):
+        """A slow consumer must not let the producer run ahead of the
+        ring: in-flight frames stay <= depth even for a long stream."""
+        frames = _frames(rng, 12)
+        with RingEngine(lut, (64, 64), workers=2, depth=2,
+                        schedule="dynamic", chunk=8) as engine:
+            n = 0
+            for _ in engine.stream(frames):
+                time.sleep(0.01)  # consumer slower than the workers
+                n += 1
+        assert n == 12
+        assert 1 <= engine.max_in_flight <= 2
+
+    def test_generator_source_and_empty_stream(self, lut, rng):
+        with RingEngine(lut, (64, 64), workers=1, depth=2) as engine:
+            assert list(engine.stream(iter([]))) == []
+            frames = _frames(rng, 2)
+            got = list(engine.stream((f for f in frames), copy=True))
+        assert len(got) == 2
+
+    def test_worker_crash_raises_and_releases_segments(self, lut, rng):
+        """SIGKILL a worker mid-stream: the consumer gets a StreamError
+        and every shared segment of the ring is unlinked."""
+        engine = RingEngine(lut, (64, 64), workers=2, depth=2)
+        names = [s.src_shm.name for s in engine._slots]
+        names += [s.dst_shm.name for s in engine._slots]
+
+        def source():
+            k = 0
+            while True:  # endless: only the crash can end this stream
+                if k == 2:
+                    engine._procs[0].terminate()
+                yield np.full((64, 64), k % 251, dtype=np.uint8)
+                k += 1
+
+        with pytest.raises(StreamError, match="died with exit code"):
+            for _ in engine.stream(source()):
+                pass
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_geometry_mismatch_raises(self, lut):
+        with RingEngine(lut, (64, 64), workers=1, depth=2) as engine:
+            with pytest.raises(ScheduleError, match="geometry"):
+                list(engine.stream([np.zeros((10, 10), dtype=np.uint8)]))
+
+    def test_validation(self, lut):
+        with pytest.raises(ScheduleError):
+            RingEngine(lut, (64, 64), workers=0)
+        with pytest.raises(ScheduleError):
+            RingEngine(lut, (64, 64), depth=0)
+        with pytest.raises(ScheduleError):
+            RingEngine(lut, (64, 64), depth=MAX_RING_DEPTH + 1)
+        with pytest.raises(ScheduleError):
+            RingEngine(lut, (32, 32))  # does not match LUT source
+
+    def test_closed_engine_rejects_streams(self, lut, rng):
+        engine = RingEngine(lut, (64, 64), workers=1, depth=2)
+        engine.close()
+        engine.close()  # idempotent
+        with pytest.raises(ScheduleError, match="closed"):
+            list(engine.stream(_frames(rng, 1)))
+
+    def test_abandoned_stream_closes_engine(self, lut, rng):
+        engine = RingEngine(lut, (64, 64), workers=1, depth=2)
+        stream = engine.stream(_frames(rng, 6))
+        next(stream)
+        stream.close()  # consumer walks away mid-stream
+        assert engine._closed
+
+    @pytest.mark.parametrize("schedule", RING_SCHEDULES)
+    def test_every_schedule_is_exact(self, lut, rng, schedule):
+        frames = _frames(rng, 4)
+        expected = [lut.apply(f) for f in frames]
+        with RingEngine(lut, (64, 64), workers=2, depth=2,
+                        schedule=schedule) as engine:
+            got = [f.copy() for f in engine.stream(frames)]
+        for e, g in zip(expected, got):
+            np.testing.assert_array_equal(e, g)
+
+    def test_rgb_frames(self, small_field, rng):
+        lut = RemapLUT(small_field, method="bilinear")
+        frames = [rng.integers(0, 255, (64, 64, 3), dtype=np.uint8)
+                  for _ in range(3)]
+        expected = [lut.apply(f) for f in frames]
+        with RingEngine(lut, (64, 64, 3), workers=2, depth=2) as engine:
+            got = [f.copy() for f in engine.stream(frames)]
+        for e, g in zip(expected, got):
+            np.testing.assert_array_equal(e, g)
+
+    def test_spawn_context(self, lut, rng):
+        frames = _frames(rng, 3)
+        expected = [lut.apply(f) for f in frames]
+        with RingEngine(lut, (64, 64), workers=1, depth=2,
+                        context="spawn") as engine:
+            got = [f.copy() for f in engine.stream(frames)]
+        for e, g in zip(expected, got):
+            np.testing.assert_array_equal(e, g)
+
+    def test_telemetry_counters_and_tracks(self, lut, rng):
+        frames = _frames(rng, 4)
+        tel = Telemetry()
+        with scoped(tel):
+            with RingEngine(lut, (64, 64), workers=1, depth=2,
+                            schedule="dynamic", chunk=16) as engine:
+                list(engine.stream(frames, copy=True))
+        snap = tel.snapshot()
+        assert snap["counters"]["ring.frames"] == 4
+        assert snap["counters"]["ring.bands"] == 4 * len(engine.bands)
+        assert snap["counters"]["ring.worker.0.busy_seconds"] > 0
+        assert snap["gauges"]["ring.depth"] == 2.0
+        assert snap["histograms"]["ring.band_seconds"]["count"] == 16
+        tracks = {s["tid"] for s in tel.spans}
+        assert {"ring-decode", "ring-deliver", "ring-worker-0"} <= tracks
+
+
+class TestRingStream:
+    def test_one_shot_helper(self, lut, rng):
+        frames = _frames(rng, 5)
+        expected = [lut.apply(f) for f in frames]
+        got = list(ring_stream(lut, (f for f in frames), copy=True,
+                               workers=2, depth=2))
+        for e, g in zip(expected, got):
+            np.testing.assert_array_equal(e, g)
+
+    def test_empty_source(self, lut):
+        assert list(ring_stream(lut, [])) == []
+
+    def test_corrector_engine_param(self, small_field, rng):
+        corrector = FisheyeCorrector(small_field)
+        frames = _frames(rng, 4)
+        expected = [corrector.correct(f) for f in frames]
+        stats = StreamStats()
+        got = list(corrector.correct_stream(frames, stats=stats, engine="ring",
+                                            workers=1, depth=2, copy=True))
+        assert stats.frames == 4
+        assert stats.fps > 0
+        for e, g in zip(expected, got):
+            np.testing.assert_array_equal(e, g)
+
+    def test_corrector_rejects_unknown_engine(self, small_field, rng):
+        corrector = FisheyeCorrector(small_field)
+        with pytest.raises(ScheduleError, match="unknown stream engine"):
+            list(corrector.correct_stream(_frames(rng, 1), engine="warp9"))
+        with pytest.raises(ScheduleError, match="takes no options"):
+            list(corrector.correct_stream(_frames(rng, 1), depth=2))
+
+    def test_corrected_stream_ring_engine(self, small_field, rng):
+        from repro.video.stream import corrected_stream
+
+        lut = RemapLUT(small_field, method="bilinear")
+        frames = _frames(rng, 4)
+        expected = [lut.apply(f) for f in frames]
+        tel = Telemetry()
+        with scoped(tel):
+            got = list(corrected_stream(frames, small_field, copy=True,
+                                        engine="ring", workers=1, depth=2))
+        for e, g in zip(expected, got):
+            np.testing.assert_array_equal(e, g)
+        snap = tel.snapshot()
+        assert snap["counters"]["stream.frames"] == 4
+        assert snap["gauges"]["stream.fps"] > 0

@@ -1,0 +1,198 @@
+"""Tests: shared-memory segment lifecycle survives crashes and GC.
+
+The executors publish named POSIX segments; losing track of one leaks
+it until reboot and makes Python's resource tracker print warnings at
+interpreter exit.  These tests pin the hardened lifecycle: finalizers
+release segments under fork and spawn, after worker crashes, and even
+when an executor is dropped without ``close()`` — with a *subprocess*
+asserting that nothing survives to the tracker's shutdown sweep.
+"""
+
+import subprocess
+import sys
+import textwrap
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core.remap import RemapLUT
+from repro.parallel.procpool import ProcessExecutor, SharedMemoryExecutor
+from repro.parallel.ring import RingEngine
+from repro.parallel.shmseg import (
+    FrameSegments,
+    SharedTables,
+    attach_tables,
+    release_segments,
+    share_array,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+def _segment_names(executor):
+    return [shm.name for group in executor._segment_groups
+            for shm in group._shms]
+
+
+def _assert_unlinked(names):
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+class TestSegmentGroups:
+    def test_release_is_idempotent(self):
+        seg = FrameSegments((8, 8), np.uint8, (8, 8))
+        name = seg.src_shm.name
+        seg.release()
+        assert seg.released
+        seg.release()  # second call is a no-op
+        _assert_unlinked([name])
+
+    def test_gc_releases_segments(self):
+        seg = FrameSegments((8, 8), np.uint8, (8, 8))
+        names = [seg.src_shm.name, seg.dst_shm.name]
+        del seg
+        _assert_unlinked(names)
+
+    def test_release_segments_tolerates_missing(self):
+        shm, _ = share_array(np.arange(4))
+        release_segments([shm])
+        release_segments([shm])  # already unlinked: must not raise
+
+    def test_shared_tables_roundtrip(self, small_field, random_image):
+        lut = RemapLUT(small_field, method="bilinear")
+        tables = SharedTables(lut)
+        segments, _, attached = attach_tables(tables.spec, tables.meta)
+        try:
+            np.testing.assert_array_equal(attached.apply(random_image),
+                                          lut.apply(random_image))
+        finally:
+            for shm in segments:
+                shm.close()
+            tables.release()
+
+
+class TestExecutorLifecycle:
+    @pytest.mark.parametrize("cls", [ProcessExecutor, SharedMemoryExecutor])
+    def test_close_unlinks_every_segment(self, small_field, cls):
+        lut = RemapLUT(small_field, method="bilinear")
+        ex = cls(lut, (64, 64), workers=1)
+        names = _segment_names(ex)
+        assert names
+        ex.close()
+        _assert_unlinked(names)
+
+    def test_dropped_executor_unlinks_via_gc(self, small_field):
+        lut = RemapLUT(small_field, method="bilinear")
+        ex = SharedMemoryExecutor(lut, (64, 64), workers=1)
+        names = _segment_names(ex)
+        del ex  # no close(): the finalizers must still fire
+        import gc
+        gc.collect()
+        _assert_unlinked(names)
+
+    def test_ring_close_unlinks_every_segment(self, small_field):
+        lut = RemapLUT(small_field, method="bilinear")
+        engine = RingEngine(lut, (64, 64), workers=1, depth=2)
+        names = [shm.name for group in engine._segment_groups
+                 for shm in group._shms]
+        engine.close()
+        _assert_unlinked(names)
+
+
+# Run inside a subprocess: build an executor, run one frame, SIGKILL a
+# worker, then exit WITHOUT close() — the tracker's shutdown sweep must
+# find nothing to warn about, and the segments must be gone.
+_CRASH_SCRIPT = textwrap.dedent("""
+    import sys
+
+    import numpy as np
+
+    from repro.core.intrinsics import CameraIntrinsics, FisheyeIntrinsics
+    from repro.core.lens import EquidistantLens
+    from repro.core.mapping import perspective_map
+    from repro.core.remap import RemapLUT
+    from repro.parallel.{module} import {factory}
+
+    SIZE = 64
+    circle = SIZE / 2.0 - 1.0
+    sensor = FisheyeIntrinsics.centered(SIZE, SIZE, focal=circle / (np.pi / 2.0))
+    lens = EquidistantLens(sensor.focal)
+    focal = sensor.focal * 0.5
+    out = CameraIntrinsics(fx=focal, fy=focal, cx=(SIZE - 1) / 2.0,
+                           cy=(SIZE - 1) / 2.0, width=SIZE, height=SIZE)
+    field = perspective_map(sensor, lens, out)
+    lut = RemapLUT(field, method="bilinear")
+    frame = np.arange(SIZE * SIZE, dtype=np.uint8).reshape(SIZE, SIZE)
+
+    {body}
+
+    print("NAMES:" + ",".join(names))
+    sys.stdout.flush()
+    # deliberately no close(): rely on finalizers + atexit
+""")
+
+_EXECUTOR_BODY = """
+import time
+ex = SharedMemoryExecutor(lut, (SIZE, SIZE), workers=2, context="{context}")
+ex.run(lut, frame)
+# kill the workers MID-TASK (an idle pool worker blocks in get() holding
+# the inqueue lock; killing it there deadlocks Pool teardown — a CPython
+# limitation, not what this test pins down)
+ex._pool.map_async(time.sleep, [5.0, 5.0])
+time.sleep(0.5)
+for p in ex._pool._pool:
+    p.terminate()  # crash every worker mid-remap
+names = [shm.name for group in ex._segment_groups for shm in group._shms]
+"""
+
+_RING_BODY = """
+engine = RingEngine(lut, (SIZE, SIZE), workers=2, depth=2, context="{context}")
+
+def endless():
+    while True:  # only the crash can end this stream
+        yield frame
+
+try:
+    for k, _ in enumerate(engine.stream(endless())):
+        if k == 1:
+            engine._procs[0].terminate()
+except Exception as exc:
+    assert type(exc).__name__ == "StreamError", exc
+names = [shm.name for group in engine._segment_groups for shm in group._shms]
+"""
+
+
+def _run_crash_script(module, factory, body, context):
+    script = _CRASH_SCRIPT.format(module=module, factory=factory,
+                                  body=body.format(context=context))
+    proc = subprocess.run([sys.executable, "-c", script],
+                          capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    names_line = [l for l in proc.stdout.splitlines() if l.startswith("NAMES:")]
+    assert names_line, proc.stdout
+    names = [n for n in names_line[0][len("NAMES:"):].split(",") if n]
+    assert names
+    return names, proc.stderr
+
+
+class TestCrashedWorkerLeavesNoLeak:
+    """The regression test the lifecycle hardening exists for."""
+
+    @pytest.mark.parametrize("context", ["fork", "spawn"])
+    def test_executor_crash_no_tracker_warnings(self, context):
+        names, stderr = _run_crash_script(
+            "procpool", "SharedMemoryExecutor", _EXECUTOR_BODY, context)
+        assert "resource_tracker" not in stderr, stderr
+        assert "leaked" not in stderr, stderr
+        _assert_unlinked(names)
+
+    @pytest.mark.parametrize("context", ["fork", "spawn"])
+    def test_ring_crash_no_tracker_warnings(self, context):
+        names, stderr = _run_crash_script(
+            "ring", "RingEngine", _RING_BODY, context)
+        assert "resource_tracker" not in stderr, stderr
+        assert "leaked" not in stderr, stderr
+        _assert_unlinked(names)
