@@ -14,6 +14,14 @@ As a side effect the gate writes ``BENCH_metrics.json`` next to the
 baseline: a telemetry snapshot of an instrumented VGA correction run,
 so CI archives the counter/histogram shape alongside the timings.
 
+The kernel-tier gate times the numpy/fixed/compiled ladder on the same
+bilinear uint8 workload and enforces the Q-format quality floor
+(``KERNEL_PSNR_MIN`` dB vs the float oracle) everywhere; the
+``COMPILED_SPEEDUP_MIN`` (2x) compiled-vs-fused gate is enforced only
+on hosts with numba installed and enough cores, auto-skipping
+elsewhere.  Measurements land in ``BENCH_kernels.json`` with the host
+core count and numba version in the metadata.
+
 The streaming gate runs the same 1080p bilinear workload through the
 fork-join :class:`SharedMemoryExecutor` and the persistent-worker
 :class:`RingEngine` and requires the ring to win by
@@ -58,7 +66,15 @@ from repro.video import synth                                    # noqa: E402
 BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_baseline.json")
 METRICS_PATH = os.path.join(REPO_ROOT, "BENCH_metrics.json")
 STREAM_PATH = os.path.join(REPO_ROOT, "BENCH_stream.json")
+KERNELS_PATH = os.path.join(REPO_ROOT, "BENCH_kernels.json")
 REPEATS = 5
+
+#: compiled tier must beat the fused numpy kernel by this factor on
+#: 1080p bilinear uint8 (enforced only where numba is installed and the
+#: full configuration runs; the smoke fallback records without gating).
+COMPILED_SPEEDUP_MIN = 2.0
+#: quality floor for the Q-format tiers vs the float oracle (dB).
+KERNEL_PSNR_MIN = 40.0
 
 #: full streaming gate: ring must beat fork-join by this factor on the
 #: CI reference machine (1080p bilinear, 64 frames, 4 workers).
@@ -181,6 +197,114 @@ def bench_stream(full: bool) -> dict:
     }
 
 
+def bench_kernels(full: bool) -> dict:
+    """Time the kernel-tier ladder on one bilinear uint8 workload.
+
+    Measures every tier executable on this host (numpy always, fixed
+    always, compiled when numba imports) on the same LUT and frame,
+    plus the fixed-tier PSNR against the float oracle — the number the
+    quality gate enforces.  Full mode uses the 1080p gate workload;
+    smoke drops to VGA.
+    """
+    from repro.core.kernel_tiers import (
+        DEFAULT_FRAC_BITS, available_tiers, kernel_tier, numba_available,
+        numba_version)
+    from repro.core.quality import psnr
+
+    res = "1080p" if full else "VGA"
+    w, h = resolution(res)
+    field = standard_field(w, h)
+    frame = synth.urban(w, h)
+    base = RemapLUT(field, method="bilinear")
+
+    # float oracle: the numpy tier run at float precision, rounded the
+    # way the integer epilogue rounds
+    oracle_f = base.apply(frame.astype(np.float32))
+    oracle = np.clip(np.rint(oracle_f), 0, 255).astype(np.uint8)
+
+    timings = {}
+    outputs = {}
+    for tier in available_tiers():
+        lut = base.with_tier(tier)
+        out = np.empty(lut.out_shape, dtype=frame.dtype)
+        lut.apply_into(frame, out)  # warmup (derive tables / JIT)
+        best = float("inf")
+        for _ in range(REPEATS):
+            t0 = time.perf_counter()
+            lut.apply_into(frame, out)
+            best = min(best, time.perf_counter() - t0)
+        timings[tier] = best
+        outputs[tier] = out.copy()
+
+    result = {
+        "mode": "full" if full else "smoke",
+        "resolution": res,
+        "method": "bilinear",
+        "dtype": "uint8",
+        "frac_bits": DEFAULT_FRAC_BITS,
+        "cpu_count": os.cpu_count(),
+        "numba_available": numba_available(),
+        "numba_version": numba_version(),
+        "best_tier": kernel_tier(),
+        "tiers_measured": sorted(timings),
+        "tier_seconds": {t: timings[t] for t in sorted(timings)},
+        "psnr_fixed_db": float(psnr(oracle, outputs["fixed"])),
+        "fixed_vs_numpy_exact": bool(
+            np.abs(outputs["fixed"].astype(np.int16)
+                   - outputs["numpy"].astype(np.int16)).max() <= 1),
+    }
+    if "compiled" in timings:
+        result["compiled_speedup_vs_numpy"] = timings["numpy"] / timings["compiled"]
+        result["psnr_compiled_db"] = float(psnr(oracle, outputs["compiled"]))
+        result["compiled_matches_fixed"] = bool(
+            np.array_equal(outputs["compiled"], outputs["fixed"]))
+    return result
+
+
+def check_kernels(smoke: bool) -> bool:
+    """The kernel-tier ladder gate; writes ``BENCH_kernels.json``.
+
+    The PSNR floor is enforced everywhere (the fixed tier runs on any
+    host and is bit-exact with the compiled tier).  The compiled
+    speedup gate is enforced only in full mode on a host with numba —
+    elsewhere it auto-skips (recorded, not gated), matching the
+    CI legs that run without the ``[speed]`` extra.
+    """
+    from repro.core.kernel_tiers import numba_available
+
+    full = not smoke and (os.cpu_count() or 1) >= STREAM_FULL_MIN_CORES
+    print(f"== kernel tiers: numpy / fixed / compiled "
+          f"({'full gate' if full else 'reduced smoke'}) ==")
+    result = bench_kernels(full)
+    with open(KERNELS_PATH, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+
+    ok = _check(f"fixed tier PSNR >= {KERNEL_PSNR_MIN} dB vs float oracle",
+                result["psnr_fixed_db"] >= KERNEL_PSNR_MIN,
+                f"{result['psnr_fixed_db']:.1f} dB at Q{result['frac_bits']}")
+    ok &= _check("fixed tier within 1 LSB of numpy tier",
+                 result["fixed_vs_numpy_exact"], "max |delta| <= 1")
+    if numba_available():
+        ok &= _check("compiled tier bit-exact with fixed tier",
+                     result["compiled_matches_fixed"], "identical outputs")
+        detail = (f"compiled {result['tier_seconds']['compiled'] * 1e3:.1f} ms "
+                  f"vs numpy {result['tier_seconds']['numpy'] * 1e3:.1f} ms "
+                  f"({result['compiled_speedup_vs_numpy']:.2f}x)")
+        if full:
+            ok &= _check(f"compiled beats fused numpy by {COMPILED_SPEEDUP_MIN}x",
+                         result["compiled_speedup_vs_numpy"] >= COMPILED_SPEEDUP_MIN,
+                         detail)
+        else:
+            _check("compiled speedup (recorded, not gated)", True, detail)
+    else:
+        print("  [skip] compiled tier: numba not installed "
+              "(pip install repro[speed])")
+    print(f"  -> {os.path.relpath(KERNELS_PATH, REPO_ROOT)} "
+          f"(mode={result['mode']})")
+    return ok
+
+
 def check_stream(smoke: bool) -> bool:
     """The streaming throughput gate; writes ``BENCH_stream.json``."""
     full = not smoke and (os.cpu_count() or 1) >= STREAM_FULL_MIN_CORES
@@ -264,6 +388,8 @@ def main() -> int:
         seed_entry = float(base["entry_bytes_seed"][method])
         ok &= _check(f"{method} entry >= 40% smaller", entry <= 0.6 * seed_entry,
                      f"{entry} B vs seed {seed_entry:.0f} B")
+
+    ok &= check_kernels(smoke=args.smoke)
 
     ok &= check_stream(smoke=args.smoke)
 

@@ -40,6 +40,7 @@ import numpy as np
 
 from . import __version__, obs
 from .core.intrinsics import FisheyeIntrinsics
+from .core.kernel_tiers import KERNEL_CHOICES
 from .core.lens import LENS_MODELS, make_lens
 from .core.pipeline import FisheyeCorrector
 from .errors import ReproError
@@ -101,11 +102,12 @@ def cmd_correct(args) -> int:
     corrector = FisheyeCorrector.for_sensor(
         sensor, lens, out_w, out_h, zoom=args.zoom, method=args.method,
         yaw=np.deg2rad(args.yaw), pitch=np.deg2rad(args.pitch),
-        roll=np.deg2rad(args.roll))
+        roll=np.deg2rad(args.roll), kernel=args.kernel)
     corrected = corrector.correct(image)
     vio.write_pgm(args.output, corrected)
     print(f"corrected {args.input} -> {args.output} "
           f"({out_w}x{out_h}, {args.model}, zoom {args.zoom}, "
+          f"kernel {corrector.kernel}, "
           f"coverage {corrector.coverage():.1%})")
     return 0
 
@@ -181,7 +183,8 @@ def cmd_stream(args) -> int:
     source = SyntheticStream(renderer, world, frames=args.frames, step=12)
 
     corrector = FisheyeCorrector.for_sensor(
-        sensor, lens, w, h, zoom=args.zoom, method=args.method)
+        sensor, lens, w, h, zoom=args.zoom, method=args.method,
+        kernel=args.kernel)
     engine = {"seq": "sync"}.get(args.engine, args.engine)
     engine_kwargs = {}
     if engine == "pipelined":
@@ -205,7 +208,8 @@ def cmd_stream(args) -> int:
     elif engine == "ring":
         detail = (f" workers={args.workers} depth={args.depth} "
                   f"schedule={args.schedule}")
-    print(f"engine={args.engine}{detail}: {frames} frames "
+    print(f"engine={args.engine}{detail} kernel={corrector.kernel}: "
+          f"{frames} frames "
           f"{w}x{h} {args.method} in {wall:.3f}s "
           f"-> {frames / wall:.1f} fps end-to-end "
           f"({stats.mpixels_per_s:.1f} Mpx/s in-engine)")
@@ -322,6 +326,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--roll", type=float, default=0.0, help="degrees")
     p.add_argument("--out-width", type=int, default=None)
     p.add_argument("--out-height", type=int, default=None)
+    p.add_argument("--kernel", choices=list(KERNEL_CHOICES), default="auto",
+                   help="kernel tier (auto picks compiled when numba is "
+                        "installed, else numpy)")
     p.set_defaults(func=cmd_correct)
 
     p = sub.add_parser("calibrate",
@@ -356,6 +363,9 @@ def build_parser() -> argparse.ArgumentParser:
                    default="dynamic", help="ring band-scheduling policy")
     p.add_argument("--chunk", type=int, default=None,
                    help="ring band granularity in rows")
+    p.add_argument("--kernel", choices=list(KERNEL_CHOICES), default="auto",
+                   help="kernel tier (auto picks compiled when numba is "
+                        "installed, else numpy)")
     p.add_argument("--context", choices=["fork", "spawn"], default="fork",
                    help="ring worker start method")
     p.add_argument("--seed", type=int, default=7)

@@ -21,6 +21,13 @@ from .fixedpoint import FixedPointLUT
 from .image import GRAY8, GRAY16, RGB8, RGBF32, Frame, PixelFormat
 from .intrinsics import CameraIntrinsics, FisheyeIntrinsics
 from .kannala import KannalaBrandtLens, fit_kannala_brandt
+from .kernel_tiers import (
+    KERNEL_CHOICES,
+    KERNEL_TIERS,
+    available_tiers,
+    kernel_tier,
+    resolve_tier,
+)
 from .lens import (
     LENS_MODELS,
     EquidistantLens,
@@ -59,6 +66,11 @@ __all__ = [
     "fit_focal",
     "select_model",
     "FixedPointLUT",
+    "KERNEL_CHOICES",
+    "KERNEL_TIERS",
+    "available_tiers",
+    "kernel_tier",
+    "resolve_tier",
     "Frame",
     "PixelFormat",
     "GRAY8",

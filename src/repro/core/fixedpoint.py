@@ -7,6 +7,15 @@ is rounded with a single shift.  Quantization shrinks the LUT (less DMA
 traffic, more tiles per local store) at the cost of bounded rounding
 error.  :class:`FixedPointLUT` implements exactly that arithmetic so
 the F12 benchmark can sweep precision vs quality vs bandwidth.
+
+Since the kernel-tier work this is no longer only a modeled study:
+the same Q-format arithmetic is a *shipping* execution path.
+:meth:`FixedPointLUT.apply` (and its zero-copy twins
+:meth:`~FixedPointLUT.apply_into` / :meth:`~FixedPointLUT
+.apply_rows_into`) run the vectorised block engine in
+:mod:`repro.core.kernel_tiers`, and :class:`~repro.core.remap.RemapLUT`
+executes the identical arithmetic when switched to its ``fixed`` or
+``compiled`` tier — bit-exact across all three entry points.
 """
 
 from __future__ import annotations
@@ -14,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import InterpolationError, MappingError
+from .kernel_tiers import q_apply_block
 from .mapping import RemapField
 from .remap import RemapLUT
 
@@ -97,6 +107,8 @@ class FixedPointLUT:
         self.mask = base.mask
         self.indices = base.indices.astype(index_dtype)
         self.qweights = quantize_weights(base.weights, frac_bits)
+        self._qw_t = None    # lazily (taps, N) transposed view for the engine
+        self._inv = None     # lazily ~mask
 
     @property
     def taps(self) -> int:
@@ -128,13 +140,22 @@ class FixedPointLUT:
         frac_fields = 0 if self.method == "nearest" else 2
         return (32 + frac_fields * self.frac_bits) / 8.0
 
-    def apply(self, image):
-        """Correct a uint8/uint16 frame entirely in integer arithmetic.
+    # ------------------------------------------------------------------
+    # execution (shared Q-format block engine)
+    # ------------------------------------------------------------------
+    def _qw_transposed(self):
+        if self._qw_t is None:
+            self._qw_t = np.ascontiguousarray(self.qweights.T)
+        return self._qw_t
 
-        Accumulates ``sum(tap * qweight)`` in int32/int64 and rounds
-        with a single arithmetic shift — bit-exact with what a DSP or
-        SPE fixed-point kernel computes.
-        """
+    def _invalid_mask(self):
+        if self.mask is None:
+            return None
+        if self._inv is None:
+            self._inv = ~self.mask
+        return self._inv
+
+    def _run(self, image, row0=None, row1=None, out=None):
         image = np.asarray(image)
         if not np.issubdtype(image.dtype, np.integer):
             raise MappingError("FixedPointLUT operates on integer frames")
@@ -143,18 +164,66 @@ class FixedPointLUT:
                 f"frame {image.shape[:2]} does not match LUT source {self.src_shape}")
         squeeze = image.ndim == 2
         acc_dtype = np.int64 if image.dtype.itemsize > 1 else np.int32
-        flat = image.reshape(self.src_shape[0] * self.src_shape[1], -1).astype(acc_dtype)
-        acc = np.zeros((self.indices.shape[0], flat.shape[1]), dtype=acc_dtype)
-        for k in range(self.taps):
-            acc += flat[self.indices[:, k].astype(np.int64)] * self.qweights[:, k, None].astype(acc_dtype)
-        # round-to-nearest via +half then arithmetic shift
-        half = 1 << (self.frac_bits - 1)
-        acc = (acc + half) >> self.frac_bits
+        flat = image.reshape(
+            self.src_shape[0] * self.src_shape[1], -1).astype(acc_dtype, copy=False)
+        w_out = self.out_shape[1]
+        if row0 is None:
+            sl = slice(None)
+            shape2d = self.out_shape
+        else:
+            sl = slice(row0 * w_out, row1 * w_out)
+            shape2d = (row1 - row0, w_out)
+        idx = self.indices[sl]
+        n = idx.shape[0]
+        channels = flat.shape[1]
+        expected = shape2d if squeeze else shape2d + (channels,)
+        if out is not None and (out.shape != expected or out.dtype != image.dtype):
+            raise MappingError(
+                f"output buffer {out.shape}/{out.dtype} does not match "
+                f"{expected}/{image.dtype}")
+        result = out if out is not None else np.empty(expected, dtype=image.dtype)
+        invalid = self._invalid_mask()
+        if invalid is not None and row0 is not None:
+            invalid = invalid[sl]
         info = np.iinfo(image.dtype)
-        acc = np.clip(acc, info.min, info.max)
-        if self.mask is not None:
-            acc[~self.mask] = self.fill
-        out = acc.astype(image.dtype).reshape(self.out_shape + (flat.shape[1],))
-        if squeeze:
-            out = out[..., 0]
-        return out
+        acc = np.empty((n, channels), dtype=acc_dtype)
+        scratch = np.empty_like(acc)
+        if result.flags.c_contiguous:
+            q_apply_block(flat, idx, self._qw_transposed()[:, sl],
+                          self.frac_bits, info.min, info.max, invalid,
+                          self.fill, result.reshape(n, -1), acc, scratch)
+        else:
+            tmp = np.empty(expected, dtype=image.dtype)
+            q_apply_block(flat, idx, self._qw_transposed()[:, sl],
+                          self.frac_bits, info.min, info.max, invalid,
+                          self.fill, tmp.reshape(n, -1), acc, scratch)
+            np.copyto(result, tmp)
+        return result
+
+    def apply(self, image, out=None):
+        """Correct an integer frame entirely in integer arithmetic.
+
+        Accumulates ``sum(tap * qweight)`` in int32/int64 and rounds
+        with a single arithmetic shift — bit-exact with what a DSP or
+        SPE fixed-point kernel computes, and with
+        :class:`~repro.core.remap.RemapLUT` running on its ``fixed``
+        or ``compiled`` tier.
+        """
+        return self._run(image, out=out)
+
+    def apply_into(self, image, out):
+        """Correct one frame straight into ``out`` (required, validated) —
+        the zero-copy streaming twin of :meth:`apply`."""
+        if out is None:
+            raise MappingError("apply_into requires a destination buffer")
+        return self._run(image, out=out)
+
+    def apply_rows_into(self, image, row0: int, row1: int, out):
+        """Correct output rows ``[row0, row1)`` into ``out`` — the band
+        primitive the tile-parallel executors use."""
+        if not 0 <= row0 < row1 <= self.out_shape[0]:
+            raise MappingError(
+                f"bad row range [{row0}, {row1}) for output {self.out_shape}")
+        if out is None:
+            raise MappingError("apply_rows_into requires a destination buffer")
+        return self._run(image, row0=row0, row1=row1, out=out)

@@ -1,0 +1,188 @@
+"""The kernel-tier ladder: numpy → fixed-point → compiled.
+
+The remap hot path exists at three rungs, all executing the *same*
+compact LUT tables (int32 tap offsets + per-axis fractions):
+
+``numpy``
+    The fused float gather-multiply-accumulate of
+    :meth:`repro.core.remap.RemapLUT.apply` — always available, full
+    float32 precision, one numpy ufunc dispatch per tap.
+``fixed``
+    Q-format integer arithmetic (quantized ``int16`` weights,
+    wide-integer accumulate, single-shift round) — the
+    :class:`~repro.core.fixedpoint.FixedPointLUT` model promoted to a
+    shipping execution path, vectorised with pooled scratch and a
+    tile-blocked row walk so the per-tile accumulator and source
+    working set stay cache-resident.  Bit-faithful to what a DSP/SPE
+    kernel computes; integer frames only.
+``compiled``
+    The same Q-format arithmetic jitted by Numba
+    (:mod:`repro.accel.compiled`): ``njit(parallel=True)`` over 2-D
+    output tiles, no per-tap ufunc dispatch, no float conversion pass
+    over the source.  Requires the optional ``repro[speed]`` extra.
+
+Selection rules
+---------------
+:func:`resolve_tier` maps a user request to an executable tier:
+
+- ``auto`` picks ``compiled`` when numba imports, else ``numpy``
+  (the pure-numpy ``fixed`` tier trades precision for accelerator
+  fidelity, not speed, so ``auto`` never picks it silently);
+- an explicit ``compiled`` request without numba falls back to
+  ``numpy`` and logs a one-time warning (never raises: an uninstalled
+  optional extra must not take down a pipeline);
+- ``numpy``/``fixed`` always resolve to themselves.
+
+Q tiers operate on integer frames; float frames silently use the
+``numpy`` path per-frame (full precision is the only sensible meaning
+of a float pipeline).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelTierError
+
+__all__ = [
+    "KERNEL_TIERS",
+    "KERNEL_CHOICES",
+    "DEFAULT_FRAC_BITS",
+    "DEFAULT_TILE_ROWS",
+    "kernel_tier",
+    "available_tiers",
+    "resolve_tier",
+    "numba_available",
+    "numba_version",
+    "q_apply_block",
+]
+
+#: executable tiers, in ladder order (slowest/most-general first).
+KERNEL_TIERS = ("numpy", "fixed", "compiled")
+
+#: what callers may request (``auto`` resolves to the best available).
+KERNEL_CHOICES = ("auto",) + KERNEL_TIERS
+
+#: Q-format precision of the shipping fixed/compiled tiers.  Q12 keeps
+#: the quantization error far below the uint8 LSB (PSNR >= 40 dB vs the
+#: float oracle, enforced by the regression gate) while leaving int16
+#: headroom for the bicubic overshoot range.
+DEFAULT_FRAC_BITS = 12
+
+#: row-block height of the numpy ``fixed`` tier's tile walk: blocks of
+#: this many output rows are processed per gather pass so accumulator,
+#: scratch and the block's source bounding box stay cache-resident
+#: (the host-kernel application of the paper's F6 tile study).
+DEFAULT_TILE_ROWS = 64
+
+_warned_fallback = False
+
+
+def numba_available() -> bool:
+    """True when the optional numba dependency imports cleanly."""
+    from ..accel import compiled
+    return compiled.numba_available()
+
+
+def numba_version():
+    """Installed numba version string, or ``None``."""
+    from ..accel import compiled
+    return compiled.numba_version()
+
+
+def available_tiers() -> tuple:
+    """The tiers executable in this environment, ladder order."""
+    if numba_available():
+        return KERNEL_TIERS
+    return KERNEL_TIERS[:2]
+
+
+def kernel_tier() -> str:
+    """Capability probe: the best tier available right now.
+
+    ``compiled`` when numba imports, else ``numpy`` — the same answer
+    ``resolve_tier("auto")`` gives, exposed as a probe so callers and
+    benchmarks can report which path a host will run.
+    """
+    return "compiled" if numba_available() else "numpy"
+
+
+def resolve_tier(requested: str, *, quiet: bool = False) -> str:
+    """Map a requested tier to one executable here (see module docs).
+
+    Parameters
+    ----------
+    requested:
+        One of :data:`KERNEL_CHOICES`.
+    quiet:
+        Suppress the one-time compiled→numpy fallback warning (used by
+        probes that only ask hypothetically).
+    """
+    global _warned_fallback
+    if requested not in KERNEL_CHOICES:
+        raise KernelTierError(
+            f"unknown kernel tier {requested!r}; known: {KERNEL_CHOICES}")
+    if requested == "auto":
+        return kernel_tier()
+    if requested == "compiled" and not numba_available():
+        if not _warned_fallback and not quiet:
+            _warned_fallback = True
+            from ..obs.logsetup import get_logger
+            get_logger(__name__).warning(
+                "kernel tier 'compiled' requested but numba is not "
+                "installed; falling back to the numpy tier "
+                "(pip install repro[speed] to enable it)")
+        return "numpy"
+    return requested
+
+
+# ----------------------------------------------------------------------
+# the numpy Q-format block engine
+# ----------------------------------------------------------------------
+def q_apply_block(flat, idx, qw_t, frac_bits, lo, hi, invalid, fill,
+                  out_flat, acc, scratch):
+    """Fixed-point gather-MAC over one output block (numpy tier).
+
+    The integer twin of ``RemapLUT._accumulate`` + store epilogue:
+    gather each tap into ``scratch``, multiply by its quantized weight
+    column, accumulate in ``acc`` (int32 for 1-byte frames, int64
+    wider), then round with ``+half`` and a single arithmetic shift —
+    bit-exact with :class:`~repro.core.fixedpoint.FixedPointLUT`.
+
+    Parameters
+    ----------
+    flat:
+        ``(H*W, channels)`` source, already cast to the accumulator
+        dtype (the one conversion pass a wide-int kernel needs).
+    idx:
+        ``(n, taps)`` int32 flat tap offsets for this block.
+    qw_t:
+        ``(taps, N_block)`` int16 quantized weights for this block.
+    frac_bits:
+        Q-format shift.
+    lo, hi:
+        Output dtype clip range.
+    invalid:
+        ``(n,)`` bool invalid-pixel mask or ``None``.
+    fill:
+        Integer fill for invalid pixels (applied after clip, matching
+        the float epilogue).
+    out_flat:
+        ``(n, channels)`` destination view (output dtype).
+    acc, scratch:
+        Pooled ``(n, channels)`` accumulator-dtype work buffers.
+    """
+    taps = idx.shape[1]
+    flat.take(idx[:, 0], axis=0, out=scratch, mode="clip")
+    np.multiply(scratch, qw_t[0][:, None], out=acc)
+    for k in range(1, taps):
+        flat.take(idx[:, k], axis=0, out=scratch, mode="clip")
+        np.multiply(scratch, qw_t[k][:, None], out=scratch)
+        np.add(acc, scratch, out=acc)
+    np.add(acc, acc.dtype.type(1 << (frac_bits - 1)), out=acc)
+    np.right_shift(acc, frac_bits, out=acc)
+    np.clip(acc, lo, hi, out=acc)
+    if invalid is not None:
+        acc[invalid] = fill
+    np.copyto(out_flat, acc, casting="unsafe")
+    return out_flat

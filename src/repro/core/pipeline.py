@@ -33,6 +33,7 @@ from .image import Frame
 from .intrinsics import CameraIntrinsics, FisheyeIntrinsics
 from .lens import LensModel
 from .mapping import RemapField, perspective_map
+from . import kernel_tiers
 from .remap import RemapLUT
 
 __all__ = ["RemapExecutor", "SequentialExecutor", "StreamStats", "FisheyeCorrector"]
@@ -84,6 +85,14 @@ class FisheyeCorrector:
         Interpolation kind (``nearest``/``bilinear``/``bicubic``).
     border, fill:
         Border handling for out-of-FOV output pixels.
+    kernel:
+        Kernel-tier request, one of
+        :data:`~repro.core.kernel_tiers.KERNEL_CHOICES`
+        (``auto``/``numpy``/``fixed``/``compiled``); resolved once at
+        construction via
+        :func:`~repro.core.kernel_tiers.resolve_tier` and applied to
+        the LUT with :meth:`~repro.core.remap.RemapLUT.with_tier`, so
+        cache-shared tables are never mutated.
     executor:
         Optional :class:`RemapExecutor`; defaults to
         :class:`SequentialExecutor`.
@@ -98,11 +107,12 @@ class FisheyeCorrector:
     def __init__(self, field: RemapField, method: str = "bilinear",
                  border: str = "constant", fill: float = 0.0,
                  executor: Optional[RemapExecutor] = None,
-                 lut_cache=None):
+                 lut_cache=None, kernel: str = "numpy"):
         self.field = field
         self.method = method
         self.border = border
         self.fill = fill
+        self.kernel = kernel_tiers.resolve_tier(kernel)
         self.executor = executor or SequentialExecutor()
         self.lut_cache = lut_cache
         self._lut: Optional[RemapLUT] = None
@@ -120,7 +130,7 @@ class FisheyeCorrector:
                    method: str = "bilinear", border: str = "constant",
                    fill: float = 0.0,
                    executor: Optional[RemapExecutor] = None,
-                   lut_cache=None) -> "FisheyeCorrector":
+                   lut_cache=None, kernel: str = "numpy") -> "FisheyeCorrector":
         """Build a perspective-view corrector for a fisheye sensor.
 
         ``zoom`` scales the output focal length relative to the value
@@ -141,7 +151,7 @@ class FisheyeCorrector:
         )
         field = perspective_map(sensor, lens, out, yaw=yaw, pitch=pitch, roll=roll)
         return cls(field, method=method, border=border, fill=fill, executor=executor,
-                   lut_cache=lut_cache)
+                   lut_cache=lut_cache, kernel=kernel)
 
     # ------------------------------------------------------------------
     @property
@@ -157,6 +167,9 @@ class FisheyeCorrector:
             else:
                 self._lut = RemapLUT(self.field, method=self.method,
                                      border=self.border, fill=self.fill)
+            if self.kernel != "numpy":
+                # non-mutating: cache-fetched tables stay tier-neutral
+                self._lut = self._lut.with_tier(self.kernel)
         return self._lut
 
     def stats(self) -> dict:
@@ -166,6 +179,7 @@ class FisheyeCorrector:
         be shared with other correctors)."""
         return {
             "frames_corrected": self._frames_corrected,
+            "kernel": self.kernel,
             "lut_built": self._lut is not None,
             "cache_hits": self._cache_hits,
             "cache_misses": self._cache_misses,

@@ -43,6 +43,16 @@ When a :mod:`repro.obs` registry is enabled the kernel reports
 ``remap.band_seconds`` latency histograms; the disabled registry costs
 one branch per call (never per pixel), which the overhead gate in
 ``benchmarks/check_regression.py`` enforces.
+
+Execution is *tiered* (:mod:`repro.core.kernel_tiers`): every LUT
+carries a ``tier`` — ``numpy`` (the float fused kernel below),
+``fixed`` (Q-format integer arithmetic, tile-blocked) or ``compiled``
+(the Numba kernel in :mod:`repro.accel.compiled`) — selected at build
+time or re-selected cheaply with :meth:`RemapLUT.with_tier`, which
+shares the underlying tables.  Q tiers apply to integer frames; float
+frames always take the full-precision numpy path.  Each apply reports
+a ``kernel.tier.<tier>`` counter and tier-labelled spans so traces
+show which rung actually ran.
 """
 
 from __future__ import annotations
@@ -53,9 +63,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import InterpolationError, MappingError
+from ..errors import InterpolationError, KernelTierError, MappingError
 from ..obs.telemetry import Telemetry, get_telemetry, scoped
 from . import interpolation as interp
+from . import kernel_tiers
 from .mapping import RemapField
 
 __all__ = ["remap", "RemapLUT", "remap_profiled", "StageProfile"]
@@ -87,6 +98,15 @@ def remap(image, field: RemapField, method: str = "bilinear",
 def _resolve_border(idx, size, border):
     mode = "replicate" if border == "constant" else border
     return interp.resolve_indices(idx, size, mode)
+
+
+def _check_frac_bits(frac_bits: int) -> int:
+    """Validate the Q-format precision at LUT build time (fail fast)."""
+    frac_bits = int(frac_bits)
+    if not 1 <= frac_bits <= 14:
+        raise KernelTierError(
+            f"frac_bits must be 1..14 (int16 Q-format storage), got {frac_bits}")
+    return frac_bits
 
 
 @dataclass
@@ -211,7 +231,9 @@ class RemapLUT:
     """
 
     def __init__(self, field: RemapField, method: str = "bilinear",
-                 border: str = "constant", fill: float = 0.0):
+                 border: str = "constant", fill: float = 0.0,
+                 tier: str = "numpy",
+                 frac_bits: int = kernel_tiers.DEFAULT_FRAC_BITS):
         if method not in interp.METHODS:
             raise InterpolationError(
                 f"unknown interpolation method {method!r}; known: {interp.METHODS}")
@@ -221,6 +243,8 @@ class RemapLUT:
         self.method = method
         self.border = border
         self.fill = float(fill)
+        self.tier = kernel_tiers.resolve_tier(tier)
+        self.frac_bits = _check_frac_bits(frac_bits)
         self.out_shape = field.shape
         self.src_shape = (field.src_height, field.src_width)
         h, w = self.src_shape
@@ -272,24 +296,31 @@ class RemapLUT:
 
         self._invalid = None       # lazily ~mask
         self._wtab = None          # lazily derived (taps, N) weight table
+        self._qwtab = None         # lazily derived (taps, N) int16 Q weights
         self._pool = _ScratchPool()
 
     # ------------------------------------------------------------------
     @classmethod
     def from_tables(cls, indices, fracs, mask, out_shape, src_shape,
                     method: str, border: str, fill: float,
-                    weight_table=None) -> "RemapLUT":
+                    weight_table=None, tier: str = "numpy",
+                    frac_bits: int = kernel_tiers.DEFAULT_FRAC_BITS,
+                    qweight_table=None) -> "RemapLUT":
         """Reconstruct a LUT from prebuilt tables (cache / shared memory).
 
         Arrays are adopted as-is (no copy), so memory-mapped or
         shared-memory-backed tables stay zero-copy.  ``weight_table``
         optionally injects an already-derived ``(taps, N)`` float32
-        weight table, e.g. one living in a shared segment.
+        weight table, e.g. one living in a shared segment;
+        ``qweight_table`` likewise injects the ``(taps, N)`` int16
+        quantized table the Q tiers execute.
         """
         self = cls.__new__(cls)
         self.method = method
         self.border = border
         self.fill = float(fill)
+        self.tier = kernel_tiers.resolve_tier(tier)
+        self.frac_bits = _check_frac_bits(frac_bits)
         self.out_shape = tuple(out_shape)
         self.src_shape = tuple(src_shape)
         self.indices = indices
@@ -301,8 +332,31 @@ class RemapLUT:
                 f"index table {indices.shape} does not cover output {self.out_shape}")
         self._invalid = None
         self._wtab = weight_table
+        self._qwtab = qweight_table
         self._pool = _ScratchPool()
         return self
+
+    def with_tier(self, tier: str,
+                  frac_bits: int | None = None) -> "RemapLUT":
+        """A view of this LUT executing on another kernel tier.
+
+        The returned LUT *shares* the underlying tables (indices,
+        fractions, mask and any already-derived weight tables), so
+        re-tiering is cheap and safe even for LUTs handed out by a
+        shared :class:`~repro.core.lutcache.LUTCache` — the cached
+        object is never mutated.  ``tier`` accepts ``auto`` and
+        resolves it here (with the numpy fallback when numba is
+        absent).
+        """
+        resolved = kernel_tiers.resolve_tier(tier)
+        bits = self.frac_bits if frac_bits is None else _check_frac_bits(frac_bits)
+        if resolved == self.tier and bits == self.frac_bits:
+            return self
+        return RemapLUT.from_tables(
+            self.indices, self.fracs, self.mask, self.out_shape,
+            self.src_shape, self.method, self.border, self.fill,
+            weight_table=self._wtab, tier=resolved, frac_bits=bits,
+            qweight_table=self._qwtab if bits == self.frac_bits else None)
 
     # Scratch pools and derived tables are per-process state; drop them
     # when a LUT is pickled to a worker.
@@ -310,11 +364,17 @@ class RemapLUT:
         state = self.__dict__.copy()
         state["_pool"] = None
         state["_wtab"] = None
+        state["_qwtab"] = None
         state["_invalid"] = None
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
+        # LUTs pickled by pre-tier callers (or old cache blobs) lack
+        # the tier fields; default them.
+        self.__dict__.setdefault("tier", "numpy")
+        self.__dict__.setdefault("frac_bits", kernel_tiers.DEFAULT_FRAC_BITS)
+        self.__dict__.setdefault("_qwtab", None)
         self._pool = _ScratchPool()
 
     # ------------------------------------------------------------------
@@ -416,21 +476,43 @@ class RemapLUT:
             self._wtab = wtab
         return self._wtab
 
+    def _qweight_table(self):
+        """``(taps, N)`` int16 Q-format weights for the fixed/compiled
+        tiers; rows of one tap are contiguous so both the ufunc columns
+        and the jitted per-tap streams read forward."""
+        if self._qwtab is None:
+            # lazy import: fixedpoint imports this module at its top
+            from .fixedpoint import quantize_weights
+            q = quantize_weights(self._weight_table_full().T, self.frac_bits)
+            self._qwtab = np.ascontiguousarray(q.T)
+        return self._qwtab
+
     # ------------------------------------------------------------------
     # The fused kernel
     # ------------------------------------------------------------------
-    def _prepare(self, image):
+    def _prepare(self, image, tier: str = "numpy"):
         image = np.asarray(image)
         if image.shape[:2] != self.src_shape:
             raise MappingError(
                 f"frame {image.shape[:2]} does not match LUT source {self.src_shape}")
         squeeze = image.ndim == 2
-        # Accumulate in float32 (the embedded-precision baseline) except
-        # for float64 frames, which keep their native precision instead
-        # of being forced through a lossy float32 round-trip.
-        acc_dtype = np.float64 if image.dtype == np.float64 else np.float32
-        flat = image.reshape(
-            self.src_shape[0] * self.src_shape[1], -1).astype(acc_dtype, copy=False)
+        n_src = self.src_shape[0] * self.src_shape[1]
+        if tier == "numpy":
+            # Accumulate in float32 (the embedded-precision baseline)
+            # except for float64 frames, which keep their native
+            # precision instead of a lossy float32 round-trip.
+            acc_dtype = np.float64 if image.dtype == np.float64 else np.float32
+            flat = image.reshape(n_src, -1).astype(acc_dtype, copy=False)
+        else:
+            # Q tiers: int32 accumulate covers 1-byte samples at Q14
+            # with 16 taps; wider samples need int64.
+            acc_dtype = np.int64 if image.dtype.itemsize > 1 else np.int32
+            if tier == "compiled":
+                # the jitted kernel gathers the raw samples — no
+                # conversion pass over the source at all
+                flat = np.ascontiguousarray(image.reshape(n_src, -1))
+            else:
+                flat = image.reshape(n_src, -1).astype(acc_dtype, copy=False)
         return image, flat, squeeze, acc_dtype
 
     def _accumulate(self, flat, idx, wtab, acc, scratch, tel=None):
@@ -470,8 +552,15 @@ class RemapLUT:
     def _run(self, image, row0=None, row1=None, out=None):
         """Shared implementation of apply/apply_rows/profiled apply."""
         tel = get_telemetry()
+        wall0 = time.time() if tel.enabled else 0.0
         t0 = time.perf_counter() if tel.enabled else 0.0
-        image, flat, squeeze, acc_dtype = self._prepare(image)
+        image = np.asarray(image)
+        tier = self.tier
+        if tier != "numpy" and not np.issubdtype(image.dtype, np.integer):
+            # Q-format arithmetic is an integer-frame contract; float
+            # pipelines keep full precision on the numpy path.
+            tier = "numpy"
+        image, flat, squeeze, acc_dtype = self._prepare(image, tier)
         h_out, w_out = self.out_shape
         if row0 is None:
             sl = slice(None)
@@ -489,32 +578,87 @@ class RemapLUT:
                     f"output buffer {out.shape}/{out.dtype} does not match "
                     f"{expected}/{image.dtype}")
         idx = self.indices[sl]
-        wtab = self._weight_table()
-        if wtab is not None and row0 is not None:
-            wtab = wtab[:, sl]
         invalid = self._invalid_mask()
         if invalid is not None and row0 is not None:
             invalid = invalid[sl]
-        pair = self._pool.acquire(n, channels, acc_dtype)
-        try:
-            acc, scratch = pair
-            detail = tel if tel.stage_detail else None
-            self._accumulate(flat, idx, wtab, acc, scratch, tel=detail)
-            result = _store_epilogue(acc, invalid, self.fill, image.dtype,
-                                     shape2d, squeeze, out=out, tel=detail)
-        finally:
-            self._pool.release(pair)
+        if tier == "numpy":
+            wtab = self._weight_table()
+            if wtab is not None and row0 is not None:
+                wtab = wtab[:, sl]
+            pair = self._pool.acquire(n, channels, acc_dtype)
+            try:
+                acc, scratch = pair
+                detail = tel if tel.stage_detail else None
+                self._accumulate(flat, idx, wtab, acc, scratch, tel=detail)
+                result = _store_epilogue(acc, invalid, self.fill, image.dtype,
+                                         shape2d, squeeze, out=out, tel=detail)
+            finally:
+                self._pool.release(pair)
+        else:
+            result = self._run_q(tier, flat, idx, sl, invalid, image.dtype,
+                                 shape2d, squeeze, channels, acc_dtype,
+                                 w_out, out)
         if tel.enabled:
             dt = time.perf_counter() - t0
+            tel.counter(f"kernel.tier.{tier}").inc()
             if row0 is None:
                 tel.counter("remap.frames").inc()
                 tel.histogram("remap.apply_seconds").observe(dt)
+                tel.add_span("remap.apply", wall0, dt, cat="kernel",
+                             args={"tier": tier})
             else:
                 tel.counter("remap.bands").inc()
                 tel.histogram("remap.band_seconds").observe(dt)
             tel.counter("remap.pixels").inc(n)
             tel.counter("remap.bytes_gathered").inc(
                 n * self.indices.shape[1] * channels * flat.dtype.itemsize)
+        return result
+
+    def _run_q(self, tier, flat, idx, sl, invalid, dtype, shape2d, squeeze,
+               channels, acc_dtype, w_out, out):
+        """The Q-format (fixed/compiled) execution paths.
+
+        Both share the quantized ``(taps, N)`` int16 weight table and
+        the FixedPointLUT arithmetic contract: wide-int accumulate,
+        ``+half`` then one arithmetic shift, clip, fill.  The numpy
+        ``fixed`` tier walks the output in row blocks
+        (:data:`~repro.core.kernel_tiers.DEFAULT_TILE_ROWS`) so the
+        accumulator and each block's source bounding box stay
+        cache-resident; the ``compiled`` tier tiles in 2-D inside the
+        jitted kernel itself.
+        """
+        qw = self._qweight_table()[:, sl]
+        info = np.iinfo(dtype)
+        fill = int(round(self.fill))
+        n = idx.shape[0]
+        result = out if out is not None else np.empty(
+            shape2d if squeeze else shape2d + (channels,), dtype=dtype)
+        if not result.flags.c_contiguous:
+            # strided destination (rare): compute into a fresh frame,
+            # then let copyto deal with the strides
+            tmp = self._run_q(tier, flat, idx, sl, invalid, dtype, shape2d,
+                              squeeze, channels, acc_dtype, w_out, None)
+            np.copyto(result, tmp)
+            return result
+        out_flat = result.reshape(n, -1)
+        if tier == "compiled":
+            from ..accel.compiled import compiled_apply_block
+            valid = self.mask[sl] if self.mask is not None else None
+            compiled_apply_block(flat, idx, qw, valid, fill, self.frac_bits,
+                                 info.min, info.max, out_flat, w_out)
+            return result
+        tile = kernel_tiers.DEFAULT_TILE_ROWS * w_out
+        for b0 in range(0, n, tile):
+            b1 = min(b0 + tile, n)
+            pair = self._pool.acquire(b1 - b0, channels, acc_dtype)
+            try:
+                kernel_tiers.q_apply_block(
+                    flat, idx[b0:b1], qw[:, b0:b1], self.frac_bits,
+                    info.min, info.max,
+                    invalid[b0:b1] if invalid is not None else None,
+                    fill, out_flat[b0:b1], pair[0], pair[1])
+            finally:
+                self._pool.release(pair)
         return result
 
     # ------------------------------------------------------------------

@@ -16,6 +16,7 @@ __all__ = [
     "ImageFormatError",
     "MappingError",
     "InterpolationError",
+    "KernelTierError",
     "PartitionError",
     "ScheduleError",
     "StreamError",
@@ -53,6 +54,11 @@ class MappingError(ReproError, ValueError):
 
 class InterpolationError(ReproError, ValueError):
     """Unknown interpolation kind or invalid sampling request."""
+
+
+class KernelTierError(ReproError, ValueError):
+    """Unknown or unusable kernel-tier request (see
+    :mod:`repro.core.kernel_tiers`)."""
 
 
 class PartitionError(ReproError, ValueError):

@@ -98,7 +98,9 @@ def chrome_trace(tel_or_snap) -> list:
     Timestamps are rebased so the earliest span starts at 0 µs.
     String track ids (the models' synthetic timelines) are mapped to
     stable integer ``tid``s with ``thread_name`` metadata events so
-    Perfetto labels the tracks.
+    Perfetto labels the tracks.  Spans that carry a ``tier`` arg (the
+    kernel spans) render as ``name [tier]`` so a trace shows at a
+    glance which rung of the kernel ladder each band executed on.
     """
     snap = _snap(tel_or_snap)
     spans = snap.get("spans", [])
@@ -114,8 +116,12 @@ def chrome_trace(tel_or_snap) -> list:
                                "pid": s.get("pid", 0), "tid": tid_map[tid],
                                "args": {"name": tid}})
             tid = tid_map[tid]
+        args = s.get("args") or {}
+        name = s["name"]
+        if "tier" in args:
+            name = f"{name} [{args['tier']}]"
         ev = {
-            "name": s["name"],
+            "name": name,
             "cat": s.get("cat") or "repro",
             "ph": "X",
             "ts": round((s["ts"] - origin) * 1e6, 3),
@@ -123,8 +129,8 @@ def chrome_trace(tel_or_snap) -> list:
             "pid": s.get("pid", 0),
             "tid": tid,
         }
-        if s.get("args"):
-            ev["args"] = s["args"]
+        if args:
+            ev["args"] = args
         events.append(ev)
     return events
 
@@ -183,7 +189,11 @@ def format_snapshot(tel_or_snap) -> str:
     if spans:
         totals: dict[str, list] = {}
         for s in spans:
-            agg = totals.setdefault(s["name"], [0, 0.0])
+            name = s["name"]
+            tier = (s.get("args") or {}).get("tier")
+            if tier:
+                name = f"{name} [{tier}]"
+            agg = totals.setdefault(name, [0, 0.0])
             agg[0] += 1
             agg[1] += s["dur"]
         out.append("spans:")

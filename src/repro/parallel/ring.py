@@ -168,7 +168,8 @@ def _ring_worker_main(rank, task_q, done_q, table_spec, lut_meta, slot_spec,
                 tel.counter(f"ring.worker.{rank}.busy_seconds").inc(dt)
                 tel.histogram("ring.band_seconds").observe(dt)
                 tel.add_span("ring.band", wall0, dt, cat="ring", tid=track,
-                             args={"seq": seq, "rows": row1 - row0})
+                             args={"seq": seq, "rows": row1 - row0,
+                                   "tier": lut.tier})
                 delta = worker_delta()
             done_q.put((seq, slot_idx, row1 - row0, rank, delta))
     finally:

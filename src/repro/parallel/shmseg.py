@@ -38,6 +38,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from ..core.kernel_tiers import DEFAULT_FRAC_BITS
 from ..core.remap import RemapLUT
 from ..obs.telemetry import Telemetry, get_telemetry, set_telemetry
 
@@ -177,12 +178,17 @@ class SharedTables(_SegmentGroup):
             publish("wtab", lut._weight_table())
         if lut.mask is not None:
             publish("mask", np.asarray(lut.mask))
+        if lut.tier != "numpy":
+            # quantize once in the parent; workers map the same table
+            publish("qwtab", lut._qweight_table())
         self.meta = {
             "out_shape": lut.out_shape,
             "src_shape": lut.src_shape,
             "method": lut.method,
             "border": lut.border,
             "fill": lut.fill,
+            "tier": lut.tier,
+            "frac_bits": lut.frac_bits,
         }
         super().__init__(shms)
 
@@ -204,5 +210,8 @@ def attach_tables(spec, meta):
         arrays["indices"], arrays.get("fracs"), arrays.get("mask"),
         out_shape=meta["out_shape"], src_shape=meta["src_shape"],
         method=meta["method"], border=meta["border"],
-        fill=meta["fill"], weight_table=arrays.get("wtab"))
+        fill=meta["fill"], weight_table=arrays.get("wtab"),
+        tier=meta.get("tier", "numpy"),
+        frac_bits=meta.get("frac_bits", DEFAULT_FRAC_BITS),
+        qweight_table=arrays.get("qwtab"))
     return segments, arrays, lut

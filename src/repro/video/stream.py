@@ -26,6 +26,7 @@ import numpy as np
 from ..errors import ImageFormatError, ScheduleError
 from ..obs.telemetry import get_telemetry
 from ..core.image import GRAY8, Frame
+from ..core.kernel_tiers import resolve_tier
 from ..core.mapping import RemapField
 from ..core.remap import RemapLUT
 from .distort import FisheyeRenderer
@@ -88,6 +89,7 @@ def corrected_stream(frames: Iterable, field: RemapField,
                      method: str = "bilinear", border: str = "constant",
                      fill: float = 0.0, lut_cache=None,
                      copy: bool = False, engine: str = "sync",
+                     kernel: str = "numpy",
                      **engine_kwargs) -> Iterator:
     """Correct a frame stream through the fused zero-allocation kernel.
 
@@ -107,6 +109,12 @@ def corrected_stream(frames: Iterable, field: RemapField,
         When false (default) every yielded frame aliases one reused
         output buffer — consume or copy it before advancing, like any
         zero-copy decoder API.  When true each frame owns its data.
+    kernel:
+        Kernel-tier request (``auto``/``numpy``/``fixed``/``compiled``,
+        see :mod:`repro.core.kernel_tiers`); resolved once up front and
+        applied with :meth:`~repro.core.remap.RemapLUT.with_tier`.  The
+        ring engine inherits the tier: workers re-select it from the
+        shared-table metadata, so every band runs the same arithmetic.
     engine:
         ``"sync"`` (default) runs the fused kernel inline;
         ``"ring"`` routes the stream through a
@@ -125,6 +133,9 @@ def corrected_stream(frames: Iterable, field: RemapField,
         lut = lut_cache.get(field, method=method, border=border, fill=fill)
     else:
         lut = RemapLUT(field, method=method, border=border, fill=fill)
+    tier = resolve_tier(kernel)
+    if tier != "numpy":
+        lut = lut.with_tier(tier)  # non-mutating clone; cache stays neutral
     if engine == "ring":
         # lazy import: keeps repro.video free of the parallel layer
         # unless the ring engine is actually requested

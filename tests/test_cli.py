@@ -142,7 +142,9 @@ class TestStream:
         if isinstance(events, dict):
             events = events["traceEvents"]
         names = {e["name"] for e in events if e.get("ph") == "X"}
-        assert {"ring.decode", "ring.band", "ring.deliver"} <= names
+        assert {"ring.decode", "ring.deliver"} <= names
+        # band spans carry the kernel tier in their rendered name
+        assert any(n.startswith("ring.band [") for n in names)
 
     def test_ring_depth_overflow_is_clean_error(self, capsys):
         assert main(["stream", "--engine", "ring", "--depth", "99"]

@@ -5,8 +5,11 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.fixedpoint import FixedPointLUT, max_abs_weight_error, quantize_weights
+from repro.core.quality import psnr
 from repro.core.remap import RemapLUT
 from repro.errors import InterpolationError, MappingError
+
+pytestmark = pytest.mark.tier1
 
 
 class TestQuantizeWeights:
@@ -105,6 +108,86 @@ class TestFixedPointLUT:
     def test_multichannel(self, small_field, rgb_image):
         out = FixedPointLUT(small_field).apply(rgb_image)
         assert out.shape == (64, 64, 3)
+
+    def test_apply_into_writes_buffer(self, small_field, random_image):
+        fp = FixedPointLUT(small_field, frac_bits=12)
+        out = np.empty(fp.out_shape, dtype=random_image.dtype)
+        returned = fp.apply_into(random_image, out)
+        assert returned is out
+        np.testing.assert_array_equal(out, fp.apply(random_image))
+
+    def test_apply_into_requires_buffer(self, small_field, random_image):
+        with pytest.raises(MappingError):
+            FixedPointLUT(small_field).apply_into(random_image, None)
+
+    def test_apply_into_validates_buffer(self, small_field, random_image):
+        fp = FixedPointLUT(small_field)
+        wrong = np.empty((32, 32), dtype=random_image.dtype)
+        with pytest.raises(MappingError):
+            fp.apply_into(random_image, wrong)
+
+    def test_apply_rows_into_matches_full(self, small_field, random_image):
+        fp = FixedPointLUT(small_field, frac_bits=10)
+        full = fp.apply(random_image)
+        out = np.zeros_like(full)
+        h = fp.out_shape[0]
+        for row0, row1 in ((0, 20), (20, 41), (41, h)):
+            fp.apply_rows_into(random_image, row0, row1, out[row0:row1])
+        np.testing.assert_array_equal(out, full)
+
+    def test_apply_rows_into_masked_bands(self, tilted_field, random_image):
+        fp = FixedPointLUT(tilted_field, fill=7)
+        full = fp.apply(random_image)
+        h = fp.out_shape[0]
+        out = np.zeros_like(full)
+        fp.apply_rows_into(random_image, 0, h // 2, out[: h // 2])
+        fp.apply_rows_into(random_image, h // 2, h, out[h // 2:])
+        np.testing.assert_array_equal(out, full)
+
+    def test_apply_rows_into_rejects_bad_range(self, small_field, random_image):
+        fp = FixedPointLUT(small_field)
+        out = np.empty((10, 64), dtype=random_image.dtype)
+        with pytest.raises(MappingError):
+            fp.apply_rows_into(random_image, 30, 20, out)
+
+
+class TestQualityLadder:
+    """The acceptance-criteria quality floors of the shipping Q tiers."""
+
+    def _oracle(self, field, image):
+        base = RemapLUT(field)
+        out = base.apply(image.astype(np.float32))
+        return np.clip(np.rint(out), 0, 255).astype(np.uint8), base
+
+    def test_psnr_floor_across_bits(self, small_field, random_image):
+        """Every shipping precision (Q6..Q12) clears 40 dB vs the
+        float oracle — the gate check_regression enforces at Q12."""
+        oracle, base = self._oracle(small_field, random_image)
+        for bits in range(6, 13):
+            out = base.with_tier("fixed", frac_bits=bits).apply(random_image)
+            assert psnr(oracle, out) >= 40.0, f"Q{bits} below 40 dB"
+
+    def test_psnr_monotone_in_bits(self, small_field, random_image):
+        oracle, base = self._oracle(small_field, random_image)
+        values = [psnr(oracle, base.with_tier("fixed", frac_bits=b).apply(random_image))
+                  for b in range(6, 13)]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_flat_frame_exact_through_fixed_tier(self, small_field):
+        """Brightness preservation via the RemapLUT execution path (the
+        FixedPointLUT property test covers the other entry point)."""
+        frame = np.full((64, 64), 201, dtype=np.uint8)
+        for bits in (4, 8, 12):
+            out = RemapLUT(small_field).with_tier("fixed", frac_bits=bits).apply(frame)
+            np.testing.assert_array_equal(out, 201)
+
+    def test_lut_and_fixedpoint_bit_exact(self, tilted_field, random_image):
+        """The two Q-format entry points execute identical arithmetic."""
+        for bits in (6, 12):
+            a = FixedPointLUT(tilted_field, frac_bits=bits, fill=3).apply(random_image)
+            b = RemapLUT(tilted_field, fill=3).with_tier(
+                "fixed", frac_bits=bits).apply(random_image)
+            np.testing.assert_array_equal(a, b)
 
 
 @given(bits=st.integers(2, 12))

@@ -80,7 +80,14 @@ class TestKernelInstrumentation:
         tel = Telemetry()  # stage_detail=False
         with scoped(tel):
             lut.apply(gradient_image)
-        assert [s for s in tel.spans if s["name"].startswith("remap.")] == []
+        # per-stage spans stay off; only the frame-level tier-labelled
+        # remap.apply span is recorded
+        stage_spans = [s for s in tel.spans
+                       if s["name"].startswith("remap.") and s["name"] != "remap.apply"]
+        assert stage_spans == []
+        apply_spans = [s for s in tel.spans if s["name"] == "remap.apply"]
+        assert len(apply_spans) == 1
+        assert apply_spans[0]["args"]["tier"] == "numpy"
 
 
 class TestDisabledOverhead:
