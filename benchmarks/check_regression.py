@@ -34,6 +34,13 @@ numbers land in ``BENCH_stream.json`` (with a ``mode`` field saying
 which gate ran) so CI archives the streaming trend alongside the
 kernel timings.
 
+The live-surface gate runs a small instrumented ring stream with the
+stall watchdog armed and scrapes its ``/metrics`` and ``/health``
+endpoints over HTTP mid-run: the exposition must parse, the per-frame
+e2e latency histogram must be populated, and ``stream.stalls`` must
+stay 0.  It is a separate leg so the timing gates above keep measuring
+the uninstrumented hot path.
+
 Exit status 0 = no regression; 1 = the fused kernel has become slower
 than the old per-tap kernel it replaced, telemetry leaked overhead
 into the disabled hot path, the ring lost its streaming advantage, or
@@ -338,6 +345,63 @@ def check_stream(smoke: bool) -> bool:
     return ok
 
 
+def check_live_surface() -> bool:
+    """The live observability gate: scrape a streaming run in-process.
+
+    Runs a small ring stream (VGA, endless-safe frame count) with the
+    stall watchdog armed and a :class:`MetricsServer` pinned to the
+    run's registry, scrapes ``/metrics`` and ``/health`` over real HTTP
+    mid-run, and checks the exposition parses, the e2e latency
+    histogram is populated, and the watchdog never fired
+    (``stream.stalls == 0``).  Deliberately separate from the timing
+    legs above so the 5% disabled-overhead budget and the 1.3x
+    ring-vs-forkjoin gate measure the uninstrumented hot path.
+    """
+    import json as _json
+    import urllib.request
+
+    from repro.obs import MetricsServer, parse_prometheus_text
+    from repro.obs.telemetry import Telemetry, scoped
+    from repro.video.stream import corrected_stream, panning_crops
+
+    print("== live observability surface (ring + /metrics + /health) ==")
+    w, h = resolution("VGA")
+    field = standard_field(w, h)
+    world = synth.urban(w + 64, h + 64)
+    frames = panning_crops(world, w, h, 8, step=16)
+
+    with scoped(Telemetry()) as tel, \
+            MetricsServer(telemetry=tel, port=0) as server:
+        delivered = 0
+        metrics_text = health = None
+        for _ in corrected_stream(frames, field, engine="ring", workers=2,
+                                  depth=2, stall_timeout_s=30.0):
+            delivered += 1
+            if delivered == 4:  # scrape mid-stream, frames in flight
+                with urllib.request.urlopen(server.url + "/metrics") as r:
+                    metrics_text = r.read().decode()
+                with urllib.request.urlopen(server.url + "/health") as r:
+                    health = _json.loads(r.read().decode())
+        snap = tel.snapshot()
+
+    series = parse_prometheus_text(metrics_text)
+    ok = _check("ring delivered every frame", delivered == 8,
+                f"{delivered}/8")
+    ok &= _check("/metrics parses and carries e2e latency",
+                 "repro_frame_e2e_latency_seconds_count" in series,
+                 f"{len(series)} series at scrape time")
+    ok &= _check("/health reports ok", health is not None
+                 and health.get("status") == "ok",
+                 f"status={health.get('status') if health else '<none>'}")
+    stalls = snap["counters"].get("stream.stalls", 0)
+    ok &= _check("no watchdog fires", stalls == 0,
+                 f"stream.stalls={stalls}")
+    e2e = snap["histograms"].get("frame.e2e_latency_seconds", {})
+    ok &= _check("e2e histogram complete", e2e.get("count") == 8,
+                 f"count={e2e.get('count')}")
+    return ok
+
+
 def emit_metrics_snapshot() -> dict:
     """Instrumented VGA correction run -> telemetry snapshot on disk."""
     w, h = resolution("VGA")
@@ -392,6 +456,8 @@ def main() -> int:
     ok &= check_kernels(smoke=args.smoke)
 
     ok &= check_stream(smoke=args.smoke)
+
+    ok &= check_live_surface()
 
     print("== metrics snapshot ==")
     snap = emit_metrics_snapshot()

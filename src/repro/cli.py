@@ -17,10 +17,15 @@ Commands
     (``seq``, ``pipelined`` threads, or the ``ring`` persistent-worker
     shared-memory engine) and report throughput; with ``--trace`` the
     ring engine's decode/remap/deliver overlap is visible per worker.
+    ``--serve-metrics PORT`` exposes ``/metrics`` / ``/health`` /
+    ``/snapshot`` live while the stream runs; ``--deadline-ms`` and
+    ``--stall-timeout`` arm the ring engine's per-frame SLO check and
+    stall watchdog.
 ``info``
     Print the platform park (T1) and the library version.
 ``stats``
-    Pretty-print a metrics snapshot written by ``--metrics``.
+    Pretty-print a metrics snapshot written by ``--metrics``, or diff
+    two snapshots with ``--diff A.json B.json``.
 
 Every command accepts the global observability flags: ``--metrics
 out.json`` / ``--trace out.trace.json`` enable the telemetry registry
@@ -194,25 +199,57 @@ def cmd_stream(args) -> int:
                          "schedule": args.schedule, "context": args.context}
         if args.chunk is not None:
             engine_kwargs["chunk"] = args.chunk
+        if args.deadline_ms is not None:
+            engine_kwargs["deadline_s"] = args.deadline_ms / 1e3
+        if args.stall_timeout is not None:
+            engine_kwargs["stall_timeout_s"] = args.stall_timeout
+
+    own_tel = False
+    server = None
+    tel = obs.get_telemetry()
+    if args.serve_metrics is not None:
+        if not tel.enabled:
+            # the scrape surface needs a live registry even without
+            # --metrics/--trace; enable one for the stream's duration
+            tel = obs.enable()
+            own_tel = True
+        server = obs.MetricsServer(telemetry=tel,
+                                   port=args.serve_metrics).start()
+        print(f"serving metrics on {server.url} "
+              f"(/metrics /health /snapshot)", file=sys.stderr)
 
     stats = StreamStats()
     frames = 0
-    t0 = time.perf_counter()
-    for _ in corrector.correct_stream(source, stats=stats, engine=engine,
-                                      **engine_kwargs):
-        frames += 1
-    wall = time.perf_counter() - t0
-    detail = ""
-    if engine == "pipelined":
-        detail = f" depth={args.depth}"
-    elif engine == "ring":
-        detail = (f" workers={args.workers} depth={args.depth} "
-                  f"schedule={args.schedule}")
-    print(f"engine={args.engine}{detail} kernel={corrector.kernel}: "
-          f"{frames} frames "
-          f"{w}x{h} {args.method} in {wall:.3f}s "
-          f"-> {frames / wall:.1f} fps end-to-end "
-          f"({stats.mpixels_per_s:.1f} Mpx/s in-engine)")
+    try:
+        t0 = time.perf_counter()
+        for _ in corrector.correct_stream(source, stats=stats, engine=engine,
+                                          **engine_kwargs):
+            frames += 1
+        wall = time.perf_counter() - t0
+        detail = ""
+        if engine == "pipelined":
+            detail = f" depth={args.depth}"
+        elif engine == "ring":
+            detail = (f" workers={args.workers} depth={args.depth} "
+                      f"schedule={args.schedule}")
+        print(f"engine={args.engine}{detail} kernel={corrector.kernel}: "
+              f"{frames} frames "
+              f"{w}x{h} {args.method} in {wall:.3f}s "
+              f"-> {frames / wall:.1f} fps end-to-end "
+              f"({stats.mpixels_per_s:.1f} Mpx/s in-engine)")
+        if tel.enabled:
+            slo = obs.slo_summary(tel.snapshot())
+            if slo is not None:
+                print(f"slo: e2e p50 {slo['p50_s'] * 1e3:.1f} ms "
+                      f"p95 {slo['p95_s'] * 1e3:.1f} ms "
+                      f"p99 {slo['p99_s'] * 1e3:.1f} ms, "
+                      f"deadline miss {slo['deadline_misses']}/{slo['frames']} "
+                      f"({slo['miss_rate']:.1%}), stalls {slo['stalls']}")
+    finally:
+        if server is not None:
+            server.close()
+        if own_tel:
+            obs.disable()
     return 0
 
 
@@ -258,12 +295,23 @@ def cmd_map_info(args) -> int:
 
 
 def cmd_stats(args) -> int:
-    """Pretty-print a metrics snapshot file written by ``--metrics``."""
+    """Pretty-print a metrics snapshot file written by ``--metrics``,
+    or diff two of them (``--diff A.json B.json``)."""
     import json
 
-    with open(args.snapshot) as fh:
-        snap = json.load(fh)
-    print(obs.format_snapshot(snap), end="")
+    def load(path):
+        with open(path) as fh:
+            return json.load(fh)
+
+    if args.diff:
+        print(obs.diff_snapshots(load(args.diff[0]), load(args.diff[1])),
+              end="")
+        return 0
+    if args.snapshot is None:
+        print("error: give a snapshot file or --diff A.json B.json",
+              file=sys.stderr)
+        return 1
+    print(obs.format_snapshot(load(args.snapshot)), end="")
     return 0
 
 
@@ -369,6 +417,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--context", choices=["fork", "spawn"], default="fork",
                    help="ring worker start method")
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--serve-metrics", type=int, metavar="PORT", default=None,
+                   help="serve /metrics /health /snapshot on 127.0.0.1:PORT "
+                        "while the stream runs (0 = ephemeral port; enables "
+                        "telemetry if --metrics/--trace did not)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-frame latency SLO (ring engine): deliveries "
+                        "over this count as stream.deadline_miss")
+    p.add_argument("--stall-timeout", type=float, metavar="SECONDS",
+                   default=None,
+                   help="stall watchdog (ring engine): warn, count "
+                        "stream.stalls and dump the flight recorder when no "
+                        "band completes for this long")
     p.set_defaults(func=cmd_stream)
 
     p = sub.add_parser("map-info",
@@ -385,8 +445,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_map_info)
 
     p = sub.add_parser("stats",
-                       help="pretty-print a metrics snapshot from --metrics")
-    p.add_argument("snapshot", help="path to the JSON snapshot file")
+                       help="pretty-print or diff metrics snapshots "
+                            "from --metrics")
+    p.add_argument("snapshot", nargs="?", default=None,
+                   help="path to the JSON snapshot file")
+    p.add_argument("--diff", nargs=2, metavar=("A.json", "B.json"),
+                   default=None,
+                   help="print the metric delta between two snapshots "
+                        "(counters B - A, histograms at p50/p95)")
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("info", help="print version, lens models, platform park")

@@ -176,7 +176,15 @@ class FisheyeCorrector:
         """Counters for this corrector: frames corrected plus its share
         of LUT-cache traffic (and, under ``cache``, the live counters of
         the attached :class:`~repro.core.lutcache.LUTCache`, which may
-        be shared with other correctors)."""
+        be shared with other correctors).
+
+        Under ``slo``, the frame-latency digest from the active
+        telemetry registry (end-to-end p50/p95/p99, deadline misses,
+        stalls — see :func:`repro.obs.export.slo_summary`), or ``None``
+        when telemetry is disabled or no stream has reported latency.
+        """
+        from ..obs.export import slo_summary
+        tel = get_telemetry()
         return {
             "frames_corrected": self._frames_corrected,
             "kernel": self.kernel,
@@ -184,6 +192,7 @@ class FisheyeCorrector:
             "cache_hits": self._cache_hits,
             "cache_misses": self._cache_misses,
             "cache": self.lut_cache.stats() if self.lut_cache is not None else None,
+            "slo": slo_summary(tel.snapshot()) if tel.enabled else None,
         }
 
     @property

@@ -71,7 +71,16 @@ class ScheduleError(ReproError, ValueError):
 
 class StreamError(ReproError, RuntimeError):
     """A streaming engine failed mid-stream (e.g. a worker process
-    died); the engine releases its shared resources before raising."""
+    died); the engine releases its shared resources before raising.
+
+    ``flight_dump`` carries the path of the crash flight-recorder dump
+    (see :mod:`repro.obs.flightrec`) when one was written — the last N
+    spans/events preceding the failure — or ``None``.
+    """
+
+    def __init__(self, message: str, flight_dump: str | None = None):
+        super().__init__(message)
+        self.flight_dump = flight_dump
 
 
 class SimulationError(ReproError, RuntimeError):

@@ -6,7 +6,14 @@ The runtime-visibility layer the production pipeline reports through:
   histograms and nested timing spans, behind an off-by-default global
   registry whose disabled path is a branch per frame;
 - :mod:`repro.obs.export` — JSON snapshot, Prometheus text exposition
-  and Chrome ``trace_event`` exporters over one snapshot schema;
+  and Chrome ``trace_event`` exporters over one snapshot schema, plus
+  snapshot diffing and the frame-SLO digest;
+- :mod:`repro.obs.live` — the live scrape surface: a zero-dependency
+  threaded HTTP server exposing ``/metrics`` (Prometheus), ``/health``
+  (JSON liveness) and ``/snapshot`` while a stream runs;
+- :mod:`repro.obs.flightrec` — the crash flight recorder: a bounded
+  ring of the last N spans/events, dumped to a timestamped JSON file
+  when a worker dies or the stall watchdog fires;
 - :mod:`repro.obs.logsetup` — the single ``logging`` configuration
   helper shared by the CLI and the executors.
 
@@ -31,17 +38,24 @@ from .telemetry import (  # noqa: F401
     emit_phase_spans,
     enable,
     get_telemetry,
+    histogram_quantile,
     scoped,
     set_telemetry,
 )
 from .export import (  # noqa: F401
     chrome_trace,
+    diff_snapshots,
+    escape_label_value,
     format_snapshot,
     metrics_json,
+    parse_prometheus_text,
     prometheus_text,
+    slo_summary,
     write_metrics,
     write_trace,
 )
+from .flightrec import DEFAULT_FLIGHT_CAPACITY, FlightRecorder  # noqa: F401
+from .live import MetricsServer, health_summary  # noqa: F401
 from .logsetup import LOG_LEVELS, configure_logging, get_logger  # noqa: F401
 
 __all__ = [
@@ -57,12 +71,21 @@ __all__ = [
     "disable",
     "scoped",
     "emit_phase_spans",
+    "histogram_quantile",
     "metrics_json",
     "prometheus_text",
     "chrome_trace",
     "write_metrics",
     "write_trace",
     "format_snapshot",
+    "diff_snapshots",
+    "slo_summary",
+    "escape_label_value",
+    "parse_prometheus_text",
+    "FlightRecorder",
+    "DEFAULT_FLIGHT_CAPACITY",
+    "MetricsServer",
+    "health_summary",
     "configure_logging",
     "get_logger",
     "LOG_LEVELS",

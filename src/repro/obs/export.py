@@ -21,6 +21,9 @@ from __future__ import annotations
 import json
 import re
 
+from ..errors import TelemetryError
+from .telemetry import histogram_quantile
+
 __all__ = [
     "metrics_json",
     "prometheus_text",
@@ -28,7 +31,15 @@ __all__ = [
     "write_metrics",
     "write_trace",
     "format_snapshot",
+    "diff_snapshots",
+    "slo_summary",
+    "escape_label_value",
+    "parse_prometheus_text",
 ]
+
+#: the per-frame end-to-end latency histogram the SLO summary reads
+#: (decode start -> in-order delivery, observed by the ring engine).
+E2E_LATENCY_METRIC = "frame.e2e_latency_seconds"
 
 _PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -57,12 +68,22 @@ def _fmt(v) -> str:
     return repr(v) if isinstance(v, float) else str(v)
 
 
+def escape_label_value(value) -> str:
+    """Escape a label value per the Prometheus text format: backslash,
+    double-quote and newline must be backslash-escaped inside the
+    quoted label string."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def prometheus_text(tel_or_snap, prefix: str = "repro_") -> str:
     """Render the snapshot in Prometheus text exposition format.
 
     Dotted metric names flatten to underscores under ``prefix``;
     histogram buckets are emitted cumulatively with the closing
-    ``+Inf`` bucket, ``_sum`` and ``_count`` series.
+    ``+Inf`` bucket, ``_sum`` and ``_count`` series.  Gauges that were
+    registered but never set render as *absent* (no series), so a
+    scraper can tell "never reported" from an explicit 0.
     """
     snap = _snap(tel_or_snap)
     lines = []
@@ -71,9 +92,12 @@ def prometheus_text(tel_or_snap, prefix: str = "repro_") -> str:
         lines.append(f"# TYPE {pname} counter")
         lines.append(f"{pname} {_fmt(snap['counters'][name])}")
     for name in sorted(snap.get("gauges", {})):
+        value = snap["gauges"][name]
+        if value is None:  # unset gauge: absent, not 0
+            continue
         pname = _prom_name(name, prefix)
         lines.append(f"# TYPE {pname} gauge")
-        lines.append(f"{pname} {_fmt(snap['gauges'][name])}")
+        lines.append(f"{pname} {_fmt(value)}")
     for name in sorted(snap.get("histograms", {})):
         h = snap["histograms"][name]
         pname = _prom_name(name, prefix)
@@ -81,12 +105,59 @@ def prometheus_text(tel_or_snap, prefix: str = "repro_") -> str:
         cum = 0
         for bound, count in zip(h["bounds"], h["counts"]):
             cum += count
-            lines.append(f'{pname}_bucket{{le="{_fmt(float(bound))}"}} {cum}')
+            lines.append(f'{pname}_bucket{{le="'
+                         f'{escape_label_value(_fmt(float(bound)))}"}} {cum}')
         cum += h["counts"][-1]
         lines.append(f'{pname}_bucket{{le="+Inf"}} {cum}')
         lines.append(f"{pname}_sum {_fmt(float(h['sum']))}")
         lines.append(f"{pname}_count {h['count']}")
     return "\n".join(lines) + "\n"
+
+
+# a metric line: name, optional {labels}, one value
+_PROM_LINE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?)*)\})?'
+    r' (?P<value>[^ ]+)$')
+_PROM_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Minimal line-format checker for the text exposition format.
+
+    Validates every non-comment line against the ``name{labels} value``
+    grammar (values must parse as floats; ``+Inf``/``NaN`` allowed) and
+    that each ``# TYPE`` comment names a type Prometheus knows.
+    Returns ``{metric_name: [(labels_dict, value), ...]}``; raises
+    :class:`~repro.errors.TelemetryError` on the first malformed line.
+
+    This is a *checker*, not a scraper — it exists so tests and CI can
+    assert the ``/metrics`` endpoint stays parseable.
+    """
+    series: dict = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in (
+                        "counter", "gauge", "histogram", "summary", "untyped"):
+                    raise TelemetryError(
+                        f"line {lineno}: malformed TYPE comment: {line!r}")
+            continue
+        m = _PROM_LINE.match(line)
+        if not m:
+            raise TelemetryError(f"line {lineno}: malformed metric: {line!r}")
+        raw = m.group("value")
+        try:
+            value = float(raw.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            raise TelemetryError(
+                f"line {lineno}: non-numeric value {raw!r}") from None
+        labels = dict(_PROM_LABEL.findall(m.group("labels") or ""))
+        series.setdefault(m.group("name"), []).append((labels, value))
+    return series
 
 
 # ----------------------------------------------------------------------
@@ -156,6 +227,88 @@ def write_trace(tel_or_snap, path: str) -> list:
     return events
 
 
+def slo_summary(tel_or_snap) -> dict | None:
+    """Frame-latency SLO digest: p50/p95/p99, miss rate, stall count.
+
+    Reads the ``frame.e2e_latency_seconds`` histogram plus the
+    ``stream.deadline_miss`` / ``stream.stalls`` counters the stall
+    watchdog maintains.  Returns ``None`` when no end-to-end latency
+    was recorded (telemetry off, or a non-streaming run).
+    """
+    snap = _snap(tel_or_snap)
+    h = snap.get("histograms", {}).get(E2E_LATENCY_METRIC)
+    if not h or not h.get("count"):
+        return None
+    counters = snap.get("counters", {})
+    misses = counters.get("stream.deadline_miss", 0)
+    return {
+        "frames": h["count"],
+        "p50_s": histogram_quantile(h, 0.5),
+        "p95_s": histogram_quantile(h, 0.95),
+        "p99_s": histogram_quantile(h, 0.99),
+        "deadline_misses": misses,
+        "miss_rate": misses / h["count"],
+        "stalls": counters.get("stream.stalls", 0),
+    }
+
+
+def diff_snapshots(snap_a, snap_b) -> str:
+    """Render the metric delta between two snapshots (A -> B).
+
+    The before/after triage view behind ``repro stats --diff A B``:
+    counters are subtracted (B - A), gauges shown as transitions, and
+    histograms compared at p50/p95 with their count deltas.  Metrics
+    present on only one side are marked ``(new)`` / ``(gone)``.
+    """
+    a, b = _snap(snap_a), _snap(snap_b)
+    out = []
+
+    ca, cb = a.get("counters", {}), b.get("counters", {})
+    names = sorted(set(ca) | set(cb))
+    if names:
+        out.append("counters (B - A):")
+        width = max(len(n) for n in names)
+        for name in names:
+            if name not in ca:
+                out.append(f"  {name:<{width}}  +{_fmt(cb[name])} (new)")
+            elif name not in cb:
+                out.append(f"  {name:<{width}}  -{_fmt(ca[name])} (gone)")
+            else:
+                delta = cb[name] - ca[name]
+                out.append(f"  {name:<{width}}  {delta:+g}")
+
+    def _gfmt(v):
+        return "unset" if v is None else f"{v:.4g}"
+
+    ga, gb = a.get("gauges", {}), b.get("gauges", {})
+    names = sorted(set(ga) | set(gb))
+    if names:
+        out.append("gauges (A -> B):")
+        width = max(len(n) for n in names)
+        for name in names:
+            out.append(f"  {name:<{width}}  "
+                       f"{_gfmt(ga.get(name))} -> {_gfmt(gb.get(name))}")
+
+    ha, hb = a.get("histograms", {}), b.get("histograms", {})
+    names = sorted(set(ha) | set(hb))
+    if names:
+        out.append("histograms (A -> B):")
+        for name in names:
+            va, vb = ha.get(name), hb.get(name)
+            if va is None or vb is None:
+                out.append(f"  {name}: {'(new)' if va is None else '(gone)'}")
+                continue
+            parts = [f"count {va['count']} -> {vb['count']} "
+                     f"({vb['count'] - va['count']:+d})"]
+            for q in (0.5, 0.95):
+                qa = histogram_quantile(va, q) * 1e3
+                qb = histogram_quantile(vb, q) * 1e3
+                parts.append(f"p{int(q * 100)} {qa:.3f} -> {qb:.3f} ms")
+            out.append(f"  {name}: " + ", ".join(parts))
+
+    return "\n".join(out) + ("\n" if out else "(identical or empty)\n")
+
+
 def format_snapshot(tel_or_snap) -> str:
     """Human-readable rendering (the ``repro stats`` command)."""
     snap = _snap(tel_or_snap)
@@ -166,7 +319,7 @@ def format_snapshot(tel_or_snap) -> str:
         width = max(len(n) for n in counters)
         for name in sorted(counters):
             out.append(f"  {name:<{width}}  {_fmt(counters[name])}")
-    gauges = snap.get("gauges", {})
+    gauges = {n: v for n, v in snap.get("gauges", {}).items() if v is not None}
     if gauges:
         out.append("gauges:")
         width = max(len(n) for n in gauges)
@@ -178,13 +331,19 @@ def format_snapshot(tel_or_snap) -> str:
         for name in sorted(hists):
             h = hists[name]
             mean = h["sum"] / h["count"] if h["count"] else 0.0
-            out.append(f"  {name}: count {h['count']}, mean {mean * 1e3:.3f} ms")
-            peak = max(h["counts"]) or 1
-            labels = [f"<={_fmt(float(b))}" for b in h["bounds"]] + ["+Inf"]
-            for label, count in zip(labels, h["counts"]):
-                if count:
-                    bar = "#" * max(1, round(24 * count / peak))
-                    out.append(f"    {label:>10}  {count:>8}  {bar}")
+            quant = "  ".join(
+                f"p{int(q * 100)} {histogram_quantile(h, q) * 1e3:.3f} ms"
+                for q in (0.5, 0.95, 0.99))
+            out.append(f"  {name}: count {h['count']}, "
+                       f"mean {mean * 1e3:.3f} ms, {quant}")
+    slo = slo_summary(snap)
+    if slo is not None:
+        out.append("slo:")
+        out.append(f"  e2e latency   p50 {slo['p50_s'] * 1e3:.3f} ms  "
+                   f"p95 {slo['p95_s'] * 1e3:.3f} ms  "
+                   f"p99 {slo['p99_s'] * 1e3:.3f} ms")
+        out.append(f"  deadline miss {slo['deadline_misses']}/{slo['frames']} "
+                   f"({slo['miss_rate']:.1%})  stalls {slo['stalls']}")
     spans = snap.get("spans", [])
     if spans:
         totals: dict[str, list] = {}

@@ -47,6 +47,7 @@ __all__ = [
     "disable",
     "scoped",
     "emit_phase_spans",
+    "histogram_quantile",
     "DEFAULT_LATENCY_BUCKETS",
 ]
 
@@ -76,18 +77,29 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time scalar (last write wins)."""
+    """A point-in-time scalar (last write wins).
+
+    A gauge that was registered but never written holds ``None`` —
+    distinguishable from an explicit ``set(0)``.  Exporters render
+    unset gauges as *absent* (Prometheus text omits the series, the
+    pretty-printer skips the line); the JSON snapshot carries the
+    ``None`` through so merges preserve unset-ness.
+    """
 
     __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str, lock: threading.Lock):
         self.name = name
-        self.value = 0.0
+        self.value = None
         self._lock = lock
 
     def set(self, value) -> None:
         with self._lock:
             self.value = float(value)
+
+    @property
+    def is_set(self) -> bool:
+        return self.value is not None
 
 
 class Histogram:
@@ -124,6 +136,42 @@ class Histogram:
     def as_dict(self) -> dict:
         return {"bounds": list(self.bounds), "counts": list(self.counts),
                 "sum": self.total, "count": self.count}
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (see :func:`histogram_quantile`)."""
+        with self._lock:
+            return histogram_quantile(self.as_dict(), q)
+
+
+def histogram_quantile(hist: dict, q: float) -> float:
+    """Estimate a quantile from a fixed-bucket histogram dict.
+
+    ``hist`` is the :meth:`Histogram.as_dict` / snapshot shape
+    (``bounds``, non-cumulative ``counts``, ``count``).  The estimate
+    interpolates linearly within the bucket containing the target rank
+    (the same model ``histogram_quantile()`` applies in PromQL); the
+    first bucket's lower edge is taken as 0, which is exact for the
+    latency histograms this registry records.  Ranks falling in the
+    overflow bucket return the last finite bound — a lower bound on
+    the true value.  An empty histogram returns 0.0.
+    """
+    if not 0.0 <= float(q) <= 1.0:
+        raise TelemetryError(f"quantile must be in [0, 1], got {q}")
+    bounds = hist["bounds"]
+    counts = hist["counts"]
+    total = hist.get("count", sum(counts))
+    if total <= 0:
+        return 0.0
+    rank = float(q) * total
+    cum = 0.0
+    lo = 0.0
+    for bound, count in zip(bounds, counts):
+        if count > 0 and cum + count >= rank:
+            frac = (rank - cum) / count
+            return lo + max(0.0, min(1.0, frac)) * (float(bound) - lo)
+        cum += count
+        lo = float(bound)
+    return float(bounds[-1])
 
 
 class _SpanHandle:
@@ -384,7 +432,9 @@ class Telemetry:
         for name, value in snap.get("counters", {}).items():
             self.counter(name).inc(value)
         for name, value in snap.get("gauges", {}).items():
-            self.gauge(name).set(value)
+            g = self.gauge(name)  # register even when unset
+            if value is not None:  # unset stays unset across merges
+                g.set(value)
         for name, h in snap.get("histograms", {}).items():
             mine = self.histogram(name, buckets=h["bounds"])
             if list(mine.bounds) != [float(b) for b in h["bounds"]]:

@@ -114,6 +114,7 @@ class _BoundExecutorBase:
         self._pool = None
         self._segment_groups = []
         self._closed = False
+        self._frame_seq = 0  # lineage: frame_id carried on executor spans
 
     # ------------------------------------------------------------------
     def _release_segments(self):
@@ -180,6 +181,8 @@ class _BoundExecutorBase:
         """
         tel = get_telemetry()
         bands = self._band_ranges()
+        frame_id = self._frame_seq
+        self._frame_seq += 1
         if not tel.enabled:
             self._pool.map(task, bands)
             return
@@ -190,7 +193,8 @@ class _BoundExecutorBase:
         tel.counter("executor.bands").inc(len(bands))
         tel.histogram("executor.frame_seconds").observe(dt)
         tel.add_span("executor.frame", time.time() - dt, dt, cat=self.name,
-                     args={"bands": len(bands), "workers": self.workers})
+                     args={"frame_id": frame_id, "bands": len(bands),
+                           "workers": self.workers})
         band_total = 0.0
         for _, delta in results:
             if delta:

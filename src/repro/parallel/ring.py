@@ -34,6 +34,24 @@ synthetic ``ring-decode`` / ``ring-worker-<rank>`` / ``ring-deliver``
 tracks, so a Chrome trace shows decode, remap and delivery overlapping
 across in-flight frames — the frame-level analogue of the modeled F5
 DMA-overlap experiment.
+
+Frame lineage: every span carries the frame's ``frame_id`` (the input
+sequence number) in its args, and each in-order delivery closes a
+``frame.lifecycle`` span on the synthetic ``ring-frames`` track
+spanning decode start to delivery — one Perfetto row shows each
+frame's full decode → bands → deliver path.  End-to-end latency feeds
+the ``frame.e2e_latency_seconds`` histogram.
+
+SLO enforcement: ``deadline_s`` counts deliveries whose end-to-end
+latency exceeded the per-frame deadline (``stream.deadline_miss``);
+``stall_timeout_s`` arms a watchdog in the consumer poll loop — when
+bands are outstanding but no band has completed for that long, it
+increments ``stream.stalls``, logs a structured warning and dumps the
+flight recorder.  The :class:`~repro.obs.flightrec.FlightRecorder`
+keeps the last N decode/band/delivery events (including the spans
+workers shipped back) and writes them to a timestamped JSON file on a
+worker crash or watchdog fire; the dump path travels on
+:attr:`~repro.errors.StreamError.flight_dump`.
 """
 
 from __future__ import annotations
@@ -50,6 +68,7 @@ import numpy as np
 from ..errors import ScheduleError, StreamError
 from ..core.image import Frame
 from ..core.remap import RemapLUT
+from ..obs.flightrec import DEFAULT_FLIGHT_CAPACITY, FlightRecorder
 from ..obs.logsetup import get_logger
 from ..obs.telemetry import get_telemetry
 from .partition import row_bands
@@ -168,7 +187,7 @@ def _ring_worker_main(rank, task_q, done_q, table_spec, lut_meta, slot_spec,
                 tel.counter(f"ring.worker.{rank}.busy_seconds").inc(dt)
                 tel.histogram("ring.band_seconds").observe(dt)
                 tel.add_span("ring.band", wall0, dt, cat="ring", tid=track,
-                             args={"seq": seq, "rows": row1 - row0,
+                             args={"frame_id": seq, "rows": row1 - row0,
                                    "tier": lut.tier})
                 delta = worker_delta()
             done_q.put((seq, slot_idx, row1 - row0, rank, delta))
@@ -206,6 +225,20 @@ class RingEngine:
     context:
         Multiprocessing start method (``fork`` default, ``spawn``
         supported).
+    deadline_s:
+        Per-frame latency SLO: deliveries whose decode-to-delivery
+        latency exceeds this many seconds increment the
+        ``stream.deadline_miss`` counter.  ``None`` (default) disables
+        the check.
+    stall_timeout_s:
+        Watchdog: when bands are outstanding but none has completed
+        for this many seconds, increment ``stream.stalls``, log a
+        warning and dump the flight recorder (once per stall episode).
+        ``None`` (default) disables the watchdog.
+    flight_dir, flight_capacity:
+        Where crash/stall flight-recorder dumps land (default: the
+        system temp dir) and how many trailing events the recorder
+        keeps.
 
     Use as a context manager, or call :meth:`close` — though dropping
     an engine without closing it is safe too: every segment group
@@ -216,11 +249,20 @@ class RingEngine:
 
     def __init__(self, lut: RemapLUT, frame_shape, frame_dtype=np.uint8,
                  workers: int = 2, depth: int = 2, schedule: str = "dynamic",
-                 chunk: int | None = None, context: str = "fork"):
+                 chunk: int | None = None, context: str = "fork",
+                 deadline_s: float | None = None,
+                 stall_timeout_s: float | None = None,
+                 flight_dir=None,
+                 flight_capacity: int = DEFAULT_FLIGHT_CAPACITY):
         if workers < 1:
             raise ScheduleError(f"workers must be >= 1, got {workers}")
         if depth < 1:
             raise ScheduleError(f"depth must be >= 1, got {depth}")
+        if deadline_s is not None and not deadline_s > 0:
+            raise ScheduleError(f"deadline_s must be > 0, got {deadline_s}")
+        if stall_timeout_s is not None and not stall_timeout_s > 0:
+            raise ScheduleError(
+                f"stall_timeout_s must be > 0, got {stall_timeout_s}")
         if depth > MAX_RING_DEPTH:
             raise ScheduleError(
                 f"depth {depth} exceeds MAX_RING_DEPTH ({MAX_RING_DEPTH}); "
@@ -233,6 +275,10 @@ class RingEngine:
         self.workers = workers
         self.depth = depth
         self.schedule = schedule
+        self.deadline_s = deadline_s
+        self.stall_timeout_s = stall_timeout_s
+        self.flightrec = FlightRecorder(capacity=flight_capacity,
+                                        directory=flight_dir)
         self.frame_shape = frame_shape
         self.frame_dtype = np.dtype(frame_dtype)
         channels = frame_shape[2:] if len(frame_shape) == 3 else ()
@@ -315,10 +361,31 @@ class RingEngine:
         for p in self._procs:
             if not p.is_alive():
                 rank, code = p.name, p.exitcode
-                self.close()
-                raise StreamError(
+                message = (
                     f"{rank} died with exit code {code} mid-stream; "
                     f"ring shut down and all shared segments released")
+                self.flightrec.record("worker_crash", worker=rank, exitcode=code)
+                dump = self.flightrec.dump("worker-crash", error=message)
+                self.close()
+                if dump:
+                    message += f" (flight recorder dump: {dump})"
+                raise StreamError(message, flight_dump=dump or None)
+
+    def _on_stall(self, tel, waited_s, outstanding, next_seq):
+        """Watchdog fired: count, warn and dump (once per episode)."""
+        self.flightrec.record("stall", waited_s=round(waited_s, 3),
+                              outstanding_bands=outstanding,
+                              next_frame_id=next_seq)
+        dump = self.flightrec.dump(
+            "stall",
+            error=f"no band completion for {waited_s:.2f}s "
+                  f"({outstanding} bands outstanding)")
+        if tel.enabled:
+            tel.counter("stream.stalls").inc()
+        log.warning(
+            "ring stall: no band completion for %.2fs with %d bands "
+            "outstanding (next frame %d); flight recorder dump: %s",
+            waited_s, outstanding, next_seq, dump or "<unwritable>")
 
     # ------------------------------------------------------------------
     # streaming
@@ -364,8 +431,10 @@ class RingEngine:
         pending = [0] * self.depth        # outstanding bands per slot
         slot_items = [None] * self.depth  # original Frame per slot (or None)
         completed = {}                    # seq -> slot index, bands done
+        decode_t0 = {}                    # seq -> decode-start wall time
         abort = threading.Event()
         state = {"produced": None, "error": None}
+        flightrec = self.flightrec
 
         def producer():
             """Decode thread: fill free slots, enqueue bands."""
@@ -396,15 +465,17 @@ class RingEngine:
                     np.copyto(self._slots[slot].src_view, data)
                     slot_items[slot] = item if isinstance(item, Frame) else None
                     pending[slot] = len(self.bands)
+                    decode_t0[seq] = t_dec
                     in_flight = self.depth - free.qsize()
                     self.max_in_flight = max(self.max_in_flight, in_flight)
+                    flightrec.record("decode", frame_id=seq, slot=slot)
                     if tel.enabled:
                         tel.counter("ring.frames").inc()
                         tel.histogram("ring.slot_wait_seconds").observe(t2 - t1)
                         tel.gauge("ring.in_flight").set(in_flight)
                         tel.add_span("ring.decode", t_dec,
                                      time.perf_counter() - t0, cat="ring",
-                                     tid="ring-decode", args={"seq": seq,
+                                     tid="ring-decode", args={"frame_id": seq,
                                                               "slot": slot})
                     for row0, row1 in self.bands:
                         self._task_q.put((seq, slot, row0, row1))
@@ -421,6 +492,8 @@ class RingEngine:
         held_slot = None  # slot whose zero-copy view the consumer still sees
         clean_exit = False
         last_live_check = time.monotonic()
+        last_progress = time.monotonic()  # watchdog: last band completion
+        stalled = False                   # one warning+dump per episode
         try:
             while True:
                 # a dead worker must be noticed even while the healthy
@@ -446,6 +519,26 @@ class RingEngine:
                         free.put(slot)
                     else:
                         held_slot = slot
+                    t_dec0 = decode_t0.pop(next_seq, None)
+                    if t_dec0 is not None:
+                        e2e = time.time() - t_dec0
+                        miss = (self.deadline_s is not None
+                                and e2e > self.deadline_s)
+                        flightrec.record("deliver", frame_id=next_seq,
+                                         slot=slot, e2e_s=round(e2e, 6))
+                        if miss:
+                            flightrec.record("deadline_miss",
+                                             frame_id=next_seq,
+                                             e2e_s=round(e2e, 6),
+                                             deadline_s=self.deadline_s)
+                        if tel.enabled:
+                            tel.histogram("frame.e2e_latency_seconds").observe(e2e)
+                            tel.add_span("frame.lifecycle", t_dec0, e2e,
+                                         cat="frame", tid="ring-frames",
+                                         args={"frame_id": next_seq,
+                                               "slot": slot})
+                            if miss:
+                                tel.counter("stream.deadline_miss").inc()
                     next_seq += 1
                     if tel.enabled:
                         tel.gauge("ring.in_flight").set(self.depth - free.qsize())
@@ -460,14 +553,28 @@ class RingEngine:
                     seq, slot, rows, rank, delta = self._done_q.get(timeout=_POLL_S)
                 except _queue.Empty:
                     self._check_workers()
+                    if (self.stall_timeout_s is not None and not stalled
+                            and sum(pending) > 0
+                            and time.monotonic() - last_progress
+                            > self.stall_timeout_s):
+                        stalled = True
+                        self._on_stall(tel, time.monotonic() - last_progress,
+                                       sum(pending), next_seq)
                     continue
+                last_progress = time.monotonic()
+                stalled = False
+                flightrec.record("band_done", frame_id=seq, slot=slot,
+                                 rows=rows, worker=rank)
+                if delta:
+                    for span in delta.get("spans", ()):
+                        flightrec.record_span(span)
                 if tel.enabled:
                     dt = time.perf_counter() - t0
                     tel.histogram("ring.deliver_wait_seconds").observe(dt)
                     if delta:
                         tel.merge(delta)
                     tel.add_span("ring.deliver", t_wait, dt, cat="ring",
-                                 tid="ring-deliver", args={"seq": seq})
+                                 tid="ring-deliver", args={"frame_id": seq})
                 pending[slot] -= 1  # one completion message per band
                 if pending[slot] == 0:
                     completed[seq] = slot

@@ -89,7 +89,7 @@ def corrected_stream(frames: Iterable, field: RemapField,
                      method: str = "bilinear", border: str = "constant",
                      fill: float = 0.0, lut_cache=None,
                      copy: bool = False, engine: str = "sync",
-                     kernel: str = "numpy",
+                     kernel: str = "numpy", serve_metrics=None,
                      **engine_kwargs) -> Iterator:
     """Correct a frame stream through the fused zero-allocation kernel.
 
@@ -123,12 +123,43 @@ def corrected_stream(frames: Iterable, field: RemapField,
         ``schedule``, ``chunk``, ``context``), keeping decode, remap
         and delivery overlapped across in-flight frames.  Both engines
         report the same ``stream.*`` metric surface.
+    serve_metrics:
+        Live scrape surface for the duration of the stream.  An ``int``
+        port starts a :class:`~repro.obs.live.MetricsServer` bound to
+        ``127.0.0.1`` (``0`` picks an ephemeral port) and stops it when
+        the stream finishes; a pre-built :class:`MetricsServer` is
+        started if needed but left running (caller owns its lifetime —
+        and can read its ephemeral :attr:`port`).  ``None`` (default)
+        serves nothing.
 
     Yields
     ------
     Corrected frames, same kind as the input items.
     """
     tel = get_telemetry()
+    server = None
+    own_server = False
+    if serve_metrics is not None:
+        from ..obs.live import MetricsServer
+        if isinstance(serve_metrics, MetricsServer):
+            server = serve_metrics.start()
+        else:
+            # pin the active registry: HTTP request threads do not
+            # inherit an obs.scoped() context
+            server = MetricsServer(telemetry=tel if tel.enabled else None,
+                                   port=int(serve_metrics)).start()
+            own_server = True
+    try:
+        yield from _corrected_stream(frames, field, method, border, fill,
+                                     lut_cache, copy, engine, kernel, tel,
+                                     **engine_kwargs)
+    finally:
+        if own_server:
+            server.close()
+
+
+def _corrected_stream(frames, field, method, border, fill, lut_cache, copy,
+                      engine, kernel, tel, **engine_kwargs):
     if lut_cache is not None:
         lut = lut_cache.get(field, method=method, border=border, fill=fill)
     else:

@@ -151,6 +151,71 @@ class TestStream:
                     + self.ARGS) == 1
         assert "MAX_RING_DEPTH" in capsys.readouterr().err
 
+    def test_serve_metrics_enables_live_surface(self, capsys):
+        """--serve-metrics with no --metrics/--trace self-enables
+        telemetry, announces the URL and prints the SLO digest."""
+        assert main(["stream", "--engine", "ring", "--workers", "1",
+                     "--serve-metrics", "0"] + self.ARGS) == 0
+        captured = capsys.readouterr()
+        assert "serving metrics on http://127.0.0.1:" in captured.err
+        assert "/metrics /health /snapshot" in captured.err
+        assert "slo: e2e p50" in captured.out
+        assert "stalls 0" in captured.out
+        # the self-enabled registry is torn down with the stream
+        from repro.obs import get_telemetry
+        assert not get_telemetry().enabled
+
+    def test_deadline_flag_counts_misses(self, tmp_path, capsys):
+        snap_path = str(tmp_path / "m.json")
+        assert main(["--metrics", snap_path, "stream", "--engine", "ring",
+                     "--workers", "1", "--deadline-ms", "0.000001"]
+                    + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "deadline miss 4/4 (100.0%)" in out
+        import json
+
+        snap = json.load(open(snap_path))
+        assert snap["counters"]["stream.deadline_miss"] == 4
+        assert snap["histograms"]["frame.e2e_latency_seconds"]["count"] == 4
+
+    def test_stall_timeout_flag_accepted(self, capsys):
+        assert main(["stream", "--engine", "ring", "--workers", "1",
+                     "--stall-timeout", "30"] + self.ARGS) == 0
+        assert "4 frames" in capsys.readouterr().out
+
+
+class TestStats:
+    def _snapshot(self, tmp_path, name, frames):
+        path = str(tmp_path / name)
+        assert main(["--metrics", path, "stream", "--engine", "seq",
+                     "--frames", str(frames), "--width", "64",
+                     "--height", "64"]) == 0
+        return path
+
+    def test_pretty_print(self, tmp_path, capsys):
+        path = self._snapshot(tmp_path, "a.json", 4)
+        capsys.readouterr()
+        assert main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "pipeline.frames" in out
+        assert "p50" in out and "p95" in out and "p99" in out
+
+    def test_diff_two_snapshots(self, tmp_path, capsys):
+        a = self._snapshot(tmp_path, "a.json", 2)
+        b = self._snapshot(tmp_path, "b.json", 6)
+        capsys.readouterr()
+        assert main(["stats", "--diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "counters (B - A):" in out
+        assert "+4" in out  # stream.frames 2 -> 6
+        assert "histograms (A -> B):" in out
+        assert "count 2 -> 6 (+4)" in out
+
+    def test_no_arguments_is_error(self, capsys):
+        assert main(["stats"]) == 1
+        assert "give a snapshot file or --diff" in capsys.readouterr().err
+
 
 class TestMapInfo:
     def test_prints_measured_properties(self, capsys):

@@ -12,9 +12,13 @@ import pytest
 
 from repro.obs.export import (
     chrome_trace,
+    diff_snapshots,
+    escape_label_value,
     format_snapshot,
     metrics_json,
+    parse_prometheus_text,
     prometheus_text,
+    slo_summary,
     write_metrics,
     write_trace,
 )
@@ -135,3 +139,120 @@ class TestWritersAndFormat:
 
     def test_format_empty(self):
         assert "empty" in format_snapshot({})
+
+
+class TestPrometheusFormatRules:
+    """Exposition-format edge cases: +Inf, escaping, unset gauges."""
+
+    def edge_registry(self) -> Telemetry:
+        tel = Telemetry(pid=1234)
+        tel.counter("stream.frames").inc(2)
+        tel.gauge("stream.fps").set(0.0)      # explicit zero: present
+        tel.gauge("ring.in_flight")           # registered, never set: absent
+        h = tel.histogram("frame.e2e_latency_seconds", buckets=(0.01, 0.1))
+        h.observe(0.004)
+        h.observe(5.0)                        # lands in the +Inf bucket
+        return tel
+
+    def test_golden_edge_cases(self):
+        assert prometheus_text(self.edge_registry()) == _read_golden(
+            "obs_prometheus_escape.txt")
+
+    def test_unset_gauge_absent_set_zero_present(self):
+        text = prometheus_text(self.edge_registry())
+        assert "repro_ring_in_flight" not in text
+        assert "repro_stream_fps 0" in text
+
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        assert escape_label_value(0.01) == "0.01"
+
+    def test_output_parses_with_line_checker(self):
+        series = parse_prometheus_text(prometheus_text(self.edge_registry()))
+        assert series["repro_stream_frames"] == [({}, 2.0)]
+        buckets = dict()
+        for labels, value in series["repro_frame_e2e_latency_seconds_bucket"]:
+            buckets[labels["le"]] = value
+        assert buckets["+Inf"] == 2.0
+        assert buckets["0.01"] == 1.0
+        assert series["repro_frame_e2e_latency_seconds_count"] == [({}, 2.0)]
+
+    def test_reference_registry_parses_too(self):
+        series = parse_prometheus_text(prometheus_text(reference_registry()))
+        assert "repro_remap_frames" in series
+
+    def test_checker_rejects_malformed(self):
+        from repro.errors import TelemetryError
+
+        for bad in ("no_value_metric",
+                    "bad-name 1",
+                    "metric not_a_number",
+                    "# TYPE repro_x flume"):
+            with pytest.raises(TelemetryError):
+                parse_prometheus_text(bad)
+
+    def test_checker_unescapes_nothing_but_splits_labels(self):
+        got = parse_prometheus_text('m{a="x",b="y"} 1\n')
+        assert got == {"m": [({"a": "x", "b": "y"}, 1.0)]}
+
+
+class TestDiffAndSlo:
+    def snap(self, frames, misses, lat):
+        tel = Telemetry(pid=1)
+        tel.counter("stream.frames").inc(frames)
+        if misses:
+            tel.counter("stream.deadline_miss").inc(misses)
+        tel.gauge("stream.fps").set(frames / max(sum(lat), 1e-9))
+        h = tel.histogram("frame.e2e_latency_seconds", buckets=(0.01, 0.1, 1.0))
+        for v in lat:
+            h.observe(v)
+        return tel.snapshot()
+
+    def test_diff_counters_and_histograms(self):
+        a = self.snap(4, 0, [0.005] * 4)
+        b = self.snap(9, 2, [0.005] * 4 + [0.05] * 5)
+        text = diff_snapshots(a, b)
+        assert "counters (B - A):" in text
+        assert "stream.frames" in text and "+5" in text
+        assert "stream.deadline_miss" in text and "(new)" in text
+        assert "histograms (A -> B):" in text
+        assert "count 4 -> 9 (+5)" in text
+        assert "p50" in text and "p95" in text
+
+    def test_diff_gauges_show_unset(self):
+        a = Telemetry(pid=1)
+        a.gauge("g")
+        b = Telemetry(pid=1)
+        b.gauge("g").set(3.0)
+        text = diff_snapshots(a.snapshot(), b.snapshot())
+        assert "unset -> 3" in text
+
+    def test_diff_identical_is_stable(self):
+        s = self.snap(1, 0, [0.005])
+        assert diff_snapshots(s, s).count("+0") >= 1
+
+    def test_diff_empty(self):
+        assert "identical or empty" in diff_snapshots({}, {})
+
+    def test_slo_summary_reads_e2e_and_misses(self):
+        slo = slo_summary(self.snap(10, 3, [0.005] * 8 + [0.5] * 2))
+        assert slo["frames"] == 10
+        assert slo["deadline_misses"] == 3
+        assert slo["miss_rate"] == pytest.approx(0.3)
+        assert 0 < slo["p50_s"] <= 0.01
+        assert slo["p99_s"] > slo["p50_s"]
+        assert slo["stalls"] == 0
+
+    def test_slo_summary_none_without_latency(self):
+        assert slo_summary(reference_registry()) is None
+        assert slo_summary({}) is None
+
+    def test_format_snapshot_shows_quantiles_and_slo(self):
+        text = format_snapshot(self.snap(10, 3, [0.005] * 8 + [0.5] * 2))
+        assert "p50" in text and "p95" in text and "p99" in text
+        assert "slo:" in text
+        assert "deadline miss 3/10 (30.0%)" in text
+        # bucket bars are gone from the histogram section
+        assert "|" not in text

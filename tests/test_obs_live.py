@@ -1,0 +1,348 @@
+"""Tests: the live observability plane.
+
+MetricsServer endpoints, the flight recorder, frame lineage through
+the ring engine, the per-frame deadline SLO and the stall watchdog.
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.remap import RemapLUT
+from repro.errors import ScheduleError, StreamError, TelemetryError
+from repro.obs.export import parse_prometheus_text, slo_summary
+from repro.obs.flightrec import DEFAULT_FLIGHT_CAPACITY, FlightRecorder
+from repro.obs.live import MetricsServer, health_summary
+from repro.obs.telemetry import Telemetry, scoped
+from repro.parallel.ring import RingEngine
+
+pytestmark = pytest.mark.tier1
+
+
+@pytest.fixture(scope="module")
+def lut(small_field):
+    return RemapLUT(small_field, method="bilinear")
+
+
+def _frames(rng, n, shape=(64, 64)):
+    return [rng.integers(0, 255, shape, dtype=np.uint8) for _ in range(n)]
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+
+# ----------------------------------------------------------------------
+# flight recorder
+# ----------------------------------------------------------------------
+class TestFlightRecorder:
+    def test_bounded_ring_keeps_last_n(self):
+        rec = FlightRecorder(capacity=3)
+        for k in range(10):
+            rec.record("tick", k=k)
+        events = rec.events()
+        assert len(events) == 3
+        assert [e["k"] for e in events] == [7, 8, 9]
+        assert rec.recorded == 10
+        assert rec.dropped == 7
+
+    def test_record_span_and_clear(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record_span({"name": "ring.band", "ts": 1.0, "dur": 0.5,
+                         "args": {"frame_id": 0}})
+        assert rec.events()[0]["kind"] == "span"
+        assert rec.events()[0]["name"] == "ring.band"
+        rec.clear()
+        assert rec.events() == []
+
+    def test_dump_writes_timestamped_json(self, tmp_path):
+        rec = FlightRecorder(capacity=4, directory=tmp_path)
+        rec.record("decode", frame_id=0, slot=1)
+        path = rec.dump("worker-crash", error="boom")
+        assert os.path.exists(path)
+        assert os.path.basename(path).startswith("repro-flightrec-")
+        payload = json.loads(open(path).read())
+        assert payload["reason"] == "worker-crash"
+        assert payload["error"] == "boom"
+        assert payload["pid"] == os.getpid()
+        assert payload["events"][-1]["kind"] == "decode"
+        assert payload["capacity"] == 4
+
+    def test_default_capacity_and_validation(self):
+        assert FlightRecorder().capacity == DEFAULT_FLIGHT_CAPACITY
+        with pytest.raises(TelemetryError):
+            FlightRecorder(capacity=0)
+
+    def test_dump_to_unwritable_dir_never_raises(self):
+        rec = FlightRecorder(capacity=2, directory="/nonexistent/nowhere")
+        rec.record("tick")
+        assert rec.dump("stall") == ""
+
+
+# ----------------------------------------------------------------------
+# health summary + metrics server
+# ----------------------------------------------------------------------
+class TestHealthSummary:
+    def test_ok_and_stalled(self):
+        snap = {"counters": {"stream.frames": 7, "stream.deadline_miss": 2},
+                "gauges": {"ring.depth": 2.0, "ring.in_flight": 1.0},
+                "meta": {"pid": 42}}
+        body = health_summary(snap, uptime_s=1.5)
+        assert body["status"] == "ok"
+        assert body["pid"] == 42
+        assert body["frames"] == 7
+        assert body["deadline_misses"] == 2
+        assert body["ring"] == {"depth": 2.0, "in_flight": 1.0}
+        assert body["uptime_s"] == 1.5
+        snap["counters"]["stream.stalls"] = 1
+        assert health_summary(snap)["status"] == "stalled"
+
+    def test_falls_back_to_ring_frames(self):
+        body = health_summary({"counters": {"ring.frames": 3}})
+        assert body["frames"] == 3
+
+
+class TestMetricsServer:
+    def test_endpoints_serve_pinned_registry(self):
+        tel = Telemetry()
+        tel.counter("stream.frames").inc(5)
+        tel.histogram("frame.e2e_latency_seconds").observe(0.004)
+        with MetricsServer(telemetry=tel, port=0) as server:
+            assert server.running
+            assert server.port > 0
+
+            status, ctype, body = _get(server.url + "/metrics")
+            assert status == 200
+            assert ctype.startswith("text/plain")
+            series = parse_prometheus_text(body.decode())
+            assert series["repro_stream_frames"] == [({}, 5.0)]
+            assert "repro_frame_e2e_latency_seconds_count" in series
+
+            status, ctype, body = _get(server.url + "/health")
+            assert status == 200
+            assert ctype == "application/json"
+            health = json.loads(body)
+            assert health["status"] == "ok"
+            assert health["frames"] == 5
+            assert health["uptime_s"] >= 0
+
+            status, _, body = _get(server.url + "/snapshot")
+            snap = json.loads(body)
+            assert snap["counters"]["stream.frames"] == 5
+        assert not server.running
+
+    def test_unknown_path_is_404(self):
+        with MetricsServer(telemetry=Telemetry(), port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(server.url + "/nope")
+            assert err.value.code == 404
+
+    def test_start_close_idempotent_and_validation(self):
+        server = MetricsServer(telemetry=Telemetry(), port=0)
+        server.start()
+        server.start()
+        server.close()
+        server.close()
+        with pytest.raises(TelemetryError):
+            MetricsServer(port=70000)
+
+    def test_unpinned_server_tracks_active_registry(self):
+        """Without a pinned registry the server resolves get_telemetry()
+        per request — a NullTelemetry just renders empty."""
+        with MetricsServer(port=0) as server:
+            _, _, body = _get(server.url + "/metrics")
+            assert parse_prometheus_text(body.decode()) == {}
+
+
+# ----------------------------------------------------------------------
+# frame lineage + SLO through the ring engine
+# ----------------------------------------------------------------------
+class TestRingLineage:
+    def test_frame_id_threads_through_every_span(self, lut, rng):
+        frames = _frames(rng, 4)
+        tel = Telemetry()
+        with scoped(tel):
+            with RingEngine(lut, (64, 64), workers=1, depth=2) as engine:
+                list(engine.stream(frames, copy=True))
+        by_name = {}
+        for s in tel.spans:
+            by_name.setdefault(s["name"], []).append(s)
+        for name in ("ring.decode", "ring.band", "ring.deliver",
+                     "frame.lifecycle"):
+            assert name in by_name, f"missing {name} spans"
+            for s in by_name[name]:
+                assert "frame_id" in (s["args"] or {}), f"{name} lacks frame_id"
+        # one lifecycle span per frame, on its own track, spanning
+        # decode start -> delivery
+        life = sorted(by_name["frame.lifecycle"],
+                      key=lambda s: s["args"]["frame_id"])
+        assert [s["args"]["frame_id"] for s in life] == [0, 1, 2, 3]
+        assert {s["tid"] for s in life} == {"ring-frames"}
+        decode0 = next(s for s in by_name["ring.decode"]
+                       if s["args"]["frame_id"] == 0)
+        assert life[0]["ts"] == pytest.approx(decode0["ts"], abs=1e-6)
+        assert life[0]["dur"] >= decode0["dur"] * 0.5
+
+    def test_e2e_latency_histogram(self, lut, rng):
+        frames = _frames(rng, 5)
+        tel = Telemetry()
+        with scoped(tel):
+            with RingEngine(lut, (64, 64), workers=2, depth=2) as engine:
+                list(engine.stream(frames, copy=True))
+        snap = tel.snapshot()
+        h = snap["histograms"]["frame.e2e_latency_seconds"]
+        assert h["count"] == 5
+        assert h["sum"] > 0
+        assert slo_summary(snap)["frames"] == 5
+        assert "stream.deadline_miss" not in snap["counters"]  # no SLO armed
+
+    def test_deadline_misses_counted(self, lut, rng):
+        frames = _frames(rng, 4)
+        tel = Telemetry()
+        with scoped(tel):
+            with RingEngine(lut, (64, 64), workers=1, depth=2,
+                            deadline_s=1e-9) as engine:
+                list(engine.stream(frames, copy=True))
+        snap = tel.snapshot()
+        assert snap["counters"]["stream.deadline_miss"] == 4
+        slo = slo_summary(snap)
+        assert slo["deadline_misses"] == 4
+        assert slo["miss_rate"] == 1.0
+
+    def test_deadline_validation(self, lut):
+        with pytest.raises(ScheduleError):
+            RingEngine(lut, (64, 64), deadline_s=0)
+        with pytest.raises(ScheduleError):
+            RingEngine(lut, (64, 64), stall_timeout_s=-1)
+
+
+# ----------------------------------------------------------------------
+# crash flight recorder + stall watchdog
+# ----------------------------------------------------------------------
+class TestCrashAndStall:
+    def test_worker_crash_dumps_flight_recorder(self, lut, rng, tmp_path):
+        """Kill a worker after frame 0 delivers: the StreamError carries
+        a dump whose trailing events include the crashed stream's
+        decode/band events and the band spans workers shipped back."""
+        tel = Telemetry()
+        with scoped(tel):
+            engine = RingEngine(lut, (64, 64), workers=2, depth=2,
+                                flight_dir=tmp_path)
+
+            def source():
+                k = 0
+                while True:  # endless: only the crash ends this stream
+                    yield np.full((64, 64), k % 251, dtype=np.uint8)
+                    k += 1
+
+            with pytest.raises(StreamError) as err:
+                stream = engine.stream(source())
+                # frame 0 delivered in full: its band completions and
+                # the workers' shipped-back spans are on record
+                next(stream)
+                engine._procs[0].terminate()
+                for _ in stream:
+                    pass
+        dump = err.value.flight_dump
+        assert dump is not None
+        assert str(tmp_path) in dump
+        assert dump in str(err.value)
+        payload = json.loads(open(dump).read())
+        assert payload["reason"] == "worker-crash"
+        kinds = [e["kind"] for e in payload["events"]]
+        assert "decode" in kinds
+        assert "band_done" in kinds
+        assert "deliver" in kinds
+        assert kinds[-1] == "worker_crash"
+        band_spans = [e for e in payload["events"]
+                      if e["kind"] == "span" and e["name"] == "ring.band"]
+        assert band_spans, "dump lacks the workers' ring.band spans"
+        assert all("frame_id" in e["args"] for e in band_spans)
+
+    def test_stall_watchdog_fires_and_recovers(self, lut, rng, tmp_path):
+        """SIGSTOP the only worker mid-stream: the watchdog must count a
+        stall and dump the recorder, then the stream completes normally
+        once the worker is resumed."""
+        frames = _frames(rng, 3)
+        tel = Telemetry()
+        with scoped(tel):
+            with RingEngine(lut, (64, 64), workers=1, depth=2,
+                            stall_timeout_s=0.3,
+                            flight_dir=tmp_path) as engine:
+                stream = engine.stream(frames, copy=True)
+                first = next(stream)
+                pid = engine._procs[0].pid
+                os.kill(pid, signal.SIGSTOP)
+                resume = threading.Timer(1.2, os.kill, (pid, signal.SIGCONT))
+                resume.start()
+                try:
+                    rest = list(stream)
+                finally:
+                    resume.cancel()
+                    os.kill(pid, signal.SIGCONT)  # idempotent safety
+        assert first.shape == lut.out_shape
+        assert len(rest) == 2
+        snap = tel.snapshot()
+        assert snap["counters"]["stream.stalls"] >= 1
+        assert slo_summary(snap)["stalls"] >= 1
+        dumps = list(tmp_path.glob("repro-flightrec-*.json"))
+        assert dumps, "watchdog fired without writing a dump"
+        payload = json.loads(dumps[0].read_text())
+        assert payload["reason"] == "stall"
+        assert payload["events"][-1]["kind"] == "stall"
+
+    def test_no_stall_counted_on_healthy_stream(self, lut, rng, tmp_path):
+        frames = _frames(rng, 4)
+        tel = Telemetry()
+        with scoped(tel):
+            with RingEngine(lut, (64, 64), workers=2, depth=2,
+                            stall_timeout_s=30.0,
+                            flight_dir=tmp_path) as engine:
+                list(engine.stream(frames, copy=True))
+        assert "stream.stalls" not in tel.snapshot()["counters"]
+        assert not list(tmp_path.glob("repro-flightrec-*.json"))
+
+
+# ----------------------------------------------------------------------
+# corrected_stream(serve_metrics=...)
+# ----------------------------------------------------------------------
+class TestServeMetricsWiring:
+    def test_stream_serves_while_running(self, small_field, rng):
+        from repro.video.stream import corrected_stream
+
+        frames = _frames(rng, 6)
+        tel = Telemetry()
+        server = MetricsServer(telemetry=tel, port=0)
+        mid_health = {}
+        with scoped(tel):
+            stream = corrected_stream(frames, small_field, copy=True,
+                                      engine="ring", workers=1, depth=2,
+                                      serve_metrics=server)
+            got = [next(stream)]
+            # scrape mid-stream: the surface is live while frames flow
+            _, _, body = _get(server.url + "/health")
+            mid_health = json.loads(body)
+            got += list(stream)
+        assert len(got) == 6
+        assert mid_health["status"] == "ok"
+        assert mid_health["frames"] >= 1
+        # caller-owned server: still running after the stream ends
+        assert server.running
+        server.close()
+
+    def test_int_port_owns_server_lifetime(self, small_field, rng):
+        from repro.video.stream import corrected_stream
+
+        frames = _frames(rng, 2)
+        tel = Telemetry()
+        with scoped(tel):
+            got = list(corrected_stream(frames, small_field, copy=True,
+                                        serve_metrics=0))
+        assert len(got) == 2  # server came and went with the stream

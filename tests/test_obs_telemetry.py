@@ -12,6 +12,7 @@ from repro.obs.telemetry import (
     disable,
     enable,
     get_telemetry,
+    histogram_quantile,
     scoped,
     set_telemetry,
     emit_phase_spans,
@@ -252,3 +253,60 @@ class TestEmitPhaseSpans:
         tel = Telemetry(pid=1)
         emit_phase_spans(tel, "p", {"x": -50}, track="t", start=0.0)
         assert tel.spans[0]["dur"] == 0.0
+
+
+class TestGaugeUnset:
+    def test_never_set_is_distinguishable_from_zero(self):
+        tel = Telemetry()
+        g = tel.gauge("ring.in_flight")
+        assert not g.is_set
+        assert tel.snapshot()["gauges"]["ring.in_flight"] is None
+        g.set(0)
+        assert g.is_set
+        assert tel.snapshot()["gauges"]["ring.in_flight"] == 0.0
+
+    def test_merge_preserves_unset(self):
+        parent, child = Telemetry(), Telemetry()
+        child.gauge("a")             # registered, never set
+        child.gauge("b").set(0.0)    # explicit zero
+        parent.merge(child.snapshot())
+        gauges = parent.snapshot()["gauges"]
+        assert gauges["a"] is None
+        assert gauges["b"] == 0.0
+
+
+class TestHistogramQuantile:
+    def test_interpolates_within_bucket(self):
+        tel = Telemetry()
+        h = tel.histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (1.0, 1.5, 2.0, 4.0, 4.01):
+            h.observe(v)
+        # counts [1, 2, 1, 1], total 5: rank 2.5 lands mid-second-bucket
+        assert h.quantile(0.5) == pytest.approx(1.75)
+        assert histogram_quantile(tel.snapshot()["histograms"]["h"],
+                                  0.5) == pytest.approx(1.75)
+
+    def test_edges_and_overflow(self):
+        tel = Telemetry()
+        h = tel.histogram("h", buckets=(1.0, 2.0))
+        assert h.quantile(0.5) == 0.0          # empty histogram
+        h.observe(10.0)                        # overflow bucket only
+        # every quantile clamps to the last finite bound (the PromQL
+        # histogram_quantile overflow rule)
+        assert h.quantile(0.0) == 2.0
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(1.0) == 2.0
+
+    def test_first_bucket_starts_at_zero(self):
+        tel = Telemetry()
+        h = tel.histogram("h", buckets=(10.0,))
+        h.observe(1.0)
+        assert h.quantile(0.5) == pytest.approx(5.0)
+
+    def test_validation(self):
+        tel = Telemetry()
+        h = tel.histogram("h")
+        with pytest.raises(TelemetryError):
+            h.quantile(1.5)
+        with pytest.raises(TelemetryError):
+            h.quantile(-0.1)

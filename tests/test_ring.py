@@ -244,8 +244,14 @@ class TestRingEngine:
         assert snap["counters"]["ring.worker.0.busy_seconds"] > 0
         assert snap["gauges"]["ring.depth"] == 2.0
         assert snap["histograms"]["ring.band_seconds"]["count"] == 16
+        assert snap["histograms"]["frame.e2e_latency_seconds"]["count"] == 4
         tracks = {s["tid"] for s in tel.spans}
-        assert {"ring-decode", "ring-deliver", "ring-worker-0"} <= tracks
+        assert {"ring-decode", "ring-deliver", "ring-worker-0",
+                "ring-frames"} <= tracks
+        # lineage: every ring span names the frame it belongs to
+        for s in tel.spans:
+            if s["name"].startswith(("ring.", "frame.")):
+                assert "frame_id" in s["args"]
 
 
 class TestRingStream:
