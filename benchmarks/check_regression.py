@@ -34,6 +34,14 @@ numbers land in ``BENCH_stream.json`` (with a ``mode`` field saying
 which gate ran) so CI archives the streaming trend alongside the
 kernel timings.
 
+The multi-stream serve gate drives 4 and 16 concurrent sessions of
+value-encoded VGA frames through one shared :mod:`repro.serve` worker
+fleet and compares the aggregate throughput against a single
+sequentially-multiplexed stream over the same frames.  Full mode
+(>= 4 cores) enforces ``SERVE_SPEEDUP_MIN`` (1.5x); the reduced smoke
+enforces strict per-stream in-order delivery plus a conservative
+aggregate fps floor.  Numbers land in ``BENCH_serve.json``.
+
 The live-surface gate runs a small instrumented ring stream with the
 stall watchdog armed and scrapes its ``/metrics`` and ``/health``
 endpoints over HTTP mid-run: the exposition must parse, the per-frame
@@ -74,6 +82,7 @@ BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_baseline.json")
 METRICS_PATH = os.path.join(REPO_ROOT, "BENCH_metrics.json")
 STREAM_PATH = os.path.join(REPO_ROOT, "BENCH_stream.json")
 KERNELS_PATH = os.path.join(REPO_ROOT, "BENCH_kernels.json")
+SERVE_PATH = os.path.join(REPO_ROOT, "BENCH_serve.json")
 REPEATS = 5
 
 #: compiled tier must beat the fused numpy kernel by this factor on
@@ -91,6 +100,13 @@ STREAM_SPEEDUP_MIN = 1.3
 STREAM_FULL_MIN_CORES = 4
 #: conservative end-to-end floor for the reduced smoke (VGA, 2 workers)
 STREAM_SMOKE_FPS_FLOOR = 2.0
+
+#: full multi-stream gate: the broker's aggregate throughput must beat
+#: a single sequentially-multiplexed stream by this factor on the CI
+#: reference machine (VGA bilinear, shared calibration).
+SERVE_SPEEDUP_MIN = 1.5
+#: conservative aggregate floor for the reduced smoke (1-core CI).
+SERVE_SMOKE_FPS_FLOOR = 2.0
 
 
 def _check(label: str, ok: bool, detail: str) -> bool:
@@ -345,6 +361,127 @@ def check_stream(smoke: bool) -> bool:
     return ok
 
 
+def bench_serve(full: bool) -> dict:
+    """Time the multi-stream broker against sequential multiplexing.
+
+    Both sides correct the identical set of frames (N streams of
+    value-encoded constant VGA frames, one shared calibration).  The
+    baseline drains the streams round-robin through one inline fused
+    kernel — what a host without :mod:`repro.serve` would do — while
+    the broker multiplexes all N sessions onto one shared worker
+    fleet.  Strict per-stream ordering is verified on every delivered
+    frame (the centre pixel encodes ``(stream, index)``), so the gate
+    is a correctness check even where the speedup is not enforced.
+    """
+    from repro.serve import MultiStreamCorrector
+
+    res = "VGA"
+    w, h = resolution(res)
+    field = standard_field(w, h)
+    lut = RemapLUT(field, method="bilinear")
+    workers = 4 if full else 2
+    per_stream = {4: 16, 16: 4} if full else {4: 3, 16: 2}
+
+    def value(sid, k):
+        return (sid * 29 + k) % 251
+
+    def const_frames(sid, n):
+        for k in range(n):
+            yield np.full((h, w), value(sid, k), dtype=np.uint8)
+
+    lut.apply_into(np.full((h, w), 7, dtype=np.uint8),
+                   np.empty(lut.out_shape, dtype=np.uint8))  # warmup
+    cy, cx = lut.out_shape[0] // 2, lut.out_shape[1] // 2
+    runs = []
+    for streams in (4, 16):
+        n = per_stream[streams]
+        total = streams * n
+
+        # baseline: one thread, one kernel, streams drained round-robin
+        out = np.empty(lut.out_shape, dtype=np.uint8)
+        t0 = time.perf_counter()
+        for k in range(n):
+            for sid in range(streams):
+                lut.apply_into(np.full((h, w), value(sid, k), dtype=np.uint8),
+                               out)
+        seq_s = time.perf_counter() - t0
+
+        order_ok = True
+        with MultiStreamCorrector(workers=workers,
+                                  slot_budget=2 * streams) as svc:
+            sessions = [svc.open_stream(const_frames(i, n), field,
+                                        name=f"s{i}")
+                        for i in range(streams)]
+            seen = {s.name: [] for s in sessions}
+            t0 = time.perf_counter()
+            for name, frame in svc.merged(sessions):
+                seen[name].append(int(frame[cy, cx]))
+            serve_s = time.perf_counter() - t0
+        for i in range(streams):
+            if seen[f"s{i}"] != [value(i, k) for k in range(n)]:
+                order_ok = False
+        runs.append({
+            "streams": streams,
+            "frames_per_stream": n,
+            "total_frames": total,
+            "sequential_fps": total / seq_s,
+            "aggregate_fps": total / serve_s,
+            "speedup_vs_sequential": seq_s / serve_s,
+            "in_order": order_ok,
+        })
+
+    return {
+        "mode": "full" if full else "smoke",
+        "cpu_count": os.cpu_count(),
+        "resolution": res,
+        "method": "bilinear",
+        "workers": workers,
+        "runs": runs,
+        "speedup_gate": SERVE_SPEEDUP_MIN if full else None,
+        "fps_floor": None if full else SERVE_SMOKE_FPS_FLOOR,
+    }
+
+
+def check_serve(smoke: bool) -> bool:
+    """The multi-stream service gate; writes ``BENCH_serve.json``.
+
+    Full mode (>= ``STREAM_FULL_MIN_CORES`` cores, no ``--smoke``)
+    enforces ``SERVE_SPEEDUP_MIN`` aggregate speedup over sequential
+    multiplexing at 4 and 16 concurrent streams; the reduced smoke
+    enforces strict per-stream ordering plus a conservative aggregate
+    fps floor, so 1-core CI still catches a broken or glacial broker.
+    """
+    full = not smoke and (os.cpu_count() or 1) >= STREAM_FULL_MIN_CORES
+    print(f"== multi-stream serve: broker vs sequential multiplex "
+          f"({'full gate' if full else 'reduced smoke'}) ==")
+    result = bench_serve(full)
+    with open(SERVE_PATH, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+
+    ok = True
+    for run in result["runs"]:
+        streams = run["streams"]
+        ok &= _check(f"{streams} streams strictly in order per stream",
+                     run["in_order"],
+                     f"{run['total_frames']} frames through "
+                     f"{result['workers']} workers")
+        detail = (f"aggregate {run['aggregate_fps']:.1f} fps vs sequential "
+                  f"{run['sequential_fps']:.1f} fps "
+                  f"({run['speedup_vs_sequential']:.2f}x)")
+        if full:
+            ok &= _check(
+                f"{streams} streams beat sequential by {SERVE_SPEEDUP_MIN}x",
+                run["speedup_vs_sequential"] >= SERVE_SPEEDUP_MIN, detail)
+        else:
+            ok &= _check(
+                f"{streams} streams above {SERVE_SMOKE_FPS_FLOOR} fps floor",
+                run["aggregate_fps"] >= SERVE_SMOKE_FPS_FLOOR, detail)
+    print(f"  -> {os.path.relpath(SERVE_PATH, REPO_ROOT)} "
+          f"(mode={result['mode']})")
+    return ok
+
+
 def check_live_surface() -> bool:
     """The live observability gate: scrape a streaming run in-process.
 
@@ -456,6 +593,8 @@ def main() -> int:
     ok &= check_kernels(smoke=args.smoke)
 
     ok &= check_stream(smoke=args.smoke)
+
+    ok &= check_serve(smoke=args.smoke)
 
     ok &= check_live_surface()
 

@@ -21,6 +21,11 @@ Commands
     ``/snapshot`` live while the stream runs; ``--deadline-ms`` and
     ``--stall-timeout`` arm the ring engine's per-frame SLO check and
     stall watchdog.
+``serve``
+    Multiplex several synthetic camera streams onto one shared
+    persistent worker fleet (:mod:`repro.serve`): admission-controlled
+    sessions, weighted round-robin band scheduling, one shared LUT
+    publication, per-stream labelled metrics on ``--serve-metrics``.
 ``info``
     Print the platform park (T1) and the library version.
 ``stats``
@@ -207,20 +212,22 @@ def cmd_stream(args) -> int:
     own_tel = False
     server = None
     tel = obs.get_telemetry()
-    if args.serve_metrics is not None:
-        if not tel.enabled:
-            # the scrape surface needs a live registry even without
-            # --metrics/--trace; enable one for the stream's duration
-            tel = obs.enable()
-            own_tel = True
-        server = obs.MetricsServer(telemetry=tel,
-                                   port=args.serve_metrics).start()
-        print(f"serving metrics on {server.url} "
-              f"(/metrics /health /snapshot)", file=sys.stderr)
-
     stats = StreamStats()
     frames = 0
     try:
+        # everything owned by this run — the scrape server and any
+        # registry we enabled for it — is torn down in the finally
+        # below, whether the stream finishes, raises, or never binds
+        if args.serve_metrics is not None:
+            if not tel.enabled:
+                # the scrape surface needs a live registry even without
+                # --metrics/--trace; enable one for the stream's duration
+                tel = obs.enable()
+                own_tel = True
+            server = obs.MetricsServer(telemetry=tel,
+                                       port=args.serve_metrics).start()
+            print(f"serving metrics on {server.url} "
+                  f"(/metrics /health /snapshot)", file=sys.stderr)
         t0 = time.perf_counter()
         for _ in corrector.correct_stream(source, stats=stats, engine=engine,
                                           **engine_kwargs):
@@ -245,6 +252,88 @@ def cmd_stream(args) -> int:
                       f"p99 {slo['p99_s'] * 1e3:.1f} ms, "
                       f"deadline miss {slo['deadline_misses']}/{slo['frames']} "
                       f"({slo['miss_rate']:.1%}), stalls {slo['stalls']}")
+    finally:
+        if server is not None:
+            server.close()
+        if own_tel:
+            obs.disable()
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Serve several synthetic camera streams through one shared fleet."""
+    import time
+
+    from .serve import MultiStreamCorrector
+    from .video.distort import FisheyeRenderer, scene_camera_for_sensor
+    from .video.stream import SyntheticStream
+    from .video.synth import urban
+
+    w, h = args.width, args.height
+    focal = args.focal or (min(w, h) / 2.0 - 1.0) / (np.pi / 2.0)
+    sensor = FisheyeIntrinsics.centered(w, h, focal=focal)
+    lens = make_lens(args.model, focal)
+    scene_cam = scene_camera_for_sensor(sensor, lens, w, h)
+    renderer = FisheyeRenderer(scene_cam, lens, sensor)
+    world = urban(int(w * 1.5) + 64, int(h * 1.5) + 64, seed=args.seed)
+    # every camera shares one calibration (the common rack-of-cameras
+    # deployment): the broker builds and publishes exactly one LUT
+    corrector = FisheyeCorrector.for_sensor(
+        sensor, lens, w, h, zoom=args.zoom, method=args.method,
+        kernel=args.kernel)
+
+    weights = [1] * args.streams
+    if args.weights:
+        given = [int(x) for x in args.weights.split(",") if x.strip()]
+        weights[:len(given)] = given[:args.streams]
+
+    own_tel = False
+    server = None
+    tel = obs.get_telemetry()
+    try:
+        if args.serve_metrics is not None:
+            if not tel.enabled:
+                tel = obs.enable()
+                own_tel = True
+            server = obs.MetricsServer(telemetry=tel,
+                                       port=args.serve_metrics).start()
+            print(f"serving metrics on {server.url} "
+                  f"(/metrics /health /snapshot)", file=sys.stderr)
+        deadline_s = args.deadline_ms / 1e3 if args.deadline_ms else None
+        t0 = time.perf_counter()
+        with MultiStreamCorrector(workers=args.workers,
+                                  slot_budget=args.slot_budget,
+                                  schedule=args.schedule, chunk=args.chunk,
+                                  context=args.context,
+                                  serve_metrics=server) as svc:
+            sessions = [
+                svc.open_stream(
+                    SyntheticStream(renderer, world, frames=args.frames,
+                                    step=8 + 3 * i),
+                    corrector.field, method=args.method, kernel=args.kernel,
+                    name=f"s{i}", depth=args.depth, weight=weights[i],
+                    deadline_s=deadline_s)
+                for i in range(args.streams)
+            ]
+            counts = {s.name: 0 for s in sessions}
+            for name, _frame in svc.merged(sessions):
+                counts[name] += 1
+        wall = time.perf_counter() - t0
+        total = sum(counts.values())
+        print(f"serve: {args.streams} streams x {args.frames} frames "
+              f"{w}x{h} {args.method} through {args.workers} workers "
+              f"(budget {args.slot_budget} slots) in {wall:.3f}s "
+              f"-> {total / wall:.1f} fps aggregate")
+        for i in range(args.streams):
+            name = f"s{i}"
+            print(f"  {name}: {counts[name]} frames (weight {weights[i]}, "
+                  f"{counts[name] / wall:.1f} fps)")
+        if tel.enabled:
+            slo = obs.slo_summary(tel.snapshot())
+            if slo is not None:
+                print(f"slo: e2e p50 {slo['p50_s'] * 1e3:.1f} ms "
+                      f"p95 {slo['p95_s'] * 1e3:.1f} ms, "
+                      f"deadline miss {slo['deadline_misses']}/{slo['frames']}")
     finally:
         if server is not None:
             server.close()
@@ -430,6 +519,47 @@ def build_parser() -> argparse.ArgumentParser:
                         "stream.stalls and dump the flight recorder when no "
                         "band completes for this long")
     p.set_defaults(func=cmd_stream)
+
+    p = sub.add_parser("serve",
+                       help="serve several synthetic streams through one "
+                            "shared worker fleet")
+    p.add_argument("--streams", type=int, default=4,
+                   help="concurrent stream sessions")
+    p.add_argument("--frames", type=int, default=32, help="frames per stream")
+    p.add_argument("--width", type=int, default=256)
+    p.add_argument("--height", type=int, default=256)
+    p.add_argument("--model", choices=sorted(LENS_MODELS), default="equidistant")
+    p.add_argument("--focal", type=float, default=None)
+    p.add_argument("--zoom", type=float, default=0.5)
+    p.add_argument("--method", choices=["nearest", "bilinear", "bicubic"],
+                   default="bilinear")
+    p.add_argument("--kernel", choices=list(KERNEL_CHOICES), default="auto",
+                   help="kernel tier shared by every session")
+    p.add_argument("--workers", type=int, default=2,
+                   help="persistent worker processes shared by all streams")
+    p.add_argument("--depth", type=int, default=2,
+                   help="shared-memory frame slots per stream")
+    p.add_argument("--slot-budget", type=int, default=16,
+                   help="total slots across all admitted streams "
+                        "(admission control)")
+    p.add_argument("--schedule", choices=["static", "dynamic", "guided"],
+                   default="dynamic", help="band-scheduling policy")
+    p.add_argument("--chunk", type=int, default=None,
+                   help="band granularity in rows")
+    p.add_argument("--context", choices=["fork", "spawn"], default="fork",
+                   help="worker start method")
+    p.add_argument("--weights", metavar="CSV", default=None,
+                   help="per-stream scheduling weights, e.g. 2,1,1,1 "
+                        "(missing entries default to 1)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-frame e2e latency SLO counted per stream as "
+                        "stream.deadline_miss{stream=...}")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--serve-metrics", type=int, metavar="PORT", default=None,
+                   help="serve /metrics with per-stream labelled series on "
+                        "127.0.0.1:PORT while the streams run (0 = ephemeral "
+                        "port; enables telemetry if --metrics/--trace did not)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("map-info",
                        help="print measured properties of a correction map")

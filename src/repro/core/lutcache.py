@@ -76,12 +76,21 @@ class LUTCache:
         Optional directory for persistent entries.  Created on first
         write; tables are loaded back memory-mapped (read-only).
 
+    Concurrent ``get()`` calls that miss on the same key are
+    *single-flighted*: one caller builds (or loads) while the others
+    block on a per-key lock and then reuse the finished table, so a
+    burst of streams starting against one calibration performs exactly
+    one build and writes the disk tier once.
+
     Attributes
     ----------
     hits, misses, disk_hits:
         Counters; ``hits`` are memory-tier hits, ``disk_hits`` count
         loads that skipped a rebuild via the disk tier (they also
         increment ``misses`` for the memory tier).
+    coalesced:
+        Misses that were absorbed by a build already in flight for the
+        same key (the caller waited instead of building).
     corrupt_reads:
         Disk-tier entries that existed but could not be loaded
         (truncated/garbled tables, bad metadata); each one is treated
@@ -100,8 +109,13 @@ class LUTCache:
         self.disk_hits = 0
         self.corrupt_reads = 0
         self.evictions = 0
+        self.coalesced = 0
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, RemapLUT]" = OrderedDict()
+        # Per-key single-flight build locks: holders of self._lock only
+        # ever create/look up these, never acquire them, so there is no
+        # lock-ordering cycle.
+        self._builds: dict = {}
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -129,6 +143,7 @@ class LUTCache:
                 "disk_hits": self.disk_hits,
                 "corrupt_reads": self.corrupt_reads,
                 "evictions": self.evictions,
+                "coalesced": self.coalesced,
                 "entries": len(self._entries),
                 "capacity": self.capacity,
             }
@@ -147,26 +162,44 @@ class LUTCache:
                 tel.counter("lutcache.mem.hits").inc()
                 return lut
             self.misses += 1
+            # Single-flight: all concurrent missers of one key funnel
+            # through one per-key lock, so the expensive build (and the
+            # disk-tier write) happens exactly once.
+            flight = self._builds.get(key)
+            if flight is None:
+                flight = self._builds[key] = threading.Lock()
         tel.counter("lutcache.mem.misses").inc()
-        lut = self._load(key)
-        if lut is None:
-            t0 = time.perf_counter() if tel.enabled else 0.0
-            lut = RemapLUT(field, method=method, border=border, fill=fill)
-            if tel.enabled:
-                tel.histogram("lutcache.build_seconds").observe(
-                    time.perf_counter() - t0)
-                tel.counter("lutcache.builds").inc()
-            self._store(key, lut)
-        else:
-            self.disk_hits += 1
-            tel.counter("lutcache.disk.hits").inc()
-        with self._lock:
-            self._entries[key] = lut
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.evictions += 1
-                tel.counter("lutcache.evictions").inc()
+        with flight:
+            with self._lock:
+                lut = self._entries.get(key)
+                if lut is not None:
+                    # Another thread finished this build while we waited.
+                    self._entries.move_to_end(key)
+                    self.coalesced += 1
+                    tel.counter("lutcache.coalesced").inc()
+                    return lut
+            lut = self._load(key)
+            if lut is None:
+                t0 = time.perf_counter() if tel.enabled else 0.0
+                lut = RemapLUT(field, method=method, border=border, fill=fill)
+                if tel.enabled:
+                    tel.histogram("lutcache.build_seconds").observe(
+                        time.perf_counter() - t0)
+                    tel.counter("lutcache.builds").inc()
+                self._store(key, lut)
+            else:
+                self.disk_hits += 1
+                tel.counter("lutcache.disk.hits").inc()
+            with self._lock:
+                self._entries[key] = lut
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+                    tel.counter("lutcache.evictions").inc()
+                # Late waiters re-enter through the memory tier; if the
+                # entry is evicted before they do, a fresh lock is made.
+                self._builds.pop(key, None)
         return lut
 
     # ------------------------------------------------------------------

@@ -20,11 +20,13 @@ __all__ = [
     "PartitionError",
     "ScheduleError",
     "StreamError",
+    "AdmissionError",
     "SimulationError",
     "PlatformError",
     "CapacityError",
     "BenchmarkError",
     "TelemetryError",
+    "MetricsBindError",
 ]
 
 
@@ -83,6 +85,11 @@ class StreamError(ReproError, RuntimeError):
         self.flight_dump = flight_dump
 
 
+class AdmissionError(StreamError):
+    """The multi-stream broker refused a new session: admitting it would
+    exceed the configured slot budget (see :mod:`repro.serve`)."""
+
+
 class SimulationError(ReproError, RuntimeError):
     """Discrete-event simulation reached an inconsistent state."""
 
@@ -106,3 +113,8 @@ class BenchmarkError(ReproError, RuntimeError):
 
 class TelemetryError(ReproError, ValueError):
     """Invalid telemetry request (bad buckets, mismatched merge, ...)."""
+
+
+class MetricsBindError(TelemetryError):
+    """The metrics HTTP endpoint could not bind its address (typically
+    the port is already in use)."""

@@ -47,10 +47,12 @@ from .export import (  # noqa: F401
     diff_snapshots,
     escape_label_value,
     format_snapshot,
+    labeled,
     metrics_json,
     parse_prometheus_text,
     prometheus_text,
     slo_summary,
+    split_labeled,
     write_metrics,
     write_trace,
 )
@@ -81,6 +83,8 @@ __all__ = [
     "diff_snapshots",
     "slo_summary",
     "escape_label_value",
+    "labeled",
+    "split_labeled",
     "parse_prometheus_text",
     "FlightRecorder",
     "DEFAULT_FLIGHT_CAPACITY",

@@ -34,6 +34,8 @@ __all__ = [
     "diff_snapshots",
     "slo_summary",
     "escape_label_value",
+    "labeled",
+    "split_labeled",
     "parse_prometheus_text",
 ]
 
@@ -76,6 +78,50 @@ def escape_label_value(value) -> str:
             .replace("\n", "\\n"))
 
 
+_LABEL_KEY = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def labeled(name: str, **labels) -> str:
+    """Attach Prometheus-style labels to a dotted metric name.
+
+    ``labeled("stream.frames", stream="cam0")`` returns
+    ``'stream.frames{stream="cam0"}'`` — a plain registry name that the
+    telemetry layer treats as opaque, while :func:`prometheus_text`
+    renders it as a labelled series of the base metric (one ``# TYPE``
+    line per base, labels merged into histogram bucket lines).  Label
+    keys must match ``[a-zA-Z_][a-zA-Z0-9_]*``; values are escaped with
+    :func:`escape_label_value`.  With no labels the name is returned
+    unchanged.
+    """
+    if not labels:
+        return name
+    parts = []
+    for key in sorted(labels):
+        if not _LABEL_KEY.match(key):
+            raise TelemetryError(f"invalid metric label key {key!r}")
+        parts.append(f'{key}="{escape_label_value(labels[key])}"')
+    return name + "{" + ",".join(parts) + "}"
+
+
+def split_labeled(name: str) -> tuple:
+    """Split a registry name into ``(base, labels)`` where ``labels`` is
+    the verbatim ``{...}`` suffix produced by :func:`labeled` (or ``""``
+    for an unlabelled name)."""
+    base, brace, rest = name.partition("{")
+    return (base, brace + rest) if brace else (base, "")
+
+
+def _label_groups(entries: dict) -> list:
+    """Group ``{name: value}`` by base metric: sorted
+    ``[(base, [(labels, value), ...]), ...]`` with the unlabelled series
+    (empty-string labels) sorting first within each base."""
+    groups: dict = {}
+    for name, value in entries.items():
+        base, labels = split_labeled(name)
+        groups.setdefault(base, []).append((labels, value))
+    return [(base, sorted(groups[base])) for base in sorted(groups)]
+
+
 def prometheus_text(tel_or_snap, prefix: str = "repro_") -> str:
     """Render the snapshot in Prometheus text exposition format.
 
@@ -84,33 +130,41 @@ def prometheus_text(tel_or_snap, prefix: str = "repro_") -> str:
     ``+Inf`` bucket, ``_sum`` and ``_count`` series.  Gauges that were
     registered but never set render as *absent* (no series), so a
     scraper can tell "never reported" from an explicit 0.
+
+    Names carrying a :func:`labeled` suffix render as labelled series of
+    their base metric — all series of one base share a single ``# TYPE``
+    line, and histogram series merge their labels into the ``le=``
+    bucket labels — so per-stream metrics from :mod:`repro.serve`
+    coexist with the aggregate unlabelled series.
     """
     snap = _snap(tel_or_snap)
     lines = []
-    for name in sorted(snap.get("counters", {})):
-        pname = _prom_name(name, prefix)
+    for base, series in _label_groups(snap.get("counters", {})):
+        pname = _prom_name(base, prefix)
         lines.append(f"# TYPE {pname} counter")
-        lines.append(f"{pname} {_fmt(snap['counters'][name])}")
-    for name in sorted(snap.get("gauges", {})):
-        value = snap["gauges"][name]
-        if value is None:  # unset gauge: absent, not 0
-            continue
-        pname = _prom_name(name, prefix)
+        for labels, value in series:
+            lines.append(f"{pname}{labels} {_fmt(value)}")
+    for base, series in _label_groups(
+            {n: v for n, v in snap.get("gauges", {}).items()
+             if v is not None}):  # unset gauge: absent, not 0
+        pname = _prom_name(base, prefix)
         lines.append(f"# TYPE {pname} gauge")
-        lines.append(f"{pname} {_fmt(value)}")
-    for name in sorted(snap.get("histograms", {})):
-        h = snap["histograms"][name]
-        pname = _prom_name(name, prefix)
+        for labels, value in series:
+            lines.append(f"{pname}{labels} {_fmt(value)}")
+    for base, series in _label_groups(snap.get("histograms", {})):
+        pname = _prom_name(base, prefix)
         lines.append(f"# TYPE {pname} histogram")
-        cum = 0
-        for bound, count in zip(h["bounds"], h["counts"]):
-            cum += count
-            lines.append(f'{pname}_bucket{{le="'
-                         f'{escape_label_value(_fmt(float(bound)))}"}} {cum}')
-        cum += h["counts"][-1]
-        lines.append(f'{pname}_bucket{{le="+Inf"}} {cum}')
-        lines.append(f"{pname}_sum {_fmt(float(h['sum']))}")
-        lines.append(f"{pname}_count {h['count']}")
+        for labels, h in series:
+            inner = labels[1:-1] + "," if labels else ""
+            cum = 0
+            for bound, count in zip(h["bounds"], h["counts"]):
+                cum += count
+                lines.append(f'{pname}_bucket{{{inner}le="'
+                             f'{escape_label_value(_fmt(float(bound)))}"}} {cum}')
+            cum += h["counts"][-1]
+            lines.append(f'{pname}_bucket{{{inner}le="+Inf"}} {cum}')
+            lines.append(f"{pname}_sum{labels} {_fmt(float(h['sum']))}")
+            lines.append(f"{pname}_count{labels} {h['count']}")
     return "\n".join(lines) + "\n"
 
 

@@ -37,7 +37,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from ..errors import TelemetryError
+from ..errors import MetricsBindError, TelemetryError
 from .export import prometheus_text
 from .logsetup import get_logger
 from .telemetry import get_telemetry
@@ -171,8 +171,15 @@ class MetricsServer:
                     except Exception:
                         pass
 
-        self._httpd = ThreadingHTTPServer((self.host, self._requested_port),
-                                          Handler)
+        try:
+            self._httpd = ThreadingHTTPServer((self.host, self._requested_port),
+                                              Handler)
+        except OSError as exc:
+            # Typed error so callers (CLI, serve) can fail with a clean
+            # message instead of an EADDRINUSE traceback.
+            raise MetricsBindError(
+                f"cannot serve metrics on {self.host}:{self._requested_port}: "
+                f"{exc.strerror or exc}") from exc
         self._httpd.daemon_threads = True
         self._t0 = time.monotonic()
         self._thread = threading.Thread(target=self._httpd.serve_forever,

@@ -75,7 +75,7 @@ from .partition import row_bands
 from .shmseg import (
     FrameSegments,
     SharedTables,
-    attach_segment,
+    attach_slot,
     attach_tables,
     init_worker_telemetry,
     worker_delta,
@@ -160,14 +160,10 @@ def _ring_worker_main(rank, task_q, done_q, table_spec, lut_meta, slot_spec,
     init_worker_telemetry(telemetry_enabled)
     segments, _, lut = attach_tables(table_spec, lut_meta)
     slots = []
-    for src_name, src_shape, dst_name, dst_shape, dtype_str in slot_spec:
-        src_shm = attach_segment(src_name)
-        dst_shm = attach_segment(dst_name)
-        segments += [src_shm, dst_shm]
-        slots.append((np.ndarray(tuple(src_shape), dtype=np.dtype(dtype_str),
-                                 buffer=src_shm.buf),
-                      np.ndarray(tuple(dst_shape), dtype=np.dtype(dtype_str),
-                                 buffer=dst_shm.buf)))
+    for spec in slot_spec:
+        slot_segs, src, dst = attach_slot(spec)
+        segments += slot_segs
+        slots.append((src, dst))
     track = f"ring-worker-{rank}"
     try:
         while True:
@@ -295,9 +291,7 @@ class RingEngine:
                                      self.out_shape) for _ in range(depth)]
         self._tables = SharedTables(lut)
         self._segment_groups = list(self._slots) + [self._tables]
-        slot_spec = [(s.src_shm.name, self.frame_shape, s.dst_shm.name,
-                      self.out_shape, self.frame_dtype.str)
-                     for s in self._slots]
+        slot_spec = [s.spec for s in self._slots]
 
         ctx = mp.get_context(context)
         self._task_q = ctx.Queue()
@@ -326,6 +320,14 @@ class RingEngine:
         if self._closed:
             return
         self._closed = True
+        # Drop band tasks still queued (an aborted stream leaves a
+        # backlog) so every worker reaches its poison pill promptly
+        # instead of grinding through stale work against dying slots.
+        try:
+            while True:
+                self._task_q.get_nowait()
+        except (_queue.Empty, OSError, ValueError):
+            pass
         for p in self._procs:
             if p.is_alive():
                 try:

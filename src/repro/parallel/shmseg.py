@@ -46,12 +46,30 @@ __all__ = [
     "share_array",
     "attach_segment",
     "release_segments",
+    "ensure_resource_tracker",
     "FrameSegments",
+    "attach_slot",
     "SharedTables",
     "attach_tables",
     "init_worker_telemetry",
     "worker_delta",
 ]
+
+
+def ensure_resource_tracker() -> None:
+    """Start the resource-tracker process now (idempotent).
+
+    Engines that fork workers *before* creating any shared segment
+    (the serve broker admits sessions after its fleet is up) must force
+    the tracker into existence first — otherwise each child spawns its
+    own tracker on first attach and warns at exit about "leaked"
+    segments the parent already unlinked.
+    """
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.ensure_running()
+    except Exception:  # pragma: no cover - platform without the tracker
+        pass
 
 
 # ----------------------------------------------------------------------
@@ -140,6 +158,9 @@ class FrameSegments(_SegmentGroup):
 
     def __init__(self, frame_shape, frame_dtype, out_shape):
         frame_dtype = np.dtype(frame_dtype)
+        self.frame_shape = tuple(frame_shape)
+        self.out_shape = tuple(out_shape)
+        self.dtype = frame_dtype
         nbytes_src = int(np.prod(frame_shape)) * frame_dtype.itemsize
         nbytes_dst = int(np.prod(out_shape)) * frame_dtype.itemsize
         self.src_shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes_src))
@@ -148,10 +169,34 @@ class FrameSegments(_SegmentGroup):
         self.dst_view = np.ndarray(out_shape, dtype=frame_dtype, buffer=self.dst_shm.buf)
         super().__init__([self.src_shm, self.dst_shm])
 
+    @property
+    def spec(self):
+        """Picklable attach recipe: ``(src_name, frame_shape, dst_name,
+        out_shape, dtype_str)`` — what a worker needs to map this slot
+        (see :func:`attach_slot`)."""
+        return (self.src_shm.name, self.frame_shape, self.dst_shm.name,
+                self.out_shape, self.dtype.str)
+
     def release(self):
         self.src_view = None
         self.dst_view = None
         super().release()
+
+
+def attach_slot(spec):
+    """Worker side of :attr:`FrameSegments.spec`: map one frame slot.
+
+    Returns ``(segments, src_view, dst_view)``; the caller keeps
+    ``segments`` alive (and ``close()``\\ s them when done) — the parent
+    owns the unlink.
+    """
+    src_name, frame_shape, dst_name, out_shape, dtype_str = spec
+    dtype = np.dtype(dtype_str)
+    src_shm = attach_segment(src_name)
+    dst_shm = attach_segment(dst_name)
+    src = np.ndarray(tuple(frame_shape), dtype=dtype, buffer=src_shm.buf)
+    dst = np.ndarray(tuple(out_shape), dtype=dtype, buffer=dst_shm.buf)
+    return [src_shm, dst_shm], src, dst
 
 
 class SharedTables(_SegmentGroup):

@@ -1,0 +1,22 @@
+"""Multi-stream correction service: N streams, one worker fleet.
+
+The production-serving layer on top of the shared-memory streaming
+engine: :class:`~repro.serve.broker.StreamBroker` multiplexes admitted
+stream sessions onto one pool of persistent band workers with
+admission control (slot budget), per-stream backpressure, weighted
+round-robin band scheduling, shared-calibration LUT publication and
+strict per-stream in-order delivery;
+:class:`~repro.serve.service.MultiStreamCorrector` is the high-level
+facade (sessions + merged drain + live metrics).  See
+``docs/serving.md``.
+"""
+
+from .broker import DEFAULT_SLOT_BUDGET, StreamBroker, StreamSession  # noqa: F401
+from .service import MultiStreamCorrector  # noqa: F401
+
+__all__ = [
+    "DEFAULT_SLOT_BUDGET",
+    "StreamBroker",
+    "StreamSession",
+    "MultiStreamCorrector",
+]

@@ -1,0 +1,830 @@
+"""Multi-stream correction broker: N streams, one worker fleet.
+
+The ring engine (:mod:`repro.parallel.ring`) corrects exactly one
+stream per worker fleet.  Production hosts serve many cameras at once
+— the multi-video batch workflows and the real-time multi-feed
+constraints in PAPERS.md — so this module multiplexes *sessions* onto
+one pool of persistent band workers:
+
+- :class:`StreamBroker` owns the fleet.  Each admitted session gets a
+  private ring of ``depth`` shared-memory frame slots; **admission
+  control** caps the total slots across sessions at a configurable
+  ``slot_budget``, so one host's memory/latency envelope is a
+  parameter, not an accident.
+- A per-session **feeder thread** decodes frames into free slots —
+  when a session's consumer lags, its feeder blocks on its own free
+  list (**per-stream backpressure**) without slowing anyone else.
+- A single **dispatcher thread** drains the sessions' band queues in
+  **weighted round-robin** order (:class:`_FairScheduler`): every
+  scheduling turn a stream may dispatch up to ``weight`` band items,
+  so a stalled or slow stream cannot starve the others, and priority
+  streams get proportionally more of the fleet.
+- Workers attach a session's slots and LUT lazily, **cached by
+  calibration key** — sessions sharing a calibration share one
+  :class:`~repro.parallel.shmseg.SharedTables` publication (fed from
+  one single-flight :class:`~repro.core.lutcache.LUTCache`), attached
+  once per worker.
+- A **collector thread** routes band completions back to sessions;
+  each :class:`StreamSession` yields its frames **strictly in input
+  order** no matter how the fleet interleaved the bands.
+
+Telemetry: next to the aggregate ``stream.*`` series the broker emits
+per-stream labelled series (``stream.frames{stream="cam0"}``,
+``frame.e2e_latency_seconds{stream="cam0"}``,
+``stream.deadline_miss{stream="cam0"}`` — see
+:func:`repro.obs.export.labeled`) plus fleet-level ``serve.*``
+counters/gauges, all scrapeable live from a
+:class:`~repro.obs.live.MetricsServer`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import queue as _queue
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from ..core.image import Frame
+from ..core.kernel_tiers import resolve_tier
+from ..core.lutcache import LUTCache
+from ..errors import AdmissionError, ScheduleError, StreamError
+from ..obs.export import labeled
+from ..obs.logsetup import get_logger
+from ..obs.telemetry import get_telemetry
+from ..parallel.ring import plan_bands
+
+__all__ = ["StreamBroker", "StreamSession", "DEFAULT_SLOT_BUDGET"]
+
+log = get_logger(__name__)
+
+#: default total slot budget (the admission-control cap): the sum of
+#: every admitted session's ``depth`` may not exceed it.
+DEFAULT_SLOT_BUDGET = 16
+
+#: queue poll interval (seconds) shared by all broker threads.
+_POLL_S = 0.2
+
+
+# ----------------------------------------------------------------------
+# fair scheduling
+# ----------------------------------------------------------------------
+class _FairScheduler:
+    """Weighted round-robin over per-stream band deques.
+
+    Pure data structure (caller provides locking): ``push`` appends a
+    work item to a stream's deque, ``pop`` returns the next item under
+    weighted round-robin — the cursor stream may dispatch up to
+    ``weight`` consecutive items before the turn passes on, so with
+    weights 2:1 a backlogged pair of streams dispatches bands 2:1.
+    """
+
+    def __init__(self):
+        self._queues: dict = {}
+        self._weights: dict = {}
+        self._order: list = []
+        self._cursor = 0
+        self._credit = 0
+
+    def add_stream(self, sid, weight: int = 1) -> None:
+        if weight < 1:
+            raise ScheduleError(f"stream weight must be >= 1, got {weight}")
+        self._queues[sid] = deque()
+        self._weights[sid] = int(weight)
+        self._order.append(sid)
+
+    def remove_stream(self, sid) -> None:
+        if sid not in self._queues:
+            return
+        pos = self._order.index(sid)
+        del self._order[pos]
+        del self._queues[sid]
+        del self._weights[sid]
+        if pos < self._cursor:
+            self._cursor -= 1
+        if self._cursor >= len(self._order):
+            self._cursor = 0
+        self._credit = 0
+
+    def push(self, sid, item) -> None:
+        self._queues[sid].append(item)
+
+    def pop(self):
+        """Next ``(sid, item)`` under weighted round-robin, or ``None``."""
+        n = len(self._order)
+        for _ in range(n + 1):
+            if not self._order:
+                return None
+            if self._cursor >= len(self._order):
+                self._cursor = 0
+            sid = self._order[self._cursor]
+            q = self._queues[sid]
+            if q and self._credit < self._weights[sid]:
+                self._credit += 1
+                return sid, q.popleft()
+            self._cursor += 1
+            self._credit = 0
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+def _serve_worker_main(rank, task_q, done_q, ctrl_q, telemetry_enabled):
+    """Fleet worker: pull ``(sid, seq, slot, row0, row1, desc)`` items.
+
+    Unlike the single-stream ring worker, attachments are *lazy and
+    cached*: the first band of a session attaches its slots (and its
+    LUT tables — cached by calibration key, so sessions sharing one
+    calibration attach the tables once).  ``ctrl_q`` broadcasts
+    ``("forget", sid)`` when a session closes so the worker drops its
+    mappings; a band whose segments are already gone posts ``rows=-1``
+    and the collector decides whether anyone still cares.
+    """
+    from ..parallel.shmseg import (attach_slot, attach_tables,
+                                   init_worker_telemetry, worker_delta)
+
+    init_worker_telemetry(telemetry_enabled)
+    luts: dict = {}      # lut_key -> (segments, lut)
+    sessions: dict = {}  # sid -> (segments, slots, lut, label)
+    track = f"serve-worker-{rank}"
+
+    def forget(sid):
+        entry = sessions.pop(sid, None)
+        if entry is None:
+            return
+        for shm in entry[0]:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - already closed
+                pass
+
+    try:
+        while True:
+            while True:  # drain control messages first
+                try:
+                    kind, sid = ctrl_q.get_nowait()
+                except _queue.Empty:
+                    break
+                if kind == "forget":
+                    forget(sid)
+            try:
+                item = task_q.get(timeout=_POLL_S)
+            except _queue.Empty:
+                continue
+            if item is None:
+                break
+            sid, seq, slot_idx, row0, row1, desc = item
+            tel = get_telemetry()
+            wall0 = time.time() if tel.enabled else 0.0
+            t0 = time.perf_counter() if tel.enabled else 0.0
+            rows = -1
+            delta = None
+            try:
+                entry = sessions.get(sid)
+                if entry is None:
+                    lut_key, label, table_spec, table_meta, slot_spec = desc
+                    cached = luts.get(lut_key)
+                    if cached is None:
+                        segs, _, lut = attach_tables(dict(table_spec),
+                                                     dict(table_meta))
+                        cached = luts[lut_key] = (segs, lut)
+                    slots, slot_segs = [], []
+                    for spec in slot_spec:
+                        segs, src, dst = attach_slot(spec)
+                        slot_segs += segs
+                        slots.append((src, dst))
+                    entry = sessions[sid] = (slot_segs, slots, cached[1], label)
+                _, slots, lut, label = entry
+                src, dst = slots[slot_idx]
+                lut.apply_rows_into(src, row0, row1, dst[row0:row1])
+                rows = row1 - row0
+            except Exception:
+                # session torn down under us (or a real kernel fault):
+                # report the failed band; the collector ignores it when
+                # the session is already gone.
+                forget(sid)
+            if tel.enabled and rows >= 0:
+                dt = time.perf_counter() - t0
+                tel.counter("serve.bands").inc()
+                tel.counter(f"serve.worker.{rank}.busy_seconds").inc(dt)
+                tel.histogram("serve.band_seconds").observe(dt)
+                tel.add_span("serve.band", wall0, dt, cat="serve", tid=track,
+                             args={"frame_id": seq, "stream": label,
+                                   "rows": rows, "tier": lut.tier})
+                delta = worker_delta()
+            done_q.put((sid, seq, slot_idx, rows, rank, delta))
+    finally:
+        for sid in list(sessions):
+            forget(sid)
+        for segs, _ in luts.values():
+            for shm in segs:
+                try:
+                    shm.close()
+                except Exception:  # pragma: no cover
+                    pass
+
+
+# ----------------------------------------------------------------------
+# session
+# ----------------------------------------------------------------------
+class StreamSession:
+    """One admitted stream: iterate it for strictly in-order frames.
+
+    Created by :meth:`StreamBroker.open` — not directly.  The session
+    is an iterator (and context manager); ``close()`` releases its
+    slots back to the broker's budget immediately.  With ``copy=True``
+    (the default — the safe mode when several threads drain several
+    sessions) every yielded frame owns its data; ``copy=False`` yields
+    zero-copy views of the session's slot buffers that are recycled
+    when the consumer advances.
+    """
+
+    def __init__(self, broker: "StreamBroker", sid: int, name: str,
+                 source, depth: int, weight: int, copy: bool,
+                 deadline_s, bands, slots, desc, empty: bool = False):
+        self.broker = broker
+        self.sid = sid
+        self.name = name
+        self.depth = depth
+        self.weight = weight
+        self.copy = copy
+        self.deadline_s = deadline_s
+        self.delivered = 0
+        self._source = source
+        self._bands = bands
+        self._slots = slots
+        self._desc = desc
+        self._cond = threading.Condition()
+        self._free: _queue.Queue = _queue.Queue()
+        for i in range(len(slots)):
+            self._free.put(i)
+        self._pending = [0] * len(slots)      # outstanding bands per slot
+        self._slot_items = [None] * len(slots)
+        self._completed: dict = {}            # seq -> slot
+        self._decode_t0: dict = {}            # seq -> decode wall time
+        self._produced = 0 if empty else None
+        self._error: BaseException | None = None
+        self._closed = False
+        self._next_seq = 0
+        self._held_slot = None
+        self._feeder = None
+        self._empty = empty
+        self._exhausted = False
+
+    def _start(self) -> None:
+        """Launch the feeder — only after the broker has registered the
+        session (scheduler + routing map), else early bands are lost."""
+        if self._empty or self._feeder is not None:
+            return
+        self._feeder = threading.Thread(
+            target=self._feed, name=f"serve-feed-{self.name}", daemon=True)
+        self._feeder.start()
+
+    # -- feeder thread -------------------------------------------------
+    def _feed(self):
+        broker = self.broker
+        seq = 0
+        it = iter(self._source)
+        try:
+            while not self._closed and not broker._abort.is_set():
+                try:
+                    item = next(it)
+                except StopIteration:
+                    break
+                t_dec = time.time()
+                data = item.data if isinstance(item, Frame) else np.asarray(item)
+                slot0 = self._slots[0]
+                if (data.shape != slot0.frame_shape
+                        or data.dtype != slot0.dtype):
+                    raise ScheduleError(
+                        f"stream {self.name!r} frame {data.shape}/{data.dtype} "
+                        f"does not match session geometry "
+                        f"{slot0.frame_shape}/{slot0.dtype}")
+                while True:  # per-stream backpressure: block on OUR ring
+                    try:
+                        slot = self._free.get(timeout=_POLL_S)
+                        break
+                    except _queue.Empty:
+                        if self._closed or broker._abort.is_set():
+                            return
+                np.copyto(self._slots[slot].src_view, data)
+                with self._cond:
+                    self._pending[slot] = len(self._bands)
+                    self._slot_items[slot] = item if isinstance(item, Frame) else None
+                    self._decode_t0[seq] = t_dec
+                broker._push_bands(
+                    self.sid, [(seq, slot, r0, r1) for r0, r1 in self._bands])
+                seq += 1
+        except BaseException as exc:  # noqa: BLE001 - re-raised by consumer
+            self._fail(exc)
+        finally:
+            close = getattr(it, "close", None)
+            if close is not None:
+                try:
+                    close()
+                except Exception:  # pragma: no cover - source cleanup
+                    pass
+            with self._cond:
+                if self._produced is None:
+                    self._produced = seq
+                self._cond.notify_all()
+
+    # -- collector callbacks -------------------------------------------
+    def _band_done(self, seq, slot):
+        with self._cond:
+            if self._closed:
+                return
+            self._pending[slot] -= 1
+            if self._pending[slot] == 0:
+                self._completed[seq] = slot
+                self._cond.notify_all()
+
+    def _fail(self, exc: BaseException):
+        with self._cond:
+            if self._error is None:
+                self._error = exc
+            self._cond.notify_all()
+
+    # -- consumer ------------------------------------------------------
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        broker = self.broker
+        tel = broker._tel
+        with self._cond:
+            if self._exhausted:
+                raise StopIteration
+            if self._held_slot is not None:
+                # consumer advanced past the zero-copy view: recycle
+                self._recycle(self._held_slot)
+                self._held_slot = None
+            while True:
+                if self._error is not None:
+                    raise self._error
+                if broker._error is not None:
+                    raise broker._error
+                if self._closed:
+                    # slots are already released: never deliver from them
+                    raise StreamError(
+                        f"stream session {self.name!r} was closed")
+                if self._next_seq in self._completed:
+                    break
+                if (self._produced is not None
+                        and self._next_seq >= self._produced):
+                    break
+                self._cond.wait(_POLL_S)
+            exhausted = self._next_seq not in self._completed
+            if exhausted:
+                self._exhausted = True
+            if not exhausted:
+                slot = self._completed.pop(self._next_seq)
+                result = self._slots[slot].dst_view
+                item = self._slot_items[slot]
+                if self.copy:
+                    result = result.copy()
+                    self._recycle(slot)
+                else:
+                    self._held_slot = slot
+                t_dec0 = self._decode_t0.pop(self._next_seq, None)
+                self._next_seq += 1
+                self.delivered += 1
+        if exhausted:
+            self.close()
+            raise StopIteration
+        if t_dec0 is not None:
+            e2e = time.time() - t_dec0
+            miss = self.deadline_s is not None and e2e > self.deadline_s
+            if tel.enabled:
+                tel.counter("stream.frames").inc()
+                tel.counter(labeled("stream.frames", stream=self.name)).inc()
+                tel.histogram("frame.e2e_latency_seconds").observe(e2e)
+                tel.histogram(labeled("frame.e2e_latency_seconds",
+                                      stream=self.name)).observe(e2e)
+                if miss:
+                    tel.counter("stream.deadline_miss").inc()
+                    tel.counter(labeled("stream.deadline_miss",
+                                        stream=self.name)).inc()
+        return item.with_data(result) if item is not None else result
+
+    def _recycle(self, slot):
+        self._slot_items[slot] = None
+        self._free.put(slot)
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release this session's slots back to the budget (idempotent).
+
+        In-flight bands finish against unlinked (harmless) segments;
+        workers are told to drop their cached mappings.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            if self._held_slot is not None:
+                self._recycle(self._held_slot)
+                self._held_slot = None
+            self._cond.notify_all()
+        if self._feeder is not None and self._feeder is not threading.current_thread():
+            self._feeder.join(timeout=2.0)
+        self.broker._session_closed(self)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def stats(self) -> dict:
+        return {
+            "name": self.name,
+            "delivered": self.delivered,
+            "depth": self.depth,
+            "weight": self.weight,
+            "closed": self._closed,
+        }
+
+
+# ----------------------------------------------------------------------
+# broker
+# ----------------------------------------------------------------------
+class StreamBroker:
+    """Admission-controlled multi-stream front end over one worker fleet.
+
+    Parameters
+    ----------
+    workers:
+        Persistent worker-process count shared by every session.
+    slot_budget:
+        Total shared-memory frame slots across all admitted sessions
+        (each session takes ``depth`` of them for its lifetime);
+        :meth:`open` raises :class:`~repro.errors.AdmissionError` when
+        the budget cannot cover another session.
+    schedule, chunk:
+        Band-granularity policy applied per session (see
+        :func:`repro.parallel.ring.plan_bands`).
+    context:
+        Multiprocessing start method (``fork`` default).
+    lut_cache:
+        Optional shared :class:`~repro.core.lutcache.LUTCache`; one is
+        created when omitted.  Sessions opened against the same
+        calibration (field + build parameters + kernel tier) share one
+        built LUT *and* one shared-memory table publication.
+    max_inflight_bands:
+        Cap on dispatched-but-uncompleted band items (default
+        ``4 * workers``); keeps the fleet queue short so round-robin
+        fairness acts at band granularity instead of deep in a FIFO.
+
+    Telemetry is captured at construction time
+    (:func:`~repro.obs.telemetry.get_telemetry`), as worker processes
+    fork here — enable/scope a registry *before* building the broker.
+    """
+
+    def __init__(self, workers: int = 2, slot_budget: int = DEFAULT_SLOT_BUDGET,
+                 schedule: str = "dynamic", chunk: int | None = None,
+                 context: str = "fork", lut_cache: LUTCache | None = None,
+                 max_inflight_bands: int | None = None):
+        if workers < 1:
+            raise ScheduleError(f"workers must be >= 1, got {workers}")
+        if slot_budget < 1:
+            raise ScheduleError(f"slot_budget must be >= 1, got {slot_budget}")
+        if max_inflight_bands is not None and max_inflight_bands < 1:
+            raise ScheduleError(
+                f"max_inflight_bands must be >= 1, got {max_inflight_bands}")
+        self.workers = workers
+        self.slot_budget = slot_budget
+        self.schedule = schedule
+        self.chunk = chunk
+        self.lut_cache = lut_cache if lut_cache is not None else LUTCache()
+        self.sessions_admitted = 0
+        self.admission_rejects = 0
+        self._tel = get_telemetry()
+        self._lock = threading.Lock()
+        self._sessions: dict = {}          # sid -> StreamSession
+        self._tables: dict = {}            # lut_key -> (SharedTables, lut)
+        self._slots_used = 0
+        self._sid_gen = itertools.count()
+        self._error: BaseException | None = None
+        self._closed = False
+        self._abort = threading.Event()
+        self._sched = _FairScheduler()
+        self._sched_cond = threading.Condition()
+        self._inflight_sem = threading.Semaphore(
+            max_inflight_bands if max_inflight_bands is not None
+            else 4 * workers)
+
+        from ..parallel.shmseg import ensure_resource_tracker
+        ensure_resource_tracker()  # workers must inherit ONE tracker
+        ctx = mp.get_context(context)
+        self._task_q = ctx.Queue()
+        self._done_q = ctx.Queue()
+        self._ctrl_qs = [ctx.Queue() for _ in range(workers)]
+        self._tel.gauge("serve.workers").set(workers)
+        self._tel.gauge("serve.slot_budget").set(slot_budget)
+        log.debug("starting %d shared serve workers (%s, budget %d slots)",
+                  workers, context, slot_budget)
+        self._procs = []
+        for rank in range(workers):
+            p = ctx.Process(
+                target=_serve_worker_main,
+                args=(rank, self._task_q, self._done_q, self._ctrl_qs[rank],
+                      self._tel.enabled),
+                daemon=True, name=f"serve-worker-{rank}")
+            p.start()
+            self._procs.append(p)
+        self._dispatcher = threading.Thread(
+            target=self._dispatch, name="serve-dispatch", daemon=True)
+        self._collector = threading.Thread(
+            target=self._collect, name="serve-collect", daemon=True)
+        self._dispatcher.start()
+        self._collector.start()
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def open(self, frames, field, *, name: str | None = None,
+             method: str = "bilinear", border: str = "constant",
+             fill: float = 0.0, kernel: str = "numpy", depth: int = 2,
+             weight: int = 1, copy: bool = True,
+             deadline_s: float | None = None) -> StreamSession:
+        """Admit a stream session; raises
+        :class:`~repro.errors.AdmissionError` when ``depth`` slots do
+        not fit the remaining budget.
+
+        The first frame is pulled eagerly to size the session's slots
+        (like :meth:`RingEngine.for_stream`), then corrected like the
+        rest.  ``weight`` sets the session's share of the fleet under
+        backlog (weighted round-robin); ``deadline_s`` arms the
+        per-frame latency SLO counted by
+        ``stream.deadline_miss{stream="<name>"}``.
+        """
+        from ..parallel.shmseg import FrameSegments, SharedTables
+
+        if depth < 1:
+            raise ScheduleError(f"depth must be >= 1, got {depth}")
+        tier = resolve_tier(kernel)
+        with self._lock:
+            if self._closed:
+                raise ScheduleError("stream broker already closed")
+            if self._error is not None:
+                raise self._error
+            sid = next(self._sid_gen)
+            if name is None:
+                name = f"stream-{sid}"
+            if self._slots_used + depth > self.slot_budget:
+                self.admission_rejects += 1
+                self._tel.counter("serve.admission_rejects").inc()
+                raise AdmissionError(
+                    f"cannot admit stream {name!r}: needs {depth} slots but "
+                    f"only {self.slot_budget - self._slots_used} of "
+                    f"{self.slot_budget} remain "
+                    f"({len(self._sessions)} active sessions)")
+            self._slots_used += depth
+
+        session = None
+        try:
+            # single-flight shared build: concurrent opens on one
+            # calibration build (and publish) exactly once
+            lut = self.lut_cache.get(field, method=method, border=border,
+                                     fill=fill)
+            if tier != "numpy":
+                lut = lut.with_tier(tier)
+            lut_key = (self.lut_cache.key_for(field, method, border, fill)
+                       + f"|{tier}")
+            it = iter(frames)
+            try:
+                first = next(it)
+            except StopIteration:
+                first = None
+            if first is None:
+                session = StreamSession(self, sid, name, iter(()), depth,
+                                        weight, copy, deadline_s,
+                                        bands=[], slots=[], desc=None,
+                                        empty=True)
+            else:
+                data = (first.data if isinstance(first, Frame)
+                        else np.asarray(first))
+                if data.shape[:2] != lut.src_shape:
+                    raise ScheduleError(
+                        f"stream {name!r} frame shape {data.shape} does not "
+                        f"match LUT source {lut.src_shape}")
+                channels = data.shape[2:] if data.ndim == 3 else ()
+                out_shape = lut.out_shape + channels
+                with self._lock:
+                    shared = self._tables.get(lut_key)
+                    if shared is None:
+                        shared = self._tables[lut_key] = (SharedTables(lut), lut)
+                tables = shared[0]
+                slots = [FrameSegments(data.shape, data.dtype, out_shape)
+                         for _ in range(depth)]
+                bands = plan_bands(lut.out_shape[0], self.workers,
+                                   self.schedule, self.chunk)
+                desc = (lut_key, name,
+                        tuple(sorted(tables.spec.items())),
+                        tuple(sorted(tables.meta.items())),
+                        tuple(s.spec for s in slots))
+                session = StreamSession(
+                    self, sid, name, itertools.chain([first], it), depth,
+                    weight, copy, deadline_s, bands=bands, slots=slots,
+                    desc=desc)
+        except BaseException:
+            with self._lock:
+                self._slots_used -= depth
+            raise
+        with self._lock:
+            self._sessions[sid] = session
+            self.sessions_admitted += 1
+        with self._sched_cond:
+            self._sched.add_stream(sid, weight)
+        session._start()  # feeder may push bands from here on
+        self._tel.gauge("serve.active_streams").set(len(self._sessions))
+        self._tel.gauge("serve.slots_used").set(self._slots_used)
+        self._tel.counter("serve.sessions").inc()
+        log.debug("admitted stream %r (sid %d, depth %d, weight %d): "
+                  "%d/%d slots in use",
+                  name, sid, depth, weight, self._slots_used, self.slot_budget)
+        return session
+
+    # ------------------------------------------------------------------
+    # internals: scheduling + collection
+    # ------------------------------------------------------------------
+    def _push_bands(self, sid, bands) -> None:
+        with self._sched_cond:
+            if sid not in self._sched._queues:
+                return  # session removed while its feeder raced us
+            for band in bands:
+                self._sched.push(sid, band)
+            self._sched_cond.notify_all()
+
+    def _dispatch(self):
+        while not self._abort.is_set():
+            with self._sched_cond:
+                picked = self._sched.pop()
+                if picked is None:
+                    self._sched_cond.wait(_POLL_S)
+                    continue
+            sid, (seq, slot, row0, row1) = picked
+            while not self._inflight_sem.acquire(timeout=_POLL_S):
+                if self._abort.is_set():
+                    return
+            with self._lock:
+                session = self._sessions.get(sid)
+            if session is None or session.closed:
+                self._inflight_sem.release()
+                continue
+            try:
+                self._task_q.put((sid, seq, slot, row0, row1, session._desc))
+            except Exception:  # pragma: no cover - queue torn down
+                self._inflight_sem.release()
+                return
+
+    def _collect(self):
+        last_live_check = time.monotonic()
+        while not self._abort.is_set():
+            try:
+                sid, seq, slot, rows, rank, delta = self._done_q.get(
+                    timeout=_POLL_S)
+            except _queue.Empty:
+                if time.monotonic() - last_live_check > _POLL_S:
+                    self._check_workers()
+                    last_live_check = time.monotonic()
+                continue
+            self._inflight_sem.release()
+            if delta and self._tel.enabled:
+                self._tel.merge(delta)
+            with self._lock:
+                session = self._sessions.get(sid)
+            if session is None:
+                continue  # closed session's stale band: nobody cares
+            if rows < 0:
+                session._fail(StreamError(
+                    f"band ({seq}, slot {slot}) of stream {session.name!r} "
+                    f"failed in serve-worker-{rank}"))
+                continue
+            session._band_done(seq, slot)
+
+    def _check_workers(self):
+        for p in self._procs:
+            if not p.is_alive():
+                exc = StreamError(
+                    f"{p.name} died with exit code {p.exitcode}; "
+                    f"broker shut down and all shared segments released")
+                log.error("%s", exc)
+                self._error = exc
+                with self._lock:
+                    sessions = list(self._sessions.values())
+                for s in sessions:
+                    s._fail(exc)
+                self._abort.set()
+                return
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _session_closed(self, session: StreamSession) -> None:
+        with self._lock:
+            existed = self._sessions.pop(session.sid, None) is not None
+            if existed:
+                self._slots_used -= session.depth
+        if not existed:
+            return
+        with self._sched_cond:
+            self._sched.remove_stream(session.sid)
+        for q in self._ctrl_qs:
+            try:
+                q.put(("forget", session.sid))
+            except Exception:  # pragma: no cover - queue torn down
+                pass
+        for seg in session._slots:
+            seg.release()
+        self._tel.gauge("serve.active_streams").set(len(self._sessions))
+        self._tel.gauge("serve.slots_used").set(self._slots_used)
+
+    @property
+    def slots_used(self) -> int:
+        with self._lock:
+            return self._slots_used
+
+    @property
+    def active_streams(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def stats(self) -> dict:
+        with self._lock:
+            sessions = list(self._sessions.values())
+            slots_used = self._slots_used
+        return {
+            "workers": self.workers,
+            "slot_budget": self.slot_budget,
+            "slots_used": slots_used,
+            "active_streams": len(sessions),
+            "sessions_admitted": self.sessions_admitted,
+            "admission_rejects": self.admission_rejects,
+            "streams": [s.stats() for s in sessions],
+            "lut_cache": self.lut_cache.stats(),
+        }
+
+    def close(self) -> None:
+        """Close every session, stop the fleet, unlink all segments."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            sessions = list(self._sessions.values())
+        for s in sessions:
+            s.close()
+        self._abort.set()
+        for t in (self._dispatcher, self._collector):
+            t.join(timeout=2.0)
+        try:  # drop stale band items so pills are reached promptly
+            while True:
+                self._task_q.get_nowait()
+        except (_queue.Empty, OSError, ValueError):
+            pass
+        for p in self._procs:
+            if p.is_alive():
+                try:
+                    self._task_q.put(None)
+                except Exception:  # pragma: no cover - queue torn down
+                    pass
+        for p in self._procs:
+            p.join(timeout=2.0)
+        for p in self._procs:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=2.0)
+        for q in [self._task_q, self._done_q] + self._ctrl_qs:
+            q.cancel_join_thread()
+            q.close()
+        for tables, _ in self._tables.values():
+            tables.release()
+        self._tables.clear()
+        self._tel.gauge("serve.active_streams").set(0)
+        self._tel.gauge("serve.slots_used").set(0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

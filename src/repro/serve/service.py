@@ -1,0 +1,156 @@
+"""High-level multi-stream correction service.
+
+:class:`MultiStreamCorrector` wraps a :class:`~repro.serve.broker
+.StreamBroker` with the ergonomics of
+:func:`~repro.video.stream.corrected_stream`: open sessions against
+coordinate fields, optionally expose the live ``/metrics`` surface for
+the service's lifetime, and drain several sessions from one loop with
+:meth:`~MultiStreamCorrector.merged`.
+
+Typical use — four cameras, one calibration, one fleet::
+
+    with MultiStreamCorrector(workers=4, serve_metrics=9464) as svc:
+        sessions = [svc.open_stream(src, field, name=f"cam{i}")
+                    for i, src in enumerate(sources)]
+        for name, frame in svc.merged(sessions):
+            sink(name, frame)
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+
+from ..core.lutcache import LUTCache
+from ..obs.telemetry import get_telemetry
+from .broker import DEFAULT_SLOT_BUDGET, StreamBroker, StreamSession
+
+__all__ = ["MultiStreamCorrector"]
+
+_DONE = object()
+
+
+class MultiStreamCorrector:
+    """Serve many correction streams from one shared worker fleet.
+
+    Constructor parameters mirror :class:`~repro.serve.broker
+    .StreamBroker` (``workers``, ``slot_budget``, ``schedule``,
+    ``chunk``, ``context``, ``lut_cache``), plus:
+
+    serve_metrics:
+        Live scrape surface for the service's lifetime: an ``int``
+        port starts a :class:`~repro.obs.live.MetricsServer` (closed
+        with the service); a pre-built server is started if needed but
+        left running (caller owns it).  ``None`` serves nothing.
+
+    Like the broker, telemetry is captured at construction — enable or
+    scope a registry first if you want per-stream labelled metrics.
+    """
+
+    def __init__(self, workers: int = 2,
+                 slot_budget: int = DEFAULT_SLOT_BUDGET,
+                 schedule: str = "dynamic", chunk: int | None = None,
+                 context: str = "fork", lut_cache: LUTCache | None = None,
+                 serve_metrics=None):
+        tel = get_telemetry()
+        self._server = None
+        self._own_server = False
+        if serve_metrics is not None:
+            from ..obs.live import MetricsServer
+            if isinstance(serve_metrics, MetricsServer):
+                self._server = serve_metrics.start()
+            else:
+                # pin the active registry: HTTP request threads do not
+                # inherit an obs.scoped() context
+                self._server = MetricsServer(
+                    telemetry=tel if tel.enabled else None,
+                    port=int(serve_metrics)).start()
+                self._own_server = True
+        try:
+            self.broker = StreamBroker(workers=workers,
+                                       slot_budget=slot_budget,
+                                       schedule=schedule, chunk=chunk,
+                                       context=context, lut_cache=lut_cache)
+        except BaseException:
+            if self._own_server:
+                self._server.close()
+            raise
+
+    # ------------------------------------------------------------------
+    @property
+    def metrics_url(self) -> str | None:
+        """The live ``/metrics`` base URL, when a server is attached."""
+        return self._server.url if self._server is not None else None
+
+    def open_stream(self, frames, field, *, name: str | None = None,
+                    method: str = "bilinear", border: str = "constant",
+                    fill: float = 0.0, kernel: str = "numpy",
+                    depth: int = 2, weight: int = 1, copy: bool = True,
+                    deadline_s: float | None = None) -> StreamSession:
+        """Admit one stream; see :meth:`StreamBroker.open`."""
+        return self.broker.open(frames, field, name=name, method=method,
+                                border=border, fill=fill, kernel=kernel,
+                                depth=depth, weight=weight, copy=copy,
+                                deadline_s=deadline_s)
+
+    def merged(self, sessions):
+        """Drain several sessions concurrently; yield ``(name, frame)``.
+
+        One pump thread per session feeds a single queue, so a slow
+        stream never blocks delivery of the others (order across
+        streams is arrival order; order *within* each stream stays
+        strict).  The generator owns the drain: on early close it
+        closes every session so their slots return to the budget.
+        Sessions must use ``copy=True`` (the default) — frames cross
+        threads here.
+        """
+        sessions = list(sessions)
+        out: _queue.Queue = _queue.Queue()
+
+        def pump(s: StreamSession):
+            try:
+                for frame in s:
+                    out.put((s.name, frame, None))
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                out.put((s.name, None, exc))
+            finally:
+                out.put((s.name, _DONE, None))
+
+        threads = [threading.Thread(target=pump, args=(s,),
+                                    name=f"serve-drain-{s.name}", daemon=True)
+                   for s in sessions]
+        for t in threads:
+            t.start()
+        active = len(sessions)
+        try:
+            while active:
+                name, frame, exc = out.get()
+                if exc is not None:
+                    raise exc
+                if frame is _DONE:
+                    active -= 1
+                    continue
+                yield name, frame
+        finally:
+            for s in sessions:
+                s.close()
+            for t in threads:
+                t.join(timeout=2.0)
+
+    def stats(self) -> dict:
+        return self.broker.stats()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the broker (all sessions, the fleet) and any owned
+        metrics server (idempotent)."""
+        self.broker.close()
+        if self._own_server and self._server is not None:
+            self._server.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

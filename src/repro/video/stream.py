@@ -61,28 +61,51 @@ def panning_crops(world: np.ndarray, width: int, height: int, frames: int,
         yield world[y0:y0 + height, x0:x0 + width]
 
 
-def _stream_telemetry(inner: Iterator) -> Iterator:
-    """Wrap a delegated engine with the standard stream metric surface."""
+def _stream_telemetry(inner: Iterator, label: str | None = None) -> Iterator:
+    """Wrap a delegated engine with the standard stream metric surface.
+
+    ``label`` additionally emits the per-stream labelled series
+    (``stream.frames{stream="..."}`` etc., see
+    :func:`repro.obs.export.labeled`) next to the aggregate ones.
+    Closing the wrapper (consumer ``break`` / ``GeneratorExit``)
+    explicitly closes ``inner`` so a delegated engine tears down even
+    when the generator chain is kept alive by a reference cycle.
+    """
     tel = get_telemetry()
-    if not tel.enabled:
-        yield from inner
-        return
-    stream_t0 = time.perf_counter()
-    frames_done = 0
     it = iter(inner)
-    while True:
-        t0 = time.perf_counter()
-        try:
-            item = next(it)
-        except StopIteration:
+    try:
+        if not tel.enabled:
+            yield from it
             return
-        now = time.perf_counter()
-        frames_done += 1
-        tel.counter("stream.frames").inc()
-        tel.histogram("stream.frame_seconds").observe(now - t0)
-        if now > stream_t0:
-            tel.gauge("stream.fps").set(frames_done / (now - stream_t0))
-        yield item
+        from ..obs.export import labeled
+        frames_name = labeled("stream.frames", stream=label) if label \
+            else "stream.frames"
+        fps_name = labeled("stream.fps", stream=label) if label \
+            else "stream.fps"
+        stream_t0 = time.perf_counter()
+        frames_done = 0
+        while True:
+            t0 = time.perf_counter()
+            try:
+                item = next(it)
+            except StopIteration:
+                return
+            now = time.perf_counter()
+            frames_done += 1
+            tel.counter("stream.frames").inc()
+            if label:
+                tel.counter(frames_name).inc()
+            tel.histogram("stream.frame_seconds").observe(now - t0)
+            if now > stream_t0:
+                fps = frames_done / (now - stream_t0)
+                tel.gauge("stream.fps").set(fps)
+                if label:
+                    tel.gauge(fps_name).set(fps)
+            yield item
+    finally:
+        close = getattr(it, "close", None)
+        if close is not None:
+            close()
 
 
 def corrected_stream(frames: Iterable, field: RemapField,
@@ -90,6 +113,7 @@ def corrected_stream(frames: Iterable, field: RemapField,
                      fill: float = 0.0, lut_cache=None,
                      copy: bool = False, engine: str = "sync",
                      kernel: str = "numpy", serve_metrics=None,
+                     stream_label: str | None = None,
                      **engine_kwargs) -> Iterator:
     """Correct a frame stream through the fused zero-allocation kernel.
 
@@ -131,6 +155,13 @@ def corrected_stream(frames: Iterable, field: RemapField,
         started if needed but left running (caller owns its lifetime —
         and can read its ephemeral :attr:`port`).  ``None`` (default)
         serves nothing.
+    stream_label:
+        Optional stream name; when set, the per-stream labelled metric
+        series (``stream.frames{stream="..."}``,
+        ``stream.fps{stream="..."}`` — see
+        :func:`repro.obs.export.labeled`) are emitted next to the
+        aggregate ones, matching what :mod:`repro.serve` reports for
+        each multiplexed session.
 
     Yields
     ------
@@ -152,14 +183,14 @@ def corrected_stream(frames: Iterable, field: RemapField,
     try:
         yield from _corrected_stream(frames, field, method, border, fill,
                                      lut_cache, copy, engine, kernel, tel,
-                                     **engine_kwargs)
+                                     stream_label, **engine_kwargs)
     finally:
         if own_server:
             server.close()
 
 
 def _corrected_stream(frames, field, method, border, fill, lut_cache, copy,
-                      engine, kernel, tel, **engine_kwargs):
+                      engine, kernel, tel, stream_label=None, **engine_kwargs):
     if lut_cache is not None:
         lut = lut_cache.get(field, method=method, border=border, fill=fill)
     else:
@@ -172,7 +203,8 @@ def _corrected_stream(frames, field, method, border, fill, lut_cache, copy,
         # unless the ring engine is actually requested
         from ..parallel.ring import ring_stream
         yield from _stream_telemetry(
-            ring_stream(lut, frames, copy=copy, **engine_kwargs))
+            ring_stream(lut, frames, copy=copy, **engine_kwargs),
+            label=stream_label)
         return
     if engine != "sync":
         raise ScheduleError(
@@ -183,6 +215,11 @@ def _corrected_stream(frames, field, method, border, fill, lut_cache, copy,
     buffer: Optional[np.ndarray] = None
     stream_t0 = time.perf_counter() if tel.enabled else 0.0
     frames_done = 0
+    frames_name = fps_name = None
+    if stream_label and tel.enabled:
+        from ..obs.export import labeled
+        frames_name = labeled("stream.frames", stream=stream_label)
+        fps_name = labeled("stream.fps", stream=stream_label)
     for item in frames:
         t0 = time.perf_counter() if tel.enabled else 0.0
         data = item.data if isinstance(item, Frame) else np.asarray(item)
@@ -195,10 +232,15 @@ def _corrected_stream(frames, field, method, border, fill, lut_cache, copy,
             now = time.perf_counter()
             frames_done += 1
             tel.counter("stream.frames").inc()
+            if frames_name:
+                tel.counter(frames_name).inc()
             tel.histogram("stream.frame_seconds").observe(now - t0)
             # end-to-end rate including the producer's time between frames
             if now > stream_t0:
-                tel.gauge("stream.fps").set(frames_done / (now - stream_t0))
+                fps = frames_done / (now - stream_t0)
+                tel.gauge("stream.fps").set(fps)
+                if fps_name:
+                    tel.gauge(fps_name).set(fps)
         if isinstance(item, Frame):
             yield item.with_data(result)
         else:

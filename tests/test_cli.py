@@ -184,6 +184,64 @@ class TestStream:
         assert "4 frames" in capsys.readouterr().out
 
 
+class TestServe:
+    ARGS = ["--frames", "3", "--width", "64", "--height", "64",
+            "--workers", "1"]
+
+    def test_multiplexes_streams_through_one_fleet(self, capsys):
+        assert main(["serve", "--streams", "2"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "serve: 2 streams x 3 frames" in out
+        assert "fps aggregate" in out
+        assert "s0: 3 frames" in out
+        assert "s1: 3 frames" in out
+
+    def test_weights_csv_pads_with_ones(self, capsys):
+        assert main(["serve", "--streams", "3", "--weights", "2"]
+                    + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "(weight 2" in out
+        assert out.count("(weight 1") == 2
+
+    def test_serve_metrics_self_enables_and_tears_down(self, capsys):
+        assert main(["serve", "--streams", "2", "--serve-metrics", "0"]
+                    + self.ARGS) == 0
+        captured = capsys.readouterr()
+        assert "serving metrics on http://127.0.0.1:" in captured.err
+        assert "slo: e2e p50" in captured.out
+        from repro.obs import get_telemetry
+        assert not get_telemetry().enabled
+
+    def test_admission_overflow_is_clean_error(self, capsys):
+        # 5 streams x 4 slots > budget 16: the fifth is refused
+        assert main(["serve", "--streams", "5", "--depth", "4",
+                     "--slot-budget", "16"] + self.ARGS) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "slots" in err
+
+
+class TestMetricsBindConflict:
+    """A busy port must exit 1 with a message, never a traceback, and
+    must not leave the self-enabled registry behind."""
+
+    @pytest.mark.parametrize("command", ["stream", "serve"])
+    def test_bound_port_clean_error(self, command, capsys):
+        from repro.obs import get_telemetry
+        from repro.obs.live import MetricsServer
+        from repro.obs.telemetry import Telemetry
+
+        with MetricsServer(telemetry=Telemetry(), port=0) as holder:
+            args = [command, "--serve-metrics", str(holder.port),
+                    "--frames", "3", "--width", "64", "--height", "64",
+                    "--workers", "1"]
+            assert main(args) == 1
+            err = capsys.readouterr().err
+            assert "error: cannot serve metrics on" in err
+            assert "Traceback" not in err
+        assert not get_telemetry().enabled
+
+
 class TestStats:
     def _snapshot(self, tmp_path, name, frames):
         path = str(tmp_path / name)

@@ -120,3 +120,61 @@ class TestStreamIntegration:
                                       c2.correct(random_image))
         assert cache.misses == 1
         assert cache.hits >= 1
+
+
+class TestSingleFlight:
+    """Concurrent misses on one key must build exactly once.
+
+    Regression test for the get() race: two threads could both miss,
+    both build the (expensive) table, and the loser's work was thrown
+    away — or worse, the disk tier wrote the same file twice
+    concurrently.  The per-key build lock funnels all concurrent
+    missers through a single build.
+    """
+
+    def test_concurrent_get_builds_exactly_once(self, small_field,
+                                                monkeypatch):
+        import threading
+        import time
+
+        import repro.core.lutcache as lutcache_mod
+
+        builds = []
+        real = lutcache_mod.RemapLUT
+
+        def slow_build(*args, **kwargs):
+            builds.append(threading.get_ident())
+            time.sleep(0.1)  # widen the race window
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(lutcache_mod, "RemapLUT", slow_build)
+        cache = LUTCache()
+        n = 4
+        barrier = threading.Barrier(n)
+        results = [None] * n
+        errors = []
+
+        def worker(i):
+            try:
+                barrier.wait()
+                results[i] = cache.get(small_field, method="bilinear")
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert len(builds) == 1, f"expected 1 build, got {len(builds)}"
+        assert all(r is results[0] for r in results)
+        assert cache.misses == n
+        assert cache.coalesced == n - 1
+        assert cache.stats()["coalesced"] == n - 1
+
+    def test_single_flight_releases_key_lock(self, small_field):
+        cache = LUTCache()
+        cache.get(small_field)
+        assert cache._builds == {}  # no per-key locks retained after build

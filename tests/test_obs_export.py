@@ -15,10 +15,12 @@ from repro.obs.export import (
     diff_snapshots,
     escape_label_value,
     format_snapshot,
+    labeled,
     metrics_json,
     parse_prometheus_text,
     prometheus_text,
     slo_summary,
+    split_labeled,
     write_metrics,
     write_trace,
 )
@@ -256,3 +258,76 @@ class TestDiffAndSlo:
         assert "deadline miss 3/10 (30.0%)" in text
         # bucket bars are gone from the histogram section
         assert "|" not in text
+
+
+class TestLabelledSeries:
+    """The labelled-name convention (repro.serve per-stream metrics)."""
+
+    def labelled_registry(self) -> Telemetry:
+        tel = Telemetry(pid=1234)
+        tel.counter("stream.frames").inc(6)
+        tel.counter(labeled("stream.frames", stream="cam0")).inc(2)
+        tel.counter(labeled("stream.frames", stream="cam1")).inc(4)
+        tel.gauge(labeled("stream.fps", stream="cam0")).set(12.5)
+        h = tel.histogram(labeled("frame.e2e_latency_seconds",
+                                  stream="cam0"), buckets=(0.01, 0.1))
+        h.observe(0.005)
+        h.observe(0.05)
+        return tel
+
+    def test_labeled_builds_sorted_escaped_names(self):
+        assert labeled("stream.frames") == "stream.frames"
+        assert (labeled("stream.frames", stream="cam0")
+                == 'stream.frames{stream="cam0"}')
+        assert (labeled("m", b="2", a="1") == 'm{a="1",b="2"}')
+        assert (labeled("m", s='he said "hi"\n')
+                == 'm{s="he said \\"hi\\"\\n"}')
+
+    def test_labeled_rejects_bad_keys(self):
+        from repro.errors import TelemetryError
+
+        with pytest.raises(TelemetryError):
+            labeled("m", **{"bad-key": "v"})
+        with pytest.raises(TelemetryError):
+            labeled("m", **{"0lead": "v"})
+
+    def test_split_labeled_roundtrip(self):
+        name = labeled("stream.frames", stream="cam0")
+        base, labels = split_labeled(name)
+        assert base == "stream.frames"
+        assert labels == '{stream="cam0"}'
+        assert split_labeled("plain.name") == ("plain.name", "")
+
+    def test_one_type_line_per_base_metric(self):
+        text = prometheus_text(self.labelled_registry())
+        assert text.count("# TYPE repro_stream_frames counter") == 1
+        lines = [l for l in text.splitlines()
+                 if l.startswith("repro_stream_frames")]
+        assert 'repro_stream_frames 6' in lines
+        assert 'repro_stream_frames{stream="cam0"} 2' in lines
+        assert 'repro_stream_frames{stream="cam1"} 4' in lines
+
+    def test_labelled_histogram_merges_le_into_labels(self):
+        text = prometheus_text(self.labelled_registry())
+        assert ('repro_frame_e2e_latency_seconds_bucket'
+                '{stream="cam0",le="0.01"} 1') in text
+        assert ('repro_frame_e2e_latency_seconds_bucket'
+                '{stream="cam0",le="+Inf"} 2') in text
+        assert ('repro_frame_e2e_latency_seconds_count{stream="cam0"} 2'
+                in text)
+
+    def test_labelled_output_stays_parseable(self):
+        series = parse_prometheus_text(prometheus_text(self.labelled_registry()))
+        assert ({"stream": "cam0"}, 2.0) in series["repro_stream_frames"]
+        assert ({}, 6.0) in series["repro_stream_frames"]
+        assert ({"stream": "cam0"}, 12.5) in series["repro_stream_fps"]
+        assert ({"stream": "cam0", "le": "+Inf"},
+                2.0) in series["repro_frame_e2e_latency_seconds_bucket"]
+
+    def test_unlabelled_rendering_unchanged_by_feature(self):
+        """No labelled names -> byte-identical classic rendering (the
+        golden-file tests pin this; double-check the TYPE grouping)."""
+        tel = Telemetry(pid=1)
+        tel.counter("a.b").inc(1)
+        text = prometheus_text(tel)
+        assert "# TYPE repro_a_b counter\nrepro_a_b 1" in text

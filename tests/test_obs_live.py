@@ -346,3 +346,70 @@ class TestServeMetricsWiring:
             got = list(corrected_stream(frames, small_field, copy=True,
                                         serve_metrics=0))
         assert len(got) == 2  # server came and went with the stream
+
+
+# ----------------------------------------------------------------------
+# bind failures + owned-server lifecycle
+# ----------------------------------------------------------------------
+def _metrics_threads():
+    return [t for t in threading.enumerate()
+            if t.name == "repro-metrics-server"]
+
+
+class TestBindFailure:
+    def test_bound_port_raises_typed_error(self):
+        from repro.errors import MetricsBindError
+
+        with MetricsServer(telemetry=Telemetry(), port=0) as first:
+            second = MetricsServer(telemetry=Telemetry(), port=first.port)
+            with pytest.raises(MetricsBindError, match=str(first.port)):
+                second.start()
+            assert not second.running
+            second.close()  # failed start leaves nothing to clean up
+        # MetricsBindError is a TelemetryError: old handlers still catch
+        assert issubclass(MetricsBindError, TelemetryError)
+
+    def test_failed_start_can_retry(self):
+        first = MetricsServer(telemetry=Telemetry(), port=0).start()
+        second = MetricsServer(telemetry=Telemetry(), port=first.port)
+        from repro.errors import MetricsBindError
+        with pytest.raises(MetricsBindError):
+            second.start()
+        first.close()
+        second.start()  # port now free: same object recovers
+        assert second.running
+        second.close()
+
+
+class TestOwnedServerLifecycle:
+    def test_stream_error_still_stops_owned_server(self, small_field, rng):
+        """corrected_stream(serve_metrics=PORT) owns its server: when
+        the source raises mid-run, the daemon thread must be gone."""
+        from repro.video.stream import corrected_stream
+
+        assert not _metrics_threads()
+        frames_ok = _frames(rng, 2)
+
+        def exploding():
+            yield frames_ok[0]
+            raise RuntimeError("decoder died")
+
+        gen = corrected_stream(exploding(), small_field, copy=True,
+                               serve_metrics=0)
+        next(gen)
+        assert len(_metrics_threads()) == 1  # serving mid-stream
+        with pytest.raises(RuntimeError, match="decoder died"):
+            next(gen)
+        for t in _metrics_threads():
+            t.join(timeout=5.0)
+        assert not _metrics_threads()
+
+    def test_caller_owned_server_survives_stream(self, small_field, rng):
+        from repro.video.stream import corrected_stream
+
+        with MetricsServer(telemetry=Telemetry(), port=0) as server:
+            out = list(corrected_stream(iter(_frames(rng, 2)), small_field,
+                                        copy=True, serve_metrics=server))
+            assert len(out) == 2
+            assert server.running  # caller owns the lifetime
+        assert not server.running

@@ -1,0 +1,437 @@
+"""Tests: the multi-stream correction service (:mod:`repro.serve`).
+
+The broker's contract is concurrency-shaped, so these tests pin the
+parts that only break under interleaving: strict per-stream ordering
+across a shared fleet, weighted round-robin fairness, per-stream
+backpressure, admission control against the slot budget, one shared
+LUT build/publication per calibration, labelled telemetry, and the
+teardown guarantees (budget returned, segments unlinked, fleet dead).
+"""
+
+import threading
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core.image import GRAY8, Frame
+from repro.core.lutcache import LUTCache
+from repro.core.remap import RemapLUT
+from repro.errors import AdmissionError, ScheduleError, StreamError
+from repro.obs.export import parse_prometheus_text, prometheus_text
+from repro.obs.telemetry import Telemetry, scoped
+from repro.serve import DEFAULT_SLOT_BUDGET, MultiStreamCorrector, StreamBroker
+from repro.serve.broker import _FairScheduler
+
+pytestmark = pytest.mark.tier1
+
+SIZE = 64
+
+
+def _assert_unlinked(names):
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+def _const_frames(value0, n):
+    """n frames whose centre pixel encodes the frame index."""
+    for k in range(n):
+        yield np.full((SIZE, SIZE), (value0 + k) % 251, dtype=np.uint8)
+
+
+def _centre(frame):
+    return int(np.asarray(frame)[SIZE // 2, SIZE // 2])
+
+
+# ----------------------------------------------------------------------
+# the scheduler data structure
+# ----------------------------------------------------------------------
+class TestFairScheduler:
+    def test_round_robin_alternates(self):
+        s = _FairScheduler()
+        s.add_stream("a")
+        s.add_stream("b")
+        for k in range(3):
+            s.push("a", f"a{k}")
+            s.push("b", f"b{k}")
+        order = [s.pop() for _ in range(6)]
+        assert [sid for sid, _ in order] == ["a", "b", "a", "b", "a", "b"]
+        assert s.pop() is None
+
+    def test_weights_give_proportional_turns(self):
+        s = _FairScheduler()
+        s.add_stream("a", weight=2)
+        s.add_stream("b", weight=1)
+        for k in range(4):
+            s.push("a", k)
+        for k in range(2):
+            s.push("b", k)
+        picked = [s.pop()[0] for _ in range(6)]
+        assert picked == ["a", "a", "b", "a", "a", "b"]
+
+    def test_idle_stream_is_skipped_not_waited_for(self):
+        s = _FairScheduler()
+        s.add_stream("idle")
+        s.add_stream("busy")
+        s.push("busy", 1)
+        s.push("busy", 2)
+        assert [s.pop()[0] for _ in range(2)] == ["busy", "busy"]
+
+    def test_remove_stream_drops_queue_and_rebalances(self):
+        s = _FairScheduler()
+        s.add_stream("a")
+        s.add_stream("b")
+        s.push("a", 1)
+        s.push("b", 2)
+        s.remove_stream("a")
+        assert len(s) == 1
+        assert s.pop() == ("b", 2)
+        s.remove_stream("ghost")  # unknown sid: no-op
+
+    def test_weight_validated(self):
+        s = _FairScheduler()
+        with pytest.raises(ScheduleError):
+            s.add_stream("a", weight=0)
+
+
+# ----------------------------------------------------------------------
+# in-order delivery through one shared fleet
+# ----------------------------------------------------------------------
+class TestInOrderDelivery:
+    def test_four_concurrent_streams_stay_in_order(self, small_field):
+        """The tentpole acceptance check at test scale: four streams,
+        one fleet, every stream's frames arrive strictly in input
+        order with correct content."""
+        n_frames = 8
+        cache = LUTCache()
+        with MultiStreamCorrector(workers=2, slot_budget=16,
+                                  lut_cache=cache) as svc:
+            sessions = [
+                svc.open_stream(_const_frames(i * 60, n_frames), small_field,
+                                name=f"s{i}")
+                for i in range(4)
+            ]
+            got = {f"s{i}": [] for i in range(4)}
+            for name, frame in svc.merged(sessions):
+                got[name].append(_centre(frame))
+        lut = RemapLUT(small_field, method="bilinear")
+        for i in range(4):
+            expected = [
+                _centre(lut.apply(np.full((SIZE, SIZE), (i * 60 + k) % 251,
+                                          dtype=np.uint8)))
+                for k in range(n_frames)
+            ]
+            assert got[f"s{i}"] == expected
+
+    def test_single_session_matches_sync_kernel(self, small_field,
+                                                random_image):
+        lut = RemapLUT(small_field, method="bilinear")
+        frames = [random_image, random_image[::-1].copy()]
+        with StreamBroker(workers=2) as broker:
+            out = list(broker.open(iter(frames), small_field, name="one"))
+        assert len(out) == 2
+        for got, src in zip(out, frames):
+            np.testing.assert_array_equal(got, lut.apply(src))
+
+    def test_frame_objects_keep_metadata(self, small_field, random_image):
+        frames = [Frame(random_image, GRAY8, index=7, timestamp=0.25)]
+        with StreamBroker(workers=1) as broker:
+            out = list(broker.open(iter(frames), small_field))
+        assert isinstance(out[0], Frame)
+        assert out[0].index == 7
+        assert out[0].timestamp == 0.25
+
+    def test_empty_stream_yields_nothing(self, small_field):
+        with StreamBroker(workers=1) as broker:
+            session = broker.open(iter(()), small_field, name="empty")
+            assert list(session) == []
+            assert session.closed
+            # budget returned immediately
+            assert broker.slots_used == 0
+
+    def test_copy_false_views_recycle(self, small_field):
+        with StreamBroker(workers=1) as broker:
+            session = broker.open(_const_frames(10, 4), small_field,
+                                  copy=False, depth=2)
+            seen = [_centre(f) for f in session]
+        lut = RemapLUT(small_field, method="bilinear")
+        expected = [_centre(lut.apply(np.full((SIZE, SIZE), 10 + k,
+                                              dtype=np.uint8)))
+                    for k in range(4)]
+        assert seen == expected
+
+
+# ----------------------------------------------------------------------
+# admission control
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_budget_exhaustion_raises(self, small_field):
+        with StreamBroker(workers=1, slot_budget=4) as broker:
+            a = broker.open(_const_frames(0, 2), small_field, depth=2)
+            broker.open(_const_frames(0, 2), small_field, depth=2)
+            with pytest.raises(AdmissionError):
+                broker.open(_const_frames(0, 2), small_field, depth=2)
+            assert broker.admission_rejects == 1
+            # closing a session returns its slots: admission succeeds now
+            a.close()
+            c = broker.open(_const_frames(50, 2), small_field, depth=2)
+            assert [f is not None for f in c] == [True, True]
+
+    def test_slots_accounting(self, small_field):
+        with StreamBroker(workers=1, slot_budget=8) as broker:
+            s = broker.open(_const_frames(0, 1), small_field, depth=3)
+            assert broker.slots_used == 3
+            assert broker.active_streams == 1
+            s.close()
+            assert broker.slots_used == 0
+            assert broker.active_streams == 0
+
+    def test_failed_open_rolls_back_reservation(self, small_field):
+        with StreamBroker(workers=1, slot_budget=4) as broker:
+            bad = np.zeros((SIZE // 2, SIZE // 2), dtype=np.uint8)
+            with pytest.raises(ScheduleError):
+                broker.open(iter([bad]), small_field)
+            assert broker.slots_used == 0
+
+    def test_default_budget_exported(self):
+        assert DEFAULT_SLOT_BUDGET == 16
+
+    def test_parameter_validation(self, small_field):
+        with pytest.raises(ScheduleError):
+            StreamBroker(workers=0)
+        with pytest.raises(ScheduleError):
+            StreamBroker(workers=1, slot_budget=0)
+        with StreamBroker(workers=1) as broker:
+            with pytest.raises(ScheduleError):
+                broker.open(_const_frames(0, 1), small_field, depth=0)
+
+
+# ----------------------------------------------------------------------
+# backpressure + fairness under a stalled consumer
+# ----------------------------------------------------------------------
+class TestBackpressureAndFairness:
+    def test_unconsumed_session_pulls_at_most_depth_plus_one(self,
+                                                            small_field):
+        pulled = []
+
+        def counting_source():
+            for k in range(100):
+                pulled.append(k)
+                yield np.zeros((SIZE, SIZE), dtype=np.uint8)
+
+        with StreamBroker(workers=1, slot_budget=8) as broker:
+            session = broker.open(counting_source(), small_field, depth=2)
+            time.sleep(1.0)  # nobody consumes: the feeder must stall
+            assert len(pulled) <= session.depth + 2
+            session.close()
+
+    def test_stalled_stream_does_not_starve_the_other(self, small_field):
+        """Session A is never consumed (backpressure holds its feeder);
+        session B must still stream through the shared fleet."""
+        with StreamBroker(workers=2, slot_budget=8) as broker:
+            a = broker.open(_const_frames(0, 50), small_field, name="stalled",
+                            depth=2)
+            b = broker.open(_const_frames(100, 6), small_field, name="live",
+                            depth=2)
+            t0 = time.monotonic()
+            out = [_centre(f) for f in b]
+            elapsed = time.monotonic() - t0
+            assert len(out) == 6
+            assert elapsed < 20.0
+            a.close()
+
+    def test_closed_session_next_raises_stream_error(self, small_field):
+        with StreamBroker(workers=1) as broker:
+            session = broker.open(_const_frames(0, 4), small_field)
+            next(iter(session))
+            session.close()
+            with pytest.raises(StreamError):
+                next(session)
+
+    def test_exhausted_session_keeps_raising_stop_iteration(self,
+                                                            small_field):
+        with StreamBroker(workers=1) as broker:
+            session = broker.open(_const_frames(0, 1), small_field)
+            it = iter(session)
+            next(it)
+            with pytest.raises(StopIteration):
+                next(it)
+            with pytest.raises(StopIteration):
+                next(it)
+
+    def test_geometry_mismatch_from_feeder_surfaces_to_consumer(
+            self, small_field, random_image):
+        def source():
+            yield random_image
+            yield np.zeros((SIZE // 2, SIZE), dtype=np.uint8)  # wrong shape
+
+        with StreamBroker(workers=1) as broker:
+            session = broker.open(source(), small_field)
+            with pytest.raises(ScheduleError):
+                list(session)
+
+
+# ----------------------------------------------------------------------
+# shared calibration
+# ----------------------------------------------------------------------
+class TestSharedCalibration:
+    def test_sessions_share_one_build_and_one_publication(self, small_field):
+        cache = LUTCache()
+        with StreamBroker(workers=1, slot_budget=16,
+                          lut_cache=cache) as broker:
+            sessions = [broker.open(_const_frames(i, 2), small_field,
+                                    name=f"cam{i}") for i in range(3)]
+            for s in sessions:
+                assert len(list(s)) == 2
+            assert cache.misses == 1          # one LUT build
+            assert len(broker._tables) == 1   # one shared-memory publication
+
+    def test_distinct_calibrations_get_distinct_tables(self, small_field,
+                                                       tilted_field):
+        cache = LUTCache()
+        with StreamBroker(workers=1, lut_cache=cache) as broker:
+            list(broker.open(_const_frames(0, 1), small_field))
+            list(broker.open(_const_frames(0, 1), tilted_field))
+            assert cache.misses == 2
+            assert len(broker._tables) == 2
+
+
+# ----------------------------------------------------------------------
+# telemetry
+# ----------------------------------------------------------------------
+class TestServeTelemetry:
+    def test_per_stream_labelled_series(self, small_field):
+        tel = Telemetry()
+        with scoped(tel):
+            with MultiStreamCorrector(workers=1) as svc:
+                sessions = [svc.open_stream(_const_frames(i, 3), small_field,
+                                            name=f"cam{i}")
+                            for i in range(2)]
+                for _ in svc.merged(sessions):
+                    pass
+        snap = tel.snapshot()
+        assert snap["counters"]['stream.frames{stream="cam0"}'] == 3
+        assert snap["counters"]['stream.frames{stream="cam1"}'] == 3
+        assert snap["counters"]["stream.frames"] == 6
+        assert snap["counters"]["serve.bands"] >= 6
+        hists = snap["histograms"]
+        assert 'frame.e2e_latency_seconds{stream="cam0"}' in hists
+        # the labelled series render as one metric family per base name
+        series = parse_prometheus_text(prometheus_text(snap))
+        frames = series["repro_stream_frames"]
+        assert ({"stream": "cam0"}, 3.0) in frames
+        assert ({"stream": "cam1"}, 3.0) in frames
+        assert ({}, 6.0) in frames
+
+    def test_deadline_miss_counted_per_stream(self, small_field):
+        tel = Telemetry()
+        with scoped(tel):
+            with StreamBroker(workers=1) as broker:
+                session = broker.open(_const_frames(0, 2), small_field,
+                                      name="slo", deadline_s=1e-9)
+                assert len(list(session)) == 2
+        snap = tel.snapshot()
+        assert snap["counters"]['stream.deadline_miss{stream="slo"}'] == 2
+        assert snap["counters"]["stream.deadline_miss"] == 2
+
+    def test_fleet_gauges(self, small_field):
+        tel = Telemetry()
+        with scoped(tel):
+            with StreamBroker(workers=2, slot_budget=8) as broker:
+                broker.open(_const_frames(0, 1), small_field, depth=2)
+                snap = tel.snapshot()
+                assert snap["gauges"]["serve.workers"] == 2
+                assert snap["gauges"]["serve.slot_budget"] == 8
+                assert snap["gauges"]["serve.slots_used"] == 2
+        snap = tel.snapshot()
+        assert snap["gauges"]["serve.active_streams"] == 0
+        assert snap["gauges"]["serve.slots_used"] == 0
+
+
+# ----------------------------------------------------------------------
+# teardown guarantees
+# ----------------------------------------------------------------------
+class TestTeardown:
+    def test_broker_close_unlinks_everything_and_stops_fleet(self,
+                                                             small_field):
+        broker = StreamBroker(workers=2)
+        session = broker.open(_const_frames(0, 3), small_field, depth=2)
+        names = [shm.name for seg in session._slots for shm in seg._shms]
+        for tables, _ in broker._tables.values():
+            names += [shm.name for shm in tables._shms]
+        assert len(list(session)) == 3
+        procs = list(broker._procs)
+        broker.close()
+        _assert_unlinked(names)
+        for p in procs:
+            assert not p.is_alive()
+        broker.close()  # idempotent
+
+    def test_session_close_unlinks_its_slots(self, small_field):
+        with StreamBroker(workers=1) as broker:
+            session = broker.open(_const_frames(0, 2), small_field, depth=2)
+            names = [shm.name for seg in session._slots for shm in seg._shms]
+            session.close()
+            _assert_unlinked(names)
+
+    def test_merged_early_close_releases_all_sessions(self, small_field):
+        with MultiStreamCorrector(workers=1, slot_budget=8) as svc:
+            sessions = [svc.open_stream(_const_frames(i, 10), small_field,
+                                        name=f"s{i}") for i in range(2)]
+            drain = svc.merged(sessions)
+            next(drain)
+            drain.close()  # early consumer break
+            assert all(s.closed for s in sessions)
+            assert svc.broker.slots_used == 0
+
+    def test_worker_death_surfaces_stream_error(self, small_field):
+        with StreamBroker(workers=1) as broker:
+            def endless():
+                while True:
+                    yield np.zeros((SIZE, SIZE), dtype=np.uint8)
+
+            session = broker.open(endless(), small_field)
+            next(iter(session))
+            broker._procs[0].terminate()
+            with pytest.raises(StreamError, match="serve-worker-0"):
+                deadline = time.monotonic() + 20.0
+                while time.monotonic() < deadline:
+                    next(session)
+
+    def test_open_after_close_raises(self, small_field):
+        broker = StreamBroker(workers=1)
+        broker.close()
+        with pytest.raises(ScheduleError):
+            broker.open(_const_frames(0, 1), small_field)
+
+
+# ----------------------------------------------------------------------
+# service facade
+# ----------------------------------------------------------------------
+class TestServiceFacade:
+    def test_metrics_url_none_without_server(self):
+        with MultiStreamCorrector(workers=1) as svc:
+            assert svc.metrics_url is None
+
+    def test_stats_shape(self, small_field):
+        with MultiStreamCorrector(workers=1) as svc:
+            svc.open_stream(_const_frames(0, 1), small_field, name="x")
+            stats = svc.stats()
+            assert stats["workers"] == 1
+            assert stats["active_streams"] == 1
+            assert stats["streams"][0]["name"] == "x"
+            assert "lut_cache" in stats
+
+    def test_merged_propagates_session_error(self, small_field,
+                                             random_image):
+        def source():
+            yield random_image
+            raise RuntimeError("decoder fell over")
+
+        with MultiStreamCorrector(workers=1) as svc:
+            session = svc.open_stream(source(), small_field)
+            with pytest.raises(RuntimeError, match="decoder fell over"):
+                for _ in svc.merged([session]):
+                    pass

@@ -196,3 +196,110 @@ class TestCrashedWorkerLeavesNoLeak:
         assert "resource_tracker" not in stderr, stderr
         assert "leaked" not in stderr, stderr
         _assert_unlinked(names)
+
+
+class TestEarlyStreamClose:
+    """Abandoning a ring stream mid-flight must tear everything down.
+
+    Regression tests for the early-close leak: a consumer that breaks
+    out of ``corrected_stream(engine="ring")`` (or closes the generator
+    explicitly) used to leave the persistent workers running and every
+    shared segment linked until interpreter exit.
+    """
+
+    def _engine_and_stream(self, small_field):
+        lut = RemapLUT(small_field, method="bilinear")
+        engine = RingEngine(lut, (64, 64), workers=2, depth=2)
+        frame = np.zeros((64, 64), dtype=np.uint8)
+
+        def endless():
+            while True:
+                yield frame
+
+        return engine, engine.stream(endless())
+
+    def test_generator_close_stops_workers_and_unlinks(self, small_field):
+        engine, gen = self._engine_and_stream(small_field)
+        names = [shm.name for group in engine._segment_groups
+                 for shm in group._shms]
+        next(gen)
+        next(gen)
+        gen.close()  # early abandon: consumer walks away mid-stream
+        assert engine._closed
+        for p in engine._procs:
+            p.join(timeout=5.0)
+            assert not p.is_alive()
+        _assert_unlinked(names)
+
+    def test_break_out_of_for_loop_unlinks(self, small_field):
+        engine, gen = self._engine_and_stream(small_field)
+        names = [shm.name for group in engine._segment_groups
+                 for shm in group._shms]
+        for k, _ in enumerate(gen):
+            if k == 1:
+                break
+        del gen  # the for-loop's GeneratorExit path, then GC
+        import gc
+        gc.collect()
+        assert engine._closed
+        _assert_unlinked(names)
+
+    def test_corrected_stream_early_close_tears_down_ring(self, small_field,
+                                                          monkeypatch):
+        from repro.parallel import ring as ring_mod
+        from repro.video.stream import corrected_stream
+
+        engines = []
+        real_for_stream = RingEngine.for_stream.__func__
+
+        def spy_for_stream(cls, lut, first_frame, **kwargs):
+            engine = real_for_stream(cls, lut, first_frame, **kwargs)
+            engines.append(engine)
+            return engine
+
+        monkeypatch.setattr(ring_mod.RingEngine, "for_stream",
+                            classmethod(spy_for_stream))
+        frame = np.zeros((64, 64), dtype=np.uint8)
+
+        def endless():
+            while True:
+                yield frame
+
+        gen = corrected_stream(endless(), small_field, engine="ring",
+                               workers=2, depth=2)
+        next(gen)
+        next(gen)
+        gen.close()
+        assert len(engines) == 1
+        engine = engines[0]
+        assert engine._closed
+        names = [shm.name for group in engine._segment_groups
+                 for shm in group._shms]
+        for p in engine._procs:
+            p.join(timeout=5.0)
+            assert not p.is_alive()
+        _assert_unlinked(names)
+
+    def test_exception_in_consumer_loop_unlinks(self, small_field):
+        from repro.video.stream import corrected_stream
+
+        frame = np.zeros((64, 64), dtype=np.uint8)
+
+        def endless():
+            while True:
+                yield frame
+
+        gen = corrected_stream(endless(), small_field, engine="ring",
+                               workers=1, depth=2)
+        with pytest.raises(KeyboardInterrupt):
+            for k, _ in enumerate(gen):
+                if k == 2:
+                    raise KeyboardInterrupt
+        gen.close()
+        import gc
+        gc.collect()
+        leftover = [p for p in __import__("multiprocessing").active_children()
+                    if p.name.startswith("ring-worker-")]
+        for p in leftover:
+            p.join(timeout=5.0)
+        assert not [p for p in leftover if p.is_alive()]
