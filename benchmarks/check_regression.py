@@ -83,6 +83,7 @@ METRICS_PATH = os.path.join(REPO_ROOT, "BENCH_metrics.json")
 STREAM_PATH = os.path.join(REPO_ROOT, "BENCH_stream.json")
 KERNELS_PATH = os.path.join(REPO_ROOT, "BENCH_kernels.json")
 SERVE_PATH = os.path.join(REPO_ROOT, "BENCH_serve.json")
+YUV_PATH = os.path.join(REPO_ROOT, "BENCH_yuv.json")
 REPEATS = 5
 
 #: compiled tier must beat the fused numpy kernel by this factor on
@@ -107,6 +108,15 @@ STREAM_SMOKE_FPS_FLOOR = 2.0
 SERVE_SPEEDUP_MIN = 1.5
 #: conservative aggregate floor for the reduced smoke (1-core CI).
 SERVE_SMOKE_FPS_FLOOR = 2.0
+
+#: planar YUV420 gate: bytes actually touched per frame (gather traffic
+#: plus output stores) must shrink by this factor vs correcting the
+#: same content as packed RGB — the zero-copy no-conversion payoff.
+YUV_BYTES_RATIO_MIN = 1.7
+#: reconciliation gate: the measured per-frame DMA ledger (actual LUT
+#: index spans per band, table bytes, output bytes) must land within
+#: this relative error of ``CellModel.planar_dma_profile``.
+YUV_DMA_TOLERANCE = 0.15
 
 
 def _check(label: str, ok: bool, detail: str) -> bool:
@@ -482,6 +492,202 @@ def check_serve(smoke: bool) -> bool:
     return ok
 
 
+def _measured_dma_ledger(lut, tile_rows: int, pixel_bytes: int = 1) -> dict:
+    """Per-frame DMA bytes a banded engine actually needs, from the LUT.
+
+    Walks the concrete gather table in ``tile_rows`` output bands: each
+    band's source traffic is the byte span of the source bounding box
+    its taps really address (what a DMA engine would fetch), plus the
+    band's share of the table itself and its output stores.  This is
+    the measured side of the reconciliation against
+    :meth:`CellModel.planar_dma_profile`, which computes the same
+    ledger analytically from the coordinate field.
+    """
+    oh, ow = lut.out_shape
+    sw = lut.src_shape[1]
+    idx = lut.indices
+    mask = None if lut.mask is None else np.asarray(lut.mask).reshape(-1)
+    src_bytes = 0
+    tiles = 0
+    for r0 in range(0, oh, tile_rows):
+        r1 = min(oh, r0 + tile_rows)
+        sel = idx[r0 * ow:r1 * ow]
+        if mask is not None:
+            sel = sel[mask[r0 * ow:r1 * ow]]
+        tiles += 1
+        if sel.size == 0:
+            continue
+        rows = sel // sw
+        cols = sel % sw
+        src_bytes += (int(rows.max()) - int(rows.min()) + 1) \
+            * (int(cols.max()) - int(cols.min()) + 1) * pixel_bytes
+    n = idx.shape[0]
+    lut_bytes = n * lut.entry_bytes()
+    out_bytes = n * pixel_bytes
+    return {
+        "tiles": tiles,
+        "src_bytes": src_bytes,
+        "lut_bytes": lut_bytes,
+        "out_bytes": out_bytes,
+        "total_bytes": src_bytes + lut_bytes + out_bytes,
+    }
+
+
+def bench_yuv(full: bool) -> dict:
+    """Measure the planar YUV420 fast path against the packed baseline.
+
+    Four independent facts go into ``BENCH_yuv.json``: per-plane
+    bit-exactness against the single-plane oracle, the bytes-touched
+    ratio vs packed RGB on identical content, in-order delivery of
+    per-plane bands under both the ring engine and a broker session,
+    and the measured-vs-modeled DMA ledger reconciliation.
+    """
+    from repro.accel.cellbe import CellModel
+    from repro.accel.platform import Workload
+    from repro.serve.broker import StreamBroker
+    from repro.video.stream import corrected_stream
+    from repro.video.yuv import YUV420Frame, YUVCorrector
+
+    res = "1080p" if full else "VGA"
+    w, h = resolution(res)
+    field = standard_field(w, h)
+    corr = YUVCorrector.from_field(field)
+    oh, ow = corr.luma_lut.out_shape
+
+    y = synth.urban(w, h)
+    u = np.linspace(96, 160, w // 2, dtype=np.float64)[None, :] \
+        * np.ones((h // 2, 1))
+    v = np.linspace(160, 96, h // 2, dtype=np.float64)[:, None] \
+        * np.ones((1, w // 2))
+    frame = YUV420Frame(y, u.astype(np.uint8), v.astype(np.uint8))
+
+    # per-plane result vs the single-plane oracle (same LUTs, one
+    # plane at a time through the public apply)
+    out = corr.correct(frame, copy=True)
+    plane_exact = (np.array_equal(out.y, corr.luma_lut.apply(frame.y))
+                   and np.array_equal(out.u, corr.chroma_lut.apply(frame.u))
+                   and np.array_equal(out.v, corr.chroma_lut.apply(frame.v)))
+
+    # bytes actually touched: gather traffic + output stores, planar
+    # vs the same content corrected as packed RGB through one LUT
+    _, snap_yuv = capture_metrics(corr.correct, frame)
+    yuv_bytes = (snap_yuv["counters"]["remap.bytes_gathered"]
+                 + out.y.nbytes + out.u.nbytes + out.v.nbytes)
+    rgb = frame.to_rgb()
+    rgb_out = np.empty((oh, ow, 3), dtype=np.uint8)
+    _, snap_rgb = capture_metrics(corr.luma_lut.apply_into, rgb, rgb_out)
+    rgb_bytes = (snap_rgb["counters"]["remap.bytes_gathered"]
+                 + rgb_out.nbytes)
+    bytes_ratio = rgb_bytes / yuv_bytes
+
+    # in-order delivery of per-plane bands: value-encoded frames
+    # through the planar ring engine and a planar broker session
+    n_frames = 8 if full else 6
+
+    def value(k):
+        return (k * 37 + 11) % 251
+
+    def frames_src():
+        for k in range(n_frames):
+            yield YUV420Frame(
+                np.full((h, w), value(k), dtype=np.uint8),
+                np.full((h // 2, w // 2), 90, dtype=np.uint8),
+                np.full((h // 2, w // 2), 170, dtype=np.uint8))
+
+    expected = [corr.correct(f, copy=True) for f in frames_src()]
+
+    def in_order(got):
+        if len(got) != n_frames:
+            return False
+        return all(
+            np.array_equal(g.y, e.y) and np.array_equal(g.u, e.u)
+            and np.array_equal(g.v, e.v)
+            for g, e in zip(got, expected))
+
+    ring_got = list(corrected_stream(frames_src(), field, pixfmt="yuv420",
+                                     engine="ring", workers=2, depth=2,
+                                     copy=True))
+    ring_in_order = in_order(ring_got)
+
+    with StreamBroker(workers=2, slot_budget=4) as broker:
+        serve_got = list(broker.open(frames_src(), field, name="yuv-gate",
+                                     pixfmt="yuv420", depth=2))
+    serve_in_order = in_order(serve_got)
+
+    # measured-vs-modeled DMA ledger, identical tiling on both sides
+    tile_rows = 64
+    model = CellModel()
+    wl_y = Workload.from_field(field,
+                               lut_entry_bytes=corr.luma_lut.entry_bytes())
+    wl_c = Workload.from_field(corr.chroma_field,
+                               lut_entry_bytes=corr.chroma_lut.entry_bytes())
+    modeled = model.planar_dma_profile({"y": wl_y, "u": wl_c, "v": wl_c},
+                                       tile_rows=tile_rows)
+    meas_y = _measured_dma_ledger(corr.luma_lut, tile_rows)
+    meas_c = _measured_dma_ledger(corr.chroma_lut, max(1, tile_rows // 2))
+    measured_total = meas_y["total_bytes"] + 2 * meas_c["total_bytes"]
+    dma_rel_err = abs(measured_total - modeled["total_bytes"]) \
+        / modeled["total_bytes"]
+
+    return {
+        "mode": "full" if full else "smoke",
+        "cpu_count": os.cpu_count(),
+        "resolution": res,
+        "frames": n_frames,
+        "method": "bilinear",
+        "plane_exact": plane_exact,
+        "yuv_bytes_per_frame": int(yuv_bytes),
+        "rgb_bytes_per_frame": int(rgb_bytes),
+        "bytes_ratio": bytes_ratio,
+        "bytes_ratio_gate": YUV_BYTES_RATIO_MIN,
+        "ring_in_order": ring_in_order,
+        "serve_in_order": serve_in_order,
+        "tile_rows": tile_rows,
+        "measured_dma_bytes": int(measured_total),
+        "modeled_dma_bytes": int(modeled["total_bytes"]),
+        "dma_rel_err": dma_rel_err,
+        "dma_tolerance": YUV_DMA_TOLERANCE,
+        "measured_planes": {"y": meas_y, "u": meas_c, "v": meas_c},
+        "modeled_planes": {k: {kk: vv for kk, vv in p.items()}
+                           for k, p in modeled["planes"].items()},
+    }
+
+
+def check_yuv(smoke: bool) -> bool:
+    """The planar YUV420 gate; writes ``BENCH_yuv.json``."""
+    full = not smoke and (os.cpu_count() or 1) >= STREAM_FULL_MIN_CORES
+    print(f"== planar yuv420: bytes touched, ordering, DMA ledger "
+          f"({'full 1080p' if full else 'reduced smoke VGA'}) ==")
+    result = bench_yuv(full)
+    with open(YUV_PATH, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+
+    ok = _check("per-plane output bit-exact vs single-plane oracle",
+                result["plane_exact"], "y, u, v all equal")
+    ok &= _check(
+        f"planar touches {YUV_BYTES_RATIO_MIN}x fewer bytes than RGB",
+        result["bytes_ratio"] >= YUV_BYTES_RATIO_MIN,
+        f"rgb {result['rgb_bytes_per_frame'] / 1e6:.1f} MB vs yuv "
+        f"{result['yuv_bytes_per_frame'] / 1e6:.1f} MB per frame "
+        f"({result['bytes_ratio']:.2f}x)")
+    ok &= _check("ring delivers planar frames in order",
+                 result["ring_in_order"],
+                 f"{result['frames']} frames, per-plane bands")
+    ok &= _check("broker session delivers planar frames in order",
+                 result["serve_in_order"],
+                 f"{result['frames']} frames through the shared fleet")
+    ok &= _check(
+        f"measured DMA within {YUV_DMA_TOLERANCE:.0%} of Cell model",
+        result["dma_rel_err"] <= YUV_DMA_TOLERANCE,
+        f"measured {result['measured_dma_bytes'] / 1e6:.2f} MB vs modeled "
+        f"{result['modeled_dma_bytes'] / 1e6:.2f} MB "
+        f"({result['dma_rel_err']:.1%} off)")
+    print(f"  -> {os.path.relpath(YUV_PATH, REPO_ROOT)} "
+          f"(mode={result['mode']})")
+    return ok
+
+
 def check_live_surface() -> bool:
     """The live observability gate: scrape a streaming run in-process.
 
@@ -595,6 +801,8 @@ def main() -> int:
     ok &= check_stream(smoke=args.smoke)
 
     ok &= check_serve(smoke=args.smoke)
+
+    ok &= check_yuv(smoke=args.smoke)
 
     ok &= check_live_surface()
 

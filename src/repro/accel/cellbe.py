@@ -183,6 +183,52 @@ class CellModel(PlatformModel):
             "dma_setup_ns_total": len(jobs) * 2 * self.dma_setup_ns,
         }
 
+    def planar_dma_profile(self, plane_workloads: dict,
+                           tile_rows: int | None = None,
+                           tile_cols: int | None = None,
+                           double_buffering: bool = True) -> dict:
+        """DMA ledger for one planar (e.g. YUV 4:2:0) frame.
+
+        ``plane_workloads`` maps plane names to single-channel
+        :class:`~repro.accel.platform.Workload`\\ s — for 4:2:0 a
+        full-resolution luma plane plus two half-resolution chroma
+        planes sharing one derived map.  Each plane is profiled with
+        its own feasible tiling (``tile_rows`` applies to the luma
+        plane; chroma planes use ``tile_rows // 2`` so the band count
+        matches) and the ledgers are summed, giving the modeled
+        bytes/frame that the measured planar hot path is reconciled
+        against in ``benchmarks/check_regression.py``.
+        """
+        planes = {}
+        src = lut = out = tiles = setup = 0
+        total_px = 0
+        luma_h = max(w.out_height for w in plane_workloads.values())
+        for name, workload in plane_workloads.items():
+            rows = tile_rows
+            if rows is not None and workload.out_height < luma_h:
+                rows = max(1, rows // 2)
+            prof = self.dma_profile(workload, tile_rows=rows,
+                                    tile_cols=tile_cols,
+                                    double_buffering=double_buffering)
+            planes[name] = prof
+            src += prof["src_bytes"]
+            lut += prof["lut_bytes"]
+            out += prof["out_bytes"]
+            tiles += prof["tiles"]
+            setup += prof["dma_setup_ns_total"]
+            total_px += workload.pixels
+        total = src + lut + out
+        return {
+            "planes": planes,
+            "tiles": tiles,
+            "src_bytes": src,
+            "lut_bytes": lut,
+            "out_bytes": out,
+            "total_bytes": total,
+            "bytes_per_output_px": total / total_px,
+            "dma_setup_ns_total": setup,
+        }
+
     #: Tiles replayed into the trace per ledger; a 1080p frame can tile
     #: into hundreds of jobs, far past what a timeline view needs.
     _TRACE_TILE_CAP = 64

@@ -228,9 +228,22 @@ def cmd_stream(args) -> int:
                                        port=args.serve_metrics).start()
             print(f"serving metrics on {server.url} "
                   f"(/metrics /health /snapshot)", file=sys.stderr)
+        if args.pixfmt == "yuv420":
+            if engine not in ("sync", "ring"):
+                print("stream: --pixfmt yuv420 supports --engine seq or ring",
+                      file=sys.stderr)
+                return 2
+            from .video.stream import corrected_stream
+            from .video.yuv import to_yuv420_stream
+            it = corrected_stream(
+                to_yuv420_stream(source), corrector.field,
+                method=args.method, kernel=args.kernel, engine=engine,
+                pixfmt="yuv420", **engine_kwargs)
+        else:
+            it = corrector.correct_stream(source, stats=stats, engine=engine,
+                                          **engine_kwargs)
         t0 = time.perf_counter()
-        for _ in corrector.correct_stream(source, stats=stats, engine=engine,
-                                          **engine_kwargs):
+        for _ in it:
             frames += 1
         wall = time.perf_counter() - t0
         detail = ""
@@ -239,11 +252,16 @@ def cmd_stream(args) -> int:
         elif engine == "ring":
             detail = (f" workers={args.workers} depth={args.depth} "
                       f"schedule={args.schedule}")
-        print(f"engine={args.engine}{detail} kernel={corrector.kernel}: "
-              f"{frames} frames "
+        if args.pixfmt == "yuv420":
+            # planar: 1.5 samples per output pixel across the 3 planes
+            mpx = frames * (w * h * 1.5) / wall / 1e6
+        else:
+            mpx = stats.mpixels_per_s
+        print(f"engine={args.engine}{detail} kernel={corrector.kernel} "
+              f"pixfmt={args.pixfmt}: {frames} frames "
               f"{w}x{h} {args.method} in {wall:.3f}s "
               f"-> {frames / wall:.1f} fps end-to-end "
-              f"({stats.mpixels_per_s:.1f} Mpx/s in-engine)")
+              f"({mpx:.1f} Mpx/s in-engine)")
         if tel.enabled:
             slo = obs.slo_summary(tel.snapshot())
             if slo is not None:
@@ -505,6 +523,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "installed, else numpy)")
     p.add_argument("--context", choices=["fork", "spawn"], default="fork",
                    help="ring worker start method")
+    p.add_argument("--pixfmt", choices=["gray", "yuv420"], default="gray",
+                   help="frame pixel format: gray drives 2-D frames through "
+                        "the corrector; yuv420 wraps the stream as planar "
+                        "YUV 4:2:0 and corrects all three planes natively "
+                        "(no RGB conversion, engines seq/ring)")
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--serve-metrics", type=int, metavar="PORT", default=None,
                    help="serve /metrics /health /snapshot on 127.0.0.1:PORT "

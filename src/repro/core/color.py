@@ -16,12 +16,26 @@ __all__ = [
     "rgb_to_gray",
     "rgb_to_yuv",
     "yuv_to_rgb",
+    "rgb_to_yuv420",
+    "yuv420_to_rgb",
     "subsample_420",
     "upsample_420",
 ]
 
 # BT.601 full-range analog coefficients
 _KR, _KG, _KB = 0.299, 0.587, 0.114
+
+# Fused 3x3 forward matrix (RGB -> YUV): Y = Kr R + Kg G + Kb B,
+# U = 0.492 (B - Y), V = 0.877 (R - Y), expanded so one matmul does the
+# whole conversion.  float32 keeps the hot path at half the memory
+# traffic of the float64 reference functions below while staying well
+# inside one uint8 LSB of them.
+_FWD32 = np.array([
+    [_KR, _KG, _KB],
+    [-0.492 * _KR, -0.492 * _KG, 0.492 * (1.0 - _KB)],
+    [0.877 * (1.0 - _KR), -0.877 * _KG, -0.877 * _KB],
+], dtype=np.float32)
+_INV32 = np.linalg.inv(_FWD32.astype(np.float64)).astype(np.float32)
 
 
 def _check_rgb(rgb):
@@ -68,6 +82,49 @@ def yuv_to_rgb(yuv, dtype=np.float64):
         info = np.iinfo(dtype)
         rgb = np.clip(np.rint(rgb), info.min, info.max)
     return rgb.astype(dtype)
+
+
+def rgb_to_yuv420(rgb):
+    """Pack uint8 RGB straight into planar 4:2:0 (BT.601, box-filtered).
+
+    The vectorized hot-path twin of ``rgb_to_yuv`` + ``subsample_420``:
+    one float32 matmul converts all three channels, and the chroma
+    planes are box-filtered with a reshape (no per-plane Python-level
+    passes, no float64 temporaries).  Returns ``(y, u, v)`` uint8
+    planes with chroma stored offset-binary around 128.
+    """
+    rgb = _check_rgb(rgb)
+    h, w = rgb.shape[:2]
+    if h % 2 or w % 2:
+        raise ImageFormatError(f"4:2:0 packing needs even dimensions, got {w}x{h}")
+    yuv = rgb.astype(np.float32, copy=False) @ _FWD32.T
+    y = np.clip(np.rint(yuv[..., 0]), 0, 255).astype(np.uint8)
+    # 2x2 box filter via reshape: mean over the (2, 2) block axes
+    sub = yuv[..., 1:].reshape(h // 2, 2, w // 2, 2, 2).mean(axis=(1, 3))
+    uv = np.clip(np.rint(sub + 128.0), 0, 255).astype(np.uint8)
+    return y, uv[..., 0], uv[..., 1]
+
+
+def yuv420_to_rgb(y, u, v):
+    """Unpack planar 4:2:0 to uint8 RGB (nearest chroma upsampling).
+
+    Inverse of :func:`rgb_to_yuv420`, again one fused float32 matmul
+    over an ``(H, W, 3)`` working buffer instead of per-plane float64
+    stacking.
+    """
+    y = np.asarray(y)
+    h, w = y.shape
+    yuv = np.empty((h, w, 3), dtype=np.float32)
+    yuv[..., 0] = y
+    # nearest-neighbour upsample: write each chroma sample into its 2x2
+    # block through strided views (no intermediate repeat arrays)
+    for c, plane in ((1, u), (2, v)):
+        p = np.asarray(plane, dtype=np.float32) - 128.0
+        for dy in (0, 1):
+            for dx in (0, 1):
+                yuv[dy::2, dx::2, c] = p
+    rgb = yuv @ _INV32.T
+    return np.clip(np.rint(rgb), 0, 255).astype(np.uint8)
 
 
 def subsample_420(plane):

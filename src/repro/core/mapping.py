@@ -38,6 +38,7 @@ __all__ = [
     "equirectangular_map",
     "fisheye_forward_map",
     "identity_map",
+    "chroma_half_field",
 ]
 
 
@@ -296,3 +297,36 @@ def identity_map(width: int, height: int) -> RemapField:
     """
     xs, ys = geometry.pixel_grid(height, width)
     return RemapField(xs, ys, width, height)
+
+
+def chroma_half_field(field: RemapField) -> RemapField:
+    """Derive the half-resolution 4:2:0 chroma twin of a luma field.
+
+    Chroma output pixel ``(i, j)`` covers luma output pixels
+    ``(2i..2i+1, 2j..2j+1)``, so its sample point sits at luma
+    coordinate ``(2i + 0.5, 2j + 0.5)`` — exactly the centre of the
+    2x2 block, where bilinear interpolation of the luma map equals the
+    block mean.  The averaged source coordinate is then rescaled into
+    the half-resolution chroma source plane with the same half-pixel
+    convention: ``c' = (c - 0.5) / 2``.
+
+    Because the construction is purely numeric it works for *any*
+    luma field (perspective, cylindrical, tilted views, composed
+    maps), always describes the same scene geometry as the luma plane,
+    and produces a field whose content fingerprint — and therefore its
+    :class:`~repro.core.lutcache.LUTCache` key — is distinct from the
+    full-resolution map it was derived from.  NaN (out-of-FOV) luma
+    samples propagate through the mean, so a chroma pixel is valid
+    only when its whole 2x2 luma block is.
+    """
+    h, w = field.shape
+    if h % 2 or w % 2:
+        raise MappingError(f"4:2:0 output size must be even, got {w}x{h}")
+    if field.src_width % 2 or field.src_height % 2:
+        raise MappingError(
+            f"4:2:0 source size must be even, got "
+            f"{field.src_width}x{field.src_height}")
+    mx = field.map_x.reshape(h // 2, 2, w // 2, 2).mean(axis=(1, 3))
+    my = field.map_y.reshape(h // 2, 2, w // 2, 2).mean(axis=(1, 3))
+    return RemapField((mx - 0.5) / 2.0, (my - 0.5) / 2.0,
+                      field.src_width // 2, field.src_height // 2)

@@ -433,6 +433,35 @@ class RemapLUT:
         frac_floats = {"nearest": 0, "bilinear": 2, "bicubic": 8}[method]
         return 4 * taps + 4 * frac_floats + (1 if border == "constant" else 0)
 
+    def traffic_per_frame(self, channels: int = 1,
+                          pixel_bytes: int = 1) -> dict:
+        """Per-frame bytes the fused apply touches (the host DMA ledger).
+
+        Accounts the same three flows the Cell model's
+        :meth:`~repro.accel.cellbe.CellModel.dma_profile` prices:
+        source gathers (``taps`` reads per output pixel per channel —
+        this is exactly what the ``remap.bytes_gathered`` counter
+        observes at run time), the streamed LUT entries
+        (:meth:`entry_bytes` per output pixel, independent of the
+        channel count — the table is shared across planes/channels)
+        and the output writes.  Planar 4:2:0 streaming sums this
+        ledger over the full-resolution luma LUT plus two half-
+        resolution chroma applies, which is where its ~2x
+        bytes-touched advantage over 3-channel RGB comes from.
+        """
+        n = int(np.prod(self.out_shape))
+        gather = n * self.taps * channels * pixel_bytes
+        lut = n * self.entry_bytes()
+        out = n * channels * pixel_bytes
+        return {
+            "pixels": n,
+            "channels": channels,
+            "gather_bytes": gather,
+            "lut_bytes": lut,
+            "out_bytes": out,
+            "total_bytes": gather + lut + out,
+        }
+
     # ------------------------------------------------------------------
     # Derived tables (scratch; lazily built, reused across frames)
     # ------------------------------------------------------------------

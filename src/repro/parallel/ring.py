@@ -35,6 +35,17 @@ tracks, so a Chrome trace shows decode, remap and delivery overlapping
 across in-flight frames — the frame-level analogue of the modeled F5
 DMA-overlap experiment.
 
+Planar YUV420 rings (``chroma_lut=``): each slot is a
+:class:`~repro.parallel.shmseg.PlanarFrameSegments` (all three planes
+in one shared allocation per side) and the band queue carries
+``(seq, slot, plane, row0, row1)`` items — full-height Y bands plus
+half-height U/V bands — so the fleet interleaves planes and frames
+freely (a worker can gather Y bands of frame *N* while another
+finishes the chroma of frame *N-1*) while delivery stays strictly
+in order.  Workers then emit ``ring.bands{plane="y"|"u"|"v"}``
+labelled counters and their ``ring.band`` spans carry a ``plane``
+arg.
+
 Frame lineage: every span carries the frame's ``frame_id`` (the input
 sequence number) in its args, and each in-order delivery closes a
 ``frame.lifecycle`` span on the synthetic ``ring-frames`` track
@@ -71,11 +82,14 @@ from ..core.remap import RemapLUT
 from ..obs.flightrec import DEFAULT_FLIGHT_CAPACITY, FlightRecorder
 from ..obs.logsetup import get_logger
 from ..obs.telemetry import get_telemetry
+from ..video.yuv import PLANE_NAMES, YUV420Frame
 from .partition import row_bands
 from .shmseg import (
     FrameSegments,
+    PlanarFrameSegments,
     SharedTables,
-    attach_slot,
+    attach_any_slot,
+    attach_planar_tables,
     attach_tables,
     init_worker_telemetry,
     worker_delta,
@@ -148,30 +162,41 @@ def plan_bands(height: int, workers: int, schedule: str = "dynamic",
 # ----------------------------------------------------------------------
 def _ring_worker_main(rank, task_q, done_q, table_spec, lut_meta, slot_spec,
                       telemetry_enabled):
-    """Persistent worker: pull ``(seq, slot, row0, row1)`` items forever.
+    """Persistent worker: pull ``(seq, slot, plane, row0, row1)`` items.
 
     Attaches once to the LUT tables and every ring slot, then loops
-    until the poison pill (``None``).  Each completed band posts
-    ``(seq, slot, rows, rank, telemetry_delta)`` on the completion
-    queue; the delta carries this band's counters, histogram samples
-    and its ``ring.band`` span (on the ``ring-worker-<rank>`` track) so
-    the parent's merged trace shows true per-worker utilization.
+    until the poison pill (``None``).  A planar publication (spec with
+    a chroma LUT, planar slots) yields one LUT and one view pair per
+    plane; the non-planar ring is the one-plane special case of the
+    same loop.  Each completed band posts ``(seq, slot, rows, rank,
+    telemetry_delta)`` on the completion queue; the delta carries this
+    band's counters, histogram samples and its ``ring.band`` span (on
+    the ``ring-worker-<rank>`` track, with a ``plane`` arg on planar
+    rings) so the parent's merged trace shows true per-worker
+    utilization.
     """
     init_worker_telemetry(telemetry_enabled)
-    segments, _, lut = attach_tables(table_spec, lut_meta)
+    planar = "chroma" in lut_meta
+    if planar:
+        segments, luts = attach_planar_tables(table_spec, lut_meta)
+    else:
+        segments, _, lut = attach_tables(table_spec, lut_meta)
+        luts = (lut,)
     slots = []
     for spec in slot_spec:
-        slot_segs, src, dst = attach_slot(spec)
+        slot_segs, srcs, dsts = attach_any_slot(spec)
         segments += slot_segs
-        slots.append((src, dst))
+        slots.append((srcs, dsts))
     track = f"ring-worker-{rank}"
+    plane_counters = None
     try:
         while True:
             item = task_q.get()
             if item is None:
                 break
-            seq, slot_idx, row0, row1 = item
-            src, dst = slots[slot_idx]
+            seq, slot_idx, plane, row0, row1 = item
+            srcs, dsts = slots[slot_idx]
+            src, dst, lut = srcs[plane], dsts[plane], luts[plane]
             tel = get_telemetry()
             wall0 = time.time() if tel.enabled else 0.0
             t0 = time.perf_counter() if tel.enabled else 0.0
@@ -182,9 +207,17 @@ def _ring_worker_main(rank, task_q, done_q, table_spec, lut_meta, slot_spec,
                 tel.counter("ring.bands").inc()
                 tel.counter(f"ring.worker.{rank}.busy_seconds").inc(dt)
                 tel.histogram("ring.band_seconds").observe(dt)
+                args = {"frame_id": seq, "rows": row1 - row0,
+                        "tier": lut.tier}
+                if planar:
+                    if plane_counters is None:
+                        from ..obs.export import labeled
+                        plane_counters = [
+                            labeled("ring.bands", plane=n) for n in PLANE_NAMES]
+                    args["plane"] = PLANE_NAMES[plane]
+                    tel.counter(plane_counters[plane]).inc()
                 tel.add_span("ring.band", wall0, dt, cat="ring", tid=track,
-                             args={"frame_id": seq, "rows": row1 - row0,
-                                   "tier": lut.tier})
+                             args=args)
                 delta = worker_delta()
             done_q.put((seq, slot_idx, row1 - row0, rank, delta))
     finally:
@@ -249,7 +282,8 @@ class RingEngine:
                  deadline_s: float | None = None,
                  stall_timeout_s: float | None = None,
                  flight_dir=None,
-                 flight_capacity: int = DEFAULT_FLIGHT_CAPACITY):
+                 flight_capacity: int = DEFAULT_FLIGHT_CAPACITY,
+                 chroma_lut: RemapLUT | None = None):
         if workers < 1:
             raise ScheduleError(f"workers must be >= 1, got {workers}")
         if depth < 1:
@@ -268,6 +302,8 @@ class RingEngine:
             raise ScheduleError(
                 f"frame shape {frame_shape} does not match LUT source {lut.src_shape}")
         self.lut = lut
+        self.chroma_lut = chroma_lut
+        self.planar = chroma_lut is not None
         self.workers = workers
         self.depth = depth
         self.schedule = schedule
@@ -279,7 +315,11 @@ class RingEngine:
         self.frame_dtype = np.dtype(frame_dtype)
         channels = frame_shape[2:] if len(frame_shape) == 3 else ()
         self.out_shape = lut.out_shape + channels
-        self.bands = plan_bands(lut.out_shape[0], workers, schedule, chunk)
+        #: band items as ``(plane, row0, row1)`` — per-plane on planar
+        #: rings (Y bands over the full output height, chroma bands over
+        #: half), a single plane 0 otherwise.
+        self.bands = [(0, r0, r1) for r0, r1 in
+                      plan_bands(lut.out_shape[0], workers, schedule, chunk)]
         #: high-water mark of simultaneously occupied slots (observable
         #: backpressure witness; also exported as the ``ring.in_flight``
         #: gauge).
@@ -287,9 +327,37 @@ class RingEngine:
         self._closed = False
         self._streaming = False
 
-        self._slots = [FrameSegments(self.frame_shape, self.frame_dtype,
-                                     self.out_shape) for _ in range(depth)]
-        self._tables = SharedTables(lut)
+        if self.planar:
+            if len(frame_shape) != 2:
+                raise ScheduleError(
+                    f"planar rings take 2-D luma frame shapes, got {frame_shape}")
+            h, w = frame_shape
+            if h % 2 or w % 2:
+                raise ScheduleError(
+                    f"planar frame size must be even, got {w}x{h}")
+            if chroma_lut.src_shape != (h // 2, w // 2):
+                raise ScheduleError(
+                    f"chroma LUT source {chroma_lut.src_shape} is not half "
+                    f"the luma frame {frame_shape}")
+            oh, ow = lut.out_shape
+            if chroma_lut.out_shape != (oh // 2, ow // 2):
+                raise ScheduleError(
+                    f"chroma LUT output {chroma_lut.out_shape} is not half "
+                    f"the luma output {lut.out_shape}")
+            chroma_bands = plan_bands(oh // 2, workers, schedule,
+                                      None if chunk is None else max(1, chunk // 2))
+            self.bands += [(plane, r0, r1) for plane in (1, 2)
+                           for r0, r1 in chroma_bands]
+            self._slots = [
+                PlanarFrameSegments(YUV420Frame.plane_shapes(h, w),
+                                    self.frame_dtype,
+                                    YUV420Frame.plane_shapes(oh, ow))
+                for _ in range(depth)]
+            self._tables = SharedTables(lut, chroma=chroma_lut)
+        else:
+            self._slots = [FrameSegments(self.frame_shape, self.frame_dtype,
+                                         self.out_shape) for _ in range(depth)]
+            self._tables = SharedTables(lut)
         self._segment_groups = list(self._slots) + [self._tables]
         slot_spec = [s.spec for s in self._slots]
 
@@ -450,11 +518,23 @@ class RingEngine:
                         item = next(it)
                     except StopIteration:
                         break
-                    data = item.data if isinstance(item, Frame) else np.asarray(item)
-                    if data.shape != self.frame_shape or data.dtype != self.frame_dtype:
-                        raise ScheduleError(
-                            f"frame {data.shape}/{data.dtype} does not match ring "
-                            f"geometry {self.frame_shape}/{self.frame_dtype}")
+                    if self.planar:
+                        if not isinstance(item, YUV420Frame):
+                            raise ScheduleError(
+                                f"planar ring expects YUV420Frame items, "
+                                f"got {type(item).__name__}")
+                        if (item.y.shape != self.frame_shape
+                                or item.y.dtype != self.frame_dtype):
+                            raise ScheduleError(
+                                f"frame {item.y.shape}/{item.y.dtype} does not "
+                                f"match ring geometry "
+                                f"{self.frame_shape}/{self.frame_dtype}")
+                    else:
+                        data = item.data if isinstance(item, Frame) else np.asarray(item)
+                        if data.shape != self.frame_shape or data.dtype != self.frame_dtype:
+                            raise ScheduleError(
+                                f"frame {data.shape}/{data.dtype} does not match ring "
+                                f"geometry {self.frame_shape}/{self.frame_dtype}")
                     t1 = time.perf_counter()
                     while True:
                         try:
@@ -464,8 +544,14 @@ class RingEngine:
                             if abort.is_set():
                                 return
                     t2 = time.perf_counter()
-                    np.copyto(self._slots[slot].src_view, data)
-                    slot_items[slot] = item if isinstance(item, Frame) else None
+                    if self.planar:
+                        for view, plane in zip(self._slots[slot].src_views,
+                                               item.planes):
+                            np.copyto(view, plane)
+                        slot_items[slot] = None
+                    else:
+                        np.copyto(self._slots[slot].src_view, data)
+                        slot_items[slot] = item if isinstance(item, Frame) else None
                     pending[slot] = len(self.bands)
                     decode_t0[seq] = t_dec
                     in_flight = self.depth - free.qsize()
@@ -479,8 +565,8 @@ class RingEngine:
                                      time.perf_counter() - t0, cat="ring",
                                      tid="ring-decode", args={"frame_id": seq,
                                                               "slot": slot})
-                    for row0, row1 in self.bands:
-                        self._task_q.put((seq, slot, row0, row1))
+                    for plane, row0, row1 in self.bands:
+                        self._task_q.put((seq, slot, plane, row0, row1))
                     seq += 1
                 state["produced"] = seq
             except BaseException as exc:  # noqa: BLE001 - re-raised by consumer
@@ -513,7 +599,10 @@ class RingEngine:
                     raise state["error"]
                 if next_seq in completed:
                     slot = completed.pop(next_seq)
-                    result = self._slots[slot].dst_view
+                    if self.planar:
+                        result = YUV420Frame(*self._slots[slot].dst_views)
+                    else:
+                        result = self._slots[slot].dst_view
                     item = slot_items[slot]
                     if copy:
                         result = result.copy()
@@ -591,7 +680,16 @@ class RingEngine:
     # ------------------------------------------------------------------
     @classmethod
     def for_stream(cls, lut: RemapLUT, first_frame, **kwargs) -> "RingEngine":
-        """Build an engine sized from the first frame of a stream."""
+        """Build an engine sized from the first frame of a stream.
+
+        A :class:`~repro.video.yuv.YUV420Frame` first frame selects the
+        planar ring (pass ``chroma_lut=`` alongside).
+        """
+        if isinstance(first_frame, YUV420Frame):
+            if kwargs.get("chroma_lut") is None:
+                raise ScheduleError(
+                    "YUV420 streams need a chroma_lut for the planar ring")
+            return cls(lut, first_frame.y.shape, first_frame.y.dtype, **kwargs)
         data = first_frame.data if isinstance(first_frame, Frame) else np.asarray(first_frame)
         return cls(lut, data.shape, data.dtype, **kwargs)
 
@@ -601,7 +699,9 @@ def ring_stream(lut: RemapLUT, frames, copy: bool = False, **kwargs):
     run the whole stream through it, and close the engine.
 
     The geometry is taken from the first frame (the engine binds to
-    fixed shapes), so the source iterable may be a generator.
+    fixed shapes), so the source iterable may be a generator.  YUV420
+    sources (with ``chroma_lut=``) run through the planar ring and
+    yield :class:`~repro.video.yuv.YUV420Frame` results.
     """
     it = iter(frames)
     try:

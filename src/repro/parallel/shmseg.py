@@ -48,12 +48,20 @@ __all__ = [
     "release_segments",
     "ensure_resource_tracker",
     "FrameSegments",
+    "PlanarFrameSegments",
     "attach_slot",
+    "attach_planar_slot",
+    "attach_any_slot",
     "SharedTables",
     "attach_tables",
+    "attach_planar_tables",
     "init_worker_telemetry",
     "worker_delta",
 ]
+
+#: key prefix under which a chroma LUT's tables live inside a planar
+#: :class:`SharedTables` spec (one spec, two LUTs).
+_CHROMA_PREFIX = "c:"
 
 
 def ensure_resource_tracker() -> None:
@@ -199,6 +207,101 @@ def attach_slot(spec):
     return [src_shm, dst_shm], src, dst
 
 
+def _plane_views(buf, plane_shapes, dtype):
+    """Carve per-plane views out of one packed segment buffer."""
+    views = []
+    offset = 0
+    for shape in plane_shapes:
+        views.append(np.ndarray(tuple(shape), dtype=dtype, buffer=buf,
+                                offset=offset))
+        offset += int(np.prod(shape)) * dtype.itemsize
+    return tuple(views)
+
+
+class PlanarFrameSegments(_SegmentGroup):
+    """One multi-plane source + destination shared buffer pair.
+
+    The zero-copy YUV420 slot: all of a frame's planes (full-resolution
+    Y, half-resolution U and V) are packed into **one** shared-memory
+    allocation per side, laid out back to back in
+    :data:`~repro.video.yuv.PLANE_NAMES` order — one segment pair per
+    ring slot regardless of plane count, with per-plane views carved
+    out at fixed offsets.  Workers address ``(slot, plane)`` pairs, so
+    two workers can gather the Y band of frame *N* while a third
+    finishes the chroma of frame *N-1*.
+    """
+
+    def __init__(self, plane_shapes, frame_dtype, out_plane_shapes):
+        frame_dtype = np.dtype(frame_dtype)
+        self.plane_shapes = tuple(tuple(s) for s in plane_shapes)
+        self.out_plane_shapes = tuple(tuple(s) for s in out_plane_shapes)
+        self.dtype = frame_dtype
+        nbytes_src = sum(int(np.prod(s)) for s in self.plane_shapes) \
+            * frame_dtype.itemsize
+        nbytes_dst = sum(int(np.prod(s)) for s in self.out_plane_shapes) \
+            * frame_dtype.itemsize
+        self.src_shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes_src))
+        self.dst_shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes_dst))
+        self.src_views = _plane_views(self.src_shm.buf, self.plane_shapes,
+                                      frame_dtype)
+        self.dst_views = _plane_views(self.dst_shm.buf, self.out_plane_shapes,
+                                      frame_dtype)
+        super().__init__([self.src_shm, self.dst_shm])
+
+    @property
+    def spec(self):
+        """Picklable attach recipe (tagged ``"planar"`` so a worker can
+        distinguish it from a :attr:`FrameSegments.spec`)."""
+        return ("planar", self.src_shm.name, self.plane_shapes,
+                self.dst_shm.name, self.out_plane_shapes, self.dtype.str)
+
+    def release(self):
+        self.src_views = None
+        self.dst_views = None
+        super().release()
+
+
+def attach_planar_slot(spec):
+    """Worker side of :attr:`PlanarFrameSegments.spec`.
+
+    Returns ``(segments, src_views, dst_views)`` with one view per
+    plane on each side.
+    """
+    tag, src_name, plane_shapes, dst_name, out_plane_shapes, dtype_str = spec
+    if tag != "planar":
+        raise ValueError(f"not a planar slot spec: {spec!r}")
+    dtype = np.dtype(dtype_str)
+    src_shm = attach_segment(src_name)
+    dst_shm = attach_segment(dst_name)
+    src_views = _plane_views(src_shm.buf, plane_shapes, dtype)
+    dst_views = _plane_views(dst_shm.buf, out_plane_shapes, dtype)
+    return [src_shm, dst_shm], src_views, dst_views
+
+
+def attach_any_slot(spec):
+    """Attach either slot flavour; always returns per-plane view tuples.
+
+    Non-planar slots come back as one-plane tuples, so engine workers
+    can index ``views[plane]`` uniformly.
+    """
+    if spec and spec[0] == "planar":
+        return attach_planar_slot(spec)
+    segs, src, dst = attach_slot(spec)
+    return segs, (src,), (dst,)
+
+
+def _lut_meta(lut: RemapLUT) -> dict:
+    return {
+        "out_shape": lut.out_shape,
+        "src_shape": lut.src_shape,
+        "method": lut.method,
+        "border": lut.border,
+        "fill": lut.fill,
+        "tier": lut.tier,
+        "frac_bits": lut.frac_bits,
+    }
+
+
 class SharedTables(_SegmentGroup):
     """The LUT's compact tables published once into named segments.
 
@@ -206,9 +309,15 @@ class SharedTables(_SegmentGroup):
     triples and ``meta`` carries the scalar LUT parameters — together
     they are everything a worker needs to rebuild a zero-copy
     :class:`~repro.core.remap.RemapLUT` with :func:`attach_tables`.
+
+    With a ``chroma`` LUT the publication becomes *planar*: the chroma
+    tables join the same spec under :data:`_CHROMA_PREFIX`-prefixed
+    keys and ``meta["chroma"]`` carries the chroma LUT's scalars — one
+    spec, one segment group, two zero-copy LUTs on the worker side
+    (:func:`attach_planar_tables`).
     """
 
-    def __init__(self, lut: RemapLUT):
+    def __init__(self, lut: RemapLUT, chroma: RemapLUT | None = None):
         shms = []
         self.spec = {}
 
@@ -217,36 +326,35 @@ class SharedTables(_SegmentGroup):
             shms.append(shm)
             self.spec[key] = (shm.name, tuple(arr.shape), arr.dtype.str)
 
-        publish("indices", lut.indices)
-        if lut.fracs is not None:
-            publish("fracs", lut.fracs)
-            publish("wtab", lut._weight_table())
-        if lut.mask is not None:
-            publish("mask", np.asarray(lut.mask))
-        if lut.tier != "numpy":
-            # quantize once in the parent; workers map the same table
-            publish("qwtab", lut._qweight_table())
-        self.meta = {
-            "out_shape": lut.out_shape,
-            "src_shape": lut.src_shape,
-            "method": lut.method,
-            "border": lut.border,
-            "fill": lut.fill,
-            "tier": lut.tier,
-            "frac_bits": lut.frac_bits,
-        }
+        def publish_lut(lut, prefix=""):
+            publish(prefix + "indices", lut.indices)
+            if lut.fracs is not None:
+                publish(prefix + "fracs", lut.fracs)
+                publish(prefix + "wtab", lut._weight_table())
+            if lut.mask is not None:
+                publish(prefix + "mask", np.asarray(lut.mask))
+            if lut.tier != "numpy":
+                # quantize once in the parent; workers map the same table
+                publish(prefix + "qwtab", lut._qweight_table())
+
+        publish_lut(lut)
+        self.meta = _lut_meta(lut)
+        if chroma is not None:
+            publish_lut(chroma, _CHROMA_PREFIX)
+            self.meta["chroma"] = _lut_meta(chroma)
         super().__init__(shms)
 
 
-def attach_tables(spec, meta):
-    """Worker side of :class:`SharedTables`: rebuild a zero-copy LUT.
-
-    Returns ``(segments, arrays, lut)``; the caller must keep
-    ``segments`` alive as long as the LUT is used.
-    """
-    segments = []
+def _attach_lut(spec, meta, segments, prefix=""):
+    """Attach one LUT's tables out of a (possibly planar) spec."""
     arrays = {}
     for key, (name, shape, dtype_str) in spec.items():
+        if prefix:
+            if not key.startswith(prefix):
+                continue
+            key = key[len(prefix):]
+        elif key.startswith(_CHROMA_PREFIX):
+            continue
         shm = attach_segment(name)
         segments.append(shm)
         arrays[key] = np.ndarray(tuple(shape), dtype=np.dtype(dtype_str),
@@ -259,4 +367,32 @@ def attach_tables(spec, meta):
         tier=meta.get("tier", "numpy"),
         frac_bits=meta.get("frac_bits", DEFAULT_FRAC_BITS),
         qweight_table=arrays.get("qwtab"))
+    return arrays, lut
+
+
+def attach_tables(spec, meta):
+    """Worker side of :class:`SharedTables`: rebuild a zero-copy LUT.
+
+    Returns ``(segments, arrays, lut)``; the caller must keep
+    ``segments`` alive as long as the LUT is used.  Chroma-prefixed
+    keys of a planar publication are ignored here — use
+    :func:`attach_planar_tables` to get both LUTs.
+    """
+    segments = []
+    arrays, lut = _attach_lut(spec, meta, segments)
     return segments, arrays, lut
+
+
+def attach_planar_tables(spec, meta):
+    """Attach a planar publication: both LUTs from one spec.
+
+    Returns ``(segments, luts)`` where ``luts`` is the per-plane LUT
+    tuple in :data:`~repro.video.yuv.PLANE_NAMES` order (u and v share
+    the chroma LUT).
+    """
+    if "chroma" not in meta:
+        raise ValueError("spec/meta carry no chroma publication")
+    segments = []
+    _, luma = _attach_lut(spec, meta, segments)
+    _, chroma = _attach_lut(spec, meta["chroma"], segments, _CHROMA_PREFIX)
+    return segments, (luma, chroma, chroma)

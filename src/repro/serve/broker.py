@@ -137,22 +137,27 @@ class _FairScheduler:
 # worker process
 # ----------------------------------------------------------------------
 def _serve_worker_main(rank, task_q, done_q, ctrl_q, telemetry_enabled):
-    """Fleet worker: pull ``(sid, seq, slot, row0, row1, desc)`` items.
+    """Fleet worker: pull ``(sid, seq, slot, plane, row0, row1, desc)``.
 
     Unlike the single-stream ring worker, attachments are *lazy and
     cached*: the first band of a session attaches its slots (and its
     LUT tables — cached by calibration key, so sessions sharing one
-    calibration attach the tables once).  ``ctrl_q`` broadcasts
-    ``("forget", sid)`` when a session closes so the worker drops its
-    mappings; a band whose segments are already gone posts ``rows=-1``
-    and the collector decides whether anyone still cares.
+    calibration attach the tables once).  Planar (yuv420) sessions
+    publish a chroma LUT next to the luma one; the worker detects it
+    from the table metadata and indexes both slot views and LUTs by
+    the band's ``plane``.  ``ctrl_q`` broadcasts ``("forget", sid)``
+    when a session closes so the worker drops its mappings; a band
+    whose segments are already gone posts ``rows=-1`` and the
+    collector decides whether anyone still cares.
     """
-    from ..parallel.shmseg import (attach_slot, attach_tables,
-                                   init_worker_telemetry, worker_delta)
+    from ..parallel.shmseg import (attach_any_slot, attach_planar_tables,
+                                   attach_tables, init_worker_telemetry,
+                                   worker_delta)
+    from ..video.yuv import PLANE_NAMES
 
     init_worker_telemetry(telemetry_enabled)
-    luts: dict = {}      # lut_key -> (segments, lut)
-    sessions: dict = {}  # sid -> (segments, slots, lut, label)
+    luts: dict = {}      # lut_key -> (segments, per-plane lut tuple)
+    sessions: dict = {}  # sid -> (segments, slots, plane luts, label)
     track = f"serve-worker-{rank}"
 
     def forget(sid):
@@ -180,30 +185,41 @@ def _serve_worker_main(rank, task_q, done_q, ctrl_q, telemetry_enabled):
                 continue
             if item is None:
                 break
-            sid, seq, slot_idx, row0, row1, desc = item
+            sid, seq, slot_idx, plane, row0, row1, desc = item
             tel = get_telemetry()
             wall0 = time.time() if tel.enabled else 0.0
             t0 = time.perf_counter() if tel.enabled else 0.0
             rows = -1
             delta = None
+            planar = False
+            lut = None
             try:
                 entry = sessions.get(sid)
                 if entry is None:
                     lut_key, label, table_spec, table_meta, slot_spec = desc
                     cached = luts.get(lut_key)
                     if cached is None:
-                        segs, _, lut = attach_tables(dict(table_spec),
-                                                     dict(table_meta))
-                        cached = luts[lut_key] = (segs, lut)
+                        meta = dict(table_meta)
+                        if "chroma" in meta:
+                            segs, plane_luts = attach_planar_tables(
+                                dict(table_spec), meta)
+                        else:
+                            segs, _, one = attach_tables(dict(table_spec),
+                                                         meta)
+                            plane_luts = (one,)
+                        cached = luts[lut_key] = (segs, plane_luts)
                     slots, slot_segs = [], []
                     for spec in slot_spec:
-                        segs, src, dst = attach_slot(spec)
+                        segs, srcs, dsts = attach_any_slot(spec)
                         slot_segs += segs
-                        slots.append((src, dst))
+                        slots.append((srcs, dsts))
                     entry = sessions[sid] = (slot_segs, slots, cached[1], label)
-                _, slots, lut, label = entry
-                src, dst = slots[slot_idx]
-                lut.apply_rows_into(src, row0, row1, dst[row0:row1])
+                _, slots, plane_luts, label = entry
+                planar = len(plane_luts) > 1
+                srcs, dsts = slots[slot_idx]
+                lut = plane_luts[plane]
+                lut.apply_rows_into(srcs[plane], row0, row1,
+                                    dsts[plane][row0:row1])
                 rows = row1 - row0
             except Exception:
                 # session torn down under us (or a real kernel fault):
@@ -215,9 +231,12 @@ def _serve_worker_main(rank, task_q, done_q, ctrl_q, telemetry_enabled):
                 tel.counter("serve.bands").inc()
                 tel.counter(f"serve.worker.{rank}.busy_seconds").inc(dt)
                 tel.histogram("serve.band_seconds").observe(dt)
+                args = {"frame_id": seq, "stream": label,
+                        "rows": rows, "tier": lut.tier}
+                if planar:
+                    args["plane"] = PLANE_NAMES[plane]
                 tel.add_span("serve.band", wall0, dt, cat="serve", tid=track,
-                             args={"frame_id": seq, "stream": label,
-                                   "rows": rows, "tier": lut.tier})
+                             args=args)
                 delta = worker_delta()
             done_q.put((sid, seq, slot_idx, rows, rank, delta))
     finally:
@@ -261,6 +280,7 @@ class StreamSession:
         self._bands = bands
         self._slots = slots
         self._desc = desc
+        self._planar = bool(slots) and hasattr(slots[0], "plane_shapes")
         self._cond = threading.Condition()
         self._free: _queue.Queue = _queue.Queue()
         for i in range(len(slots)):
@@ -299,14 +319,30 @@ class StreamSession:
                 except StopIteration:
                     break
                 t_dec = time.time()
-                data = item.data if isinstance(item, Frame) else np.asarray(item)
                 slot0 = self._slots[0]
-                if (data.shape != slot0.frame_shape
-                        or data.dtype != slot0.dtype):
-                    raise ScheduleError(
-                        f"stream {self.name!r} frame {data.shape}/{data.dtype} "
-                        f"does not match session geometry "
-                        f"{slot0.frame_shape}/{slot0.dtype}")
+                if self._planar:
+                    from ..video.yuv import YUV420Frame
+                    if not isinstance(item, YUV420Frame):
+                        raise ScheduleError(
+                            f"planar stream {self.name!r} expects YUV420Frame "
+                            f"items, got {type(item).__name__}")
+                    if (item.y.shape != slot0.plane_shapes[0]
+                            or item.y.dtype != slot0.dtype):
+                        raise ScheduleError(
+                            f"stream {self.name!r} frame "
+                            f"{item.y.shape}/{item.y.dtype} does not match "
+                            f"session geometry "
+                            f"{slot0.plane_shapes[0]}/{slot0.dtype}")
+                else:
+                    data = (item.data if isinstance(item, Frame)
+                            else np.asarray(item))
+                    if (data.shape != slot0.frame_shape
+                            or data.dtype != slot0.dtype):
+                        raise ScheduleError(
+                            f"stream {self.name!r} frame "
+                            f"{data.shape}/{data.dtype} "
+                            f"does not match session geometry "
+                            f"{slot0.frame_shape}/{slot0.dtype}")
                 while True:  # per-stream backpressure: block on OUR ring
                     try:
                         slot = self._free.get(timeout=_POLL_S)
@@ -314,13 +350,19 @@ class StreamSession:
                     except _queue.Empty:
                         if self._closed or broker._abort.is_set():
                             return
-                np.copyto(self._slots[slot].src_view, data)
+                if self._planar:
+                    for view, plane in zip(self._slots[slot].src_views,
+                                           item.planes):
+                        np.copyto(view, plane)
+                else:
+                    np.copyto(self._slots[slot].src_view, data)
                 with self._cond:
                     self._pending[slot] = len(self._bands)
                     self._slot_items[slot] = item if isinstance(item, Frame) else None
                     self._decode_t0[seq] = t_dec
                 broker._push_bands(
-                    self.sid, [(seq, slot, r0, r1) for r0, r1 in self._bands])
+                    self.sid,
+                    [(seq, slot, p, r0, r1) for p, r0, r1 in self._bands])
                 seq += 1
         except BaseException as exc:  # noqa: BLE001 - re-raised by consumer
             self._fail(exc)
@@ -386,7 +428,11 @@ class StreamSession:
                 self._exhausted = True
             if not exhausted:
                 slot = self._completed.pop(self._next_seq)
-                result = self._slots[slot].dst_view
+                if self._planar:
+                    from ..video.yuv import YUV420Frame
+                    result = YUV420Frame(*self._slots[slot].dst_views)
+                else:
+                    result = self._slots[slot].dst_view
                 item = self._slot_items[slot]
                 if self.copy:
                     result = result.copy()
@@ -559,7 +605,8 @@ class StreamBroker:
              method: str = "bilinear", border: str = "constant",
              fill: float = 0.0, kernel: str = "numpy", depth: int = 2,
              weight: int = 1, copy: bool = True,
-             deadline_s: float | None = None) -> StreamSession:
+             deadline_s: float | None = None,
+             pixfmt: str = "rgb") -> StreamSession:
         """Admit a stream session; raises
         :class:`~repro.errors.AdmissionError` when ``depth`` slots do
         not fit the remaining budget.
@@ -570,11 +617,25 @@ class StreamBroker:
         backlog (weighted round-robin); ``deadline_s`` arms the
         per-frame latency SLO counted by
         ``stream.deadline_miss{stream="<name>"}``.
+
+        ``pixfmt="yuv420"`` admits a planar session: ``frames`` must
+        yield :class:`~repro.video.yuv.YUV420Frame` items whose luma
+        geometry matches ``field``; a half-resolution chroma LUT is
+        derived through the same shared
+        :class:`~repro.core.lutcache.LUTCache`, every frame is
+        scheduled as per-plane bands over the fleet, and the session
+        yields corrected :class:`YUV420Frame`\\ s with no RGB
+        conversion anywhere on the path.
         """
-        from ..parallel.shmseg import FrameSegments, SharedTables
+        from ..parallel.shmseg import (FrameSegments, PlanarFrameSegments,
+                                       SharedTables)
 
         if depth < 1:
             raise ScheduleError(f"depth must be >= 1, got {depth}")
+        if pixfmt not in ("rgb", "yuv420"):
+            raise ScheduleError(
+                f"unknown pixfmt {pixfmt!r}; known: rgb, yuv420")
+        planar = pixfmt == "yuv420"
         tier = resolve_tier(kernel)
         with self._lock:
             if self._closed:
@@ -598,12 +659,20 @@ class StreamBroker:
         try:
             # single-flight shared build: concurrent opens on one
             # calibration build (and publish) exactly once
-            lut = self.lut_cache.get(field, method=method, border=border,
-                                     fill=fill)
-            if tier != "numpy":
-                lut = lut.with_tier(tier)
+            chroma_lut = None
+            if planar:
+                from ..video.yuv import YUVCorrector
+                corr = YUVCorrector.from_field(
+                    field, method=method, border=border, fill=fill,
+                    lut_cache=self.lut_cache, kernel=kernel)
+                lut, chroma_lut = corr.luma_lut, corr.chroma_lut
+            else:
+                lut = self.lut_cache.get(field, method=method, border=border,
+                                         fill=fill)
+                if tier != "numpy":
+                    lut = lut.with_tier(tier)
             lut_key = (self.lut_cache.key_for(field, method, border, fill)
-                       + f"|{tier}")
+                       + f"|{tier}" + ("|yuv420" if planar else ""))
             it = iter(frames)
             try:
                 first = next(it)
@@ -614,6 +683,40 @@ class StreamBroker:
                                         weight, copy, deadline_s,
                                         bands=[], slots=[], desc=None,
                                         empty=True)
+            elif planar:
+                from ..video.yuv import YUV420Frame
+                if not isinstance(first, YUV420Frame):
+                    raise ScheduleError(
+                        f"planar stream {name!r} expects YUV420Frame items, "
+                        f"got {type(first).__name__}")
+                if first.y.shape != lut.src_shape:
+                    raise ScheduleError(
+                        f"stream {name!r} luma shape {first.y.shape} does "
+                        f"not match LUT source {lut.src_shape}")
+                oh, ow = lut.out_shape
+                with self._lock:
+                    shared = self._tables.get(lut_key)
+                    if shared is None:
+                        shared = self._tables[lut_key] = (
+                            SharedTables(lut, chroma=chroma_lut), lut)
+                tables = shared[0]
+                slots = [PlanarFrameSegments(
+                            YUV420Frame.plane_shapes(*first.y.shape),
+                            first.y.dtype,
+                            YUV420Frame.plane_shapes(oh, ow))
+                         for _ in range(depth)]
+                cchunk = (None if self.chunk is None
+                          else max(1, self.chunk // 2))
+                bands = ([(0, r0, r1) for r0, r1 in
+                          plan_bands(oh, self.workers, self.schedule,
+                                     self.chunk)]
+                         + [(p, r0, r1) for p in (1, 2) for r0, r1 in
+                            plan_bands(oh // 2, self.workers, self.schedule,
+                                       cchunk)])
+                desc = (lut_key, name,
+                        tuple(sorted(tables.spec.items())),
+                        tuple(sorted(tables.meta.items())),
+                        tuple(s.spec for s in slots))
             else:
                 data = (first.data if isinstance(first, Frame)
                         else np.asarray(first))
@@ -630,12 +733,14 @@ class StreamBroker:
                 tables = shared[0]
                 slots = [FrameSegments(data.shape, data.dtype, out_shape)
                          for _ in range(depth)]
-                bands = plan_bands(lut.out_shape[0], self.workers,
-                                   self.schedule, self.chunk)
+                bands = [(0, r0, r1) for r0, r1 in
+                         plan_bands(lut.out_shape[0], self.workers,
+                                    self.schedule, self.chunk)]
                 desc = (lut_key, name,
                         tuple(sorted(tables.spec.items())),
                         tuple(sorted(tables.meta.items())),
                         tuple(s.spec for s in slots))
+            if session is None:
                 session = StreamSession(
                     self, sid, name, itertools.chain([first], it), depth,
                     weight, copy, deadline_s, bands=bands, slots=slots,
@@ -676,7 +781,7 @@ class StreamBroker:
                 if picked is None:
                     self._sched_cond.wait(_POLL_S)
                     continue
-            sid, (seq, slot, row0, row1) = picked
+            sid, (seq, slot, plane, row0, row1) = picked
             while not self._inflight_sem.acquire(timeout=_POLL_S):
                 if self._abort.is_set():
                     return
@@ -686,7 +791,8 @@ class StreamBroker:
                 self._inflight_sem.release()
                 continue
             try:
-                self._task_q.put((sid, seq, slot, row0, row1, session._desc))
+                self._task_q.put((sid, seq, slot, plane, row0, row1,
+                                  session._desc))
             except Exception:  # pragma: no cover - queue torn down
                 self._inflight_sem.release()
                 return

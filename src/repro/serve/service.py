@@ -86,12 +86,17 @@ class MultiStreamCorrector:
                     method: str = "bilinear", border: str = "constant",
                     fill: float = 0.0, kernel: str = "numpy",
                     depth: int = 2, weight: int = 1, copy: bool = True,
-                    deadline_s: float | None = None) -> StreamSession:
-        """Admit one stream; see :meth:`StreamBroker.open`."""
+                    deadline_s: float | None = None,
+                    pixfmt: str = "rgb") -> StreamSession:
+        """Admit one stream; see :meth:`StreamBroker.open`.
+
+        ``pixfmt="yuv420"`` opens a planar zero-copy session over
+        :class:`~repro.video.yuv.YUV420Frame` items.
+        """
         return self.broker.open(frames, field, name=name, method=method,
                                 border=border, fill=fill, kernel=kernel,
                                 depth=depth, weight=weight, copy=copy,
-                                deadline_s=deadline_s)
+                                deadline_s=deadline_s, pixfmt=pixfmt)
 
     def merged(self, sessions):
         """Drain several sessions concurrently; yield ``(name, frame)``.

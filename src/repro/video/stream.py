@@ -66,7 +66,9 @@ def _stream_telemetry(inner: Iterator, label: str | None = None) -> Iterator:
 
     ``label`` additionally emits the per-stream labelled series
     (``stream.frames{stream="..."}`` etc., see
-    :func:`repro.obs.export.labeled`) next to the aggregate ones.
+    :func:`repro.obs.export.labeled`) next to the aggregate ones;
+    planar :class:`~repro.video.yuv.YUV420Frame` items additionally
+    tick the per-plane ``stream.frames{plane="y"|"u"|"v"}`` counters.
     Closing the wrapper (consumer ``break`` / ``GeneratorExit``)
     explicitly closes ``inner`` so a delegated engine tears down even
     when the generator chain is kept alive by a reference cycle.
@@ -78,10 +80,12 @@ def _stream_telemetry(inner: Iterator, label: str | None = None) -> Iterator:
             yield from it
             return
         from ..obs.export import labeled
+        from .yuv import PLANE_NAMES, YUV420Frame
         frames_name = labeled("stream.frames", stream=label) if label \
             else "stream.frames"
         fps_name = labeled("stream.fps", stream=label) if label \
             else "stream.fps"
+        plane_names = [labeled("stream.frames", plane=p) for p in PLANE_NAMES]
         stream_t0 = time.perf_counter()
         frames_done = 0
         while True:
@@ -95,6 +99,9 @@ def _stream_telemetry(inner: Iterator, label: str | None = None) -> Iterator:
             tel.counter("stream.frames").inc()
             if label:
                 tel.counter(frames_name).inc()
+            if isinstance(item, YUV420Frame):
+                for name in plane_names:
+                    tel.counter(name).inc()
             tel.histogram("stream.frame_seconds").observe(now - t0)
             if now > stream_t0:
                 fps = frames_done / (now - stream_t0)
@@ -114,13 +121,16 @@ def corrected_stream(frames: Iterable, field: RemapField,
                      copy: bool = False, engine: str = "sync",
                      kernel: str = "numpy", serve_metrics=None,
                      stream_label: str | None = None,
+                     pixfmt: str = "rgb",
                      **engine_kwargs) -> Iterator:
     """Correct a frame stream through the fused zero-allocation kernel.
 
     Parameters
     ----------
     frames:
-        Iterable of ndarrays or :class:`~repro.core.image.Frame`.
+        Iterable of ndarrays or :class:`~repro.core.image.Frame`
+        (``pixfmt="rgb"``), or of
+        :class:`~repro.video.yuv.YUV420Frame` (``pixfmt="yuv420"``).
     field:
         Backward coordinate field shared by every frame.
     method, border, fill:
@@ -162,11 +172,25 @@ def corrected_stream(frames: Iterable, field: RemapField,
         :func:`repro.obs.export.labeled`) are emitted next to the
         aggregate ones, matching what :mod:`repro.serve` reports for
         each multiplexed session.
+    pixfmt:
+        ``"rgb"`` (default) treats every item as a packed 2-D/3-D
+        array remapped channel-interleaved.  ``"yuv420"`` takes the
+        planar zero-copy fast path: items must be
+        :class:`~repro.video.yuv.YUV420Frame`, ``field`` describes the
+        full-resolution luma geometry, and the half-resolution chroma
+        field/LUT is derived from it
+        (:func:`~repro.core.mapping.chroma_half_field`) — no RGB
+        round-trip ever happens, so a 1080p frame touches ~half the
+        bytes of the packed path.  Both engines support it; the ring
+        engine schedules per-plane bands.
 
     Yields
     ------
     Corrected frames, same kind as the input items.
     """
+    if pixfmt not in ("rgb", "yuv420"):
+        raise ImageFormatError(
+            f"unknown pixfmt {pixfmt!r}; known: rgb, yuv420")
     tel = get_telemetry()
     server = None
     own_server = False
@@ -183,14 +207,20 @@ def corrected_stream(frames: Iterable, field: RemapField,
     try:
         yield from _corrected_stream(frames, field, method, border, fill,
                                      lut_cache, copy, engine, kernel, tel,
-                                     stream_label, **engine_kwargs)
+                                     stream_label, pixfmt, **engine_kwargs)
     finally:
         if own_server:
             server.close()
 
 
 def _corrected_stream(frames, field, method, border, fill, lut_cache, copy,
-                      engine, kernel, tel, stream_label=None, **engine_kwargs):
+                      engine, kernel, tel, stream_label=None, pixfmt="rgb",
+                      **engine_kwargs):
+    if pixfmt == "yuv420":
+        yield from _planar_stream(frames, field, method, border, fill,
+                                  lut_cache, copy, engine, kernel,
+                                  stream_label, **engine_kwargs)
+        return
     if lut_cache is not None:
         lut = lut_cache.get(field, method=method, border=border, fill=fill)
     else:
@@ -245,6 +275,34 @@ def _corrected_stream(frames, field, method, border, fill, lut_cache, copy,
             yield item.with_data(result)
         else:
             yield result
+
+
+def _planar_stream(frames, field, method, border, fill, lut_cache, copy,
+                   engine, kernel, stream_label, **engine_kwargs):
+    """``pixfmt="yuv420"`` body: planar per-plane remap, no RGB leg."""
+    from .yuv import YUVCorrector
+    corr = YUVCorrector.from_field(field, method=method, border=border,
+                                   fill=fill, lut_cache=lut_cache,
+                                   kernel=kernel)
+    if engine == "ring":
+        from ..parallel.ring import ring_stream
+        yield from _stream_telemetry(
+            ring_stream(corr.luma_lut, frames, copy=copy,
+                        chroma_lut=corr.chroma_lut, **engine_kwargs),
+            label=stream_label)
+        return
+    if engine != "sync":
+        raise ScheduleError(
+            f"unknown stream engine {engine!r}; known: sync, ring")
+    if engine_kwargs:
+        raise ScheduleError(
+            f"engine 'sync' takes no options, got {sorted(engine_kwargs)}")
+
+    def inline():
+        for item in frames:
+            yield corr.correct(item, copy=copy)
+
+    yield from _stream_telemetry(inline(), label=stream_label)
 
 
 @dataclass

@@ -8,7 +8,14 @@ converting to RGB first — the configuration the paper's end-to-end
 frame rates assume.
 
 :class:`YUV420Frame` is the plane container; :class:`YUVCorrector`
-builds the two coordinate fields once and streams frames through both.
+builds the two coordinate fields once and streams frames through both
+with pooled output planes (zero per-frame allocations, like
+:func:`~repro.video.stream.corrected_stream`).  The chroma map is
+*derived* from the luma map with
+:func:`~repro.core.mapping.chroma_half_field`, so every consumer of a
+calibration — this corrector, ``corrected_stream(pixfmt="yuv420")``
+and :meth:`repro.serve.StreamBroker.open` — resolves to the same two
+:class:`~repro.core.lutcache.LUTCache` entries.
 """
 
 from __future__ import annotations
@@ -19,11 +26,16 @@ import numpy as np
 
 from ..errors import ImageFormatError, MappingError
 from ..core.intrinsics import CameraIntrinsics, FisheyeIntrinsics
-from ..core.lens import LensModel, make_lens
-from ..core.mapping import perspective_map
+from ..core.kernel_tiers import resolve_tier
+from ..core.lens import LensModel
+from ..core.mapping import RemapField, chroma_half_field, perspective_map
 from ..core.remap import RemapLUT
 
-__all__ = ["YUV420Frame", "YUVCorrector"]
+__all__ = ["YUV420Frame", "YUVCorrector", "PLANE_NAMES", "to_yuv420_stream"]
+
+#: canonical plane order/naming used by the planar engines and the
+#: ``plane=`` labelled telemetry series.
+PLANE_NAMES = ("y", "u", "v")
 
 
 @dataclass
@@ -57,40 +69,54 @@ class YUV420Frame:
         return self.y.shape[0]
 
     @property
+    def planes(self) -> tuple:
+        """``(y, u, v)`` in :data:`PLANE_NAMES` order."""
+        return (self.y, self.u, self.v)
+
+    @property
     def nbytes(self) -> int:
         return self.y.nbytes + self.u.nbytes + self.v.nbytes
 
+    @staticmethod
+    def plane_shapes(height: int, width: int) -> tuple:
+        """Plane shapes of a ``width x height`` 4:2:0 frame."""
+        if height % 2 or width % 2:
+            raise ImageFormatError(
+                f"luma size must be even, got {width}x{height}")
+        half = (height // 2, width // 2)
+        return ((height, width), half, half)
+
+    def copy(self) -> "YUV420Frame":
+        return YUV420Frame(self.y.copy(), self.u.copy(), self.v.copy())
+
     @classmethod
     def from_rgb(cls, rgb: np.ndarray) -> "YUV420Frame":
-        """Pack an RGB image into planar 4:2:0 (BT.601, box-filtered)."""
-        from ..core.color import rgb_to_yuv, subsample_420
+        """Pack an RGB image into planar 4:2:0 (BT.601, box-filtered).
 
-        yuv = rgb_to_yuv(rgb)
-        y = np.clip(np.rint(yuv[..., 0]), 0, 255).astype(np.uint8)
-        # chroma stored offset-binary around 128, as in every codec
-        u = np.clip(np.rint(subsample_420(yuv[..., 1]) + 128.0), 0, 255).astype(np.uint8)
-        v = np.clip(np.rint(subsample_420(yuv[..., 2]) + 128.0), 0, 255).astype(np.uint8)
-        return cls(y, u, v)
+        Vectorized: one fused float32 matrix conversion plus a reshape
+        box filter (see :func:`repro.core.color.rgb_to_yuv420`) — no
+        per-plane passes, no float64 temporaries.
+        """
+        from ..core.color import rgb_to_yuv420
+
+        return cls(*rgb_to_yuv420(rgb))
 
     def to_rgb(self) -> np.ndarray:
         """Unpack to uint8 RGB (nearest-neighbour chroma upsampling)."""
-        from ..core.color import upsample_420, yuv_to_rgb
+        from ..core.color import yuv420_to_rgb
 
-        yuv = np.stack([
-            self.y.astype(np.float64),
-            upsample_420(self.u.astype(np.float64) - 128.0),
-            upsample_420(self.v.astype(np.float64) - 128.0),
-        ], axis=-1)
-        return yuv_to_rgb(yuv, dtype=np.uint8)
+        return yuv420_to_rgb(self.y, self.u, self.v)
 
 
 class YUVCorrector:
     """Distortion correction for planar YUV420 streams.
 
     Builds two remap LUTs for the same virtual view — full resolution
-    for luma, half resolution for chroma (with the intrinsics scaled by
-    exactly 0.5, so both planes describe the *same* scene geometry) —
-    and applies them per frame.
+    for luma, with the half-resolution chroma twin *derived* from the
+    luma field (:func:`~repro.core.mapping.chroma_half_field`, so both
+    planes describe the same scene geometry and the chroma table is
+    cacheable under its own key) — and applies them per frame into
+    pooled output planes.
 
     Parameters
     ----------
@@ -106,12 +132,23 @@ class YUVCorrector:
         (its resolution is already halved — bicubic buys nothing).
     chroma_fill:
         Fill value for out-of-FOV chroma (128 = neutral).
+    lut_cache:
+        Optional :class:`~repro.core.lutcache.LUTCache`: both plane
+        LUTs are fetched through it (distinct content-hash keys — the
+        derived chroma field fingerprints differently from the luma
+        field), so a restart or a second corrector on the same
+        calibration skips both builds.
+    kernel:
+        Kernel-tier request (``auto``/``numpy``/``fixed``/``compiled``)
+        applied to both plane LUTs with
+        :meth:`~repro.core.remap.RemapLUT.with_tier`.
     """
 
     def __init__(self, sensor: FisheyeIntrinsics, lens: LensModel,
                  out_width: int, out_height: int, zoom: float = 1.0,
                  yaw: float = 0.0, pitch: float = 0.0, roll: float = 0.0,
-                 method: str = "bilinear", fill: int = 0, chroma_fill: int = 128):
+                 method: str = "bilinear", fill: int = 0, chroma_fill: int = 128,
+                 lut_cache=None, kernel: str = "numpy"):
         if out_width % 2 or out_height % 2:
             raise MappingError(f"output size must be even, got {out_width}x{out_height}")
         if sensor.width % 2 or sensor.height % 2:
@@ -125,42 +162,93 @@ class YUVCorrector:
             fx=focal_out, fy=focal_out,
             cx=(out_width - 1) / 2.0, cy=(out_height - 1) / 2.0,
             width=out_width, height=out_height)
-        self.luma_field = perspective_map(sensor, lens, out_full,
-                                          yaw=yaw, pitch=pitch, roll=roll)
-
-        # Half-resolution twin: all pixel-valued intrinsics scale by 1/2.
-        # Chroma pixel (i, j) covers luma pixels (2i..2i+1, 2j..2j+1), so
-        # its centre sits at luma (2i + 0.5): c' = (c - 0.5) / 2.
-        sensor_half = FisheyeIntrinsics(
-            width=sensor.width // 2, height=sensor.height // 2,
-            cx=(sensor.cx - 0.5) / 2.0, cy=(sensor.cy - 0.5) / 2.0,
-            focal=sensor.focal / 2.0)
-        lens_half = make_lens(lens.name, lens.focal / 2.0)
-        out_half = CameraIntrinsics(
-            fx=focal_out / 2.0, fy=focal_out / 2.0,
-            cx=(out_full.cx - 0.5) / 2.0, cy=(out_full.cy - 0.5) / 2.0,
-            width=out_width // 2, height=out_height // 2)
-        self.chroma_field = perspective_map(sensor_half, lens_half, out_half,
-                                            yaw=yaw, pitch=pitch, roll=roll)
-
-        self._luma_lut = RemapLUT(self.luma_field, method=method, fill=fill)
-        self._chroma_lut = RemapLUT(self.chroma_field, method="bilinear",
-                                    fill=chroma_fill)
-        self.out_shape = (out_height, out_width)
+        luma_field = perspective_map(sensor, lens, out_full,
+                                     yaw=yaw, pitch=pitch, roll=roll)
+        self._bind(luma_field, method=method, fill=fill,
+                   chroma_fill=chroma_fill, lut_cache=lut_cache, kernel=kernel)
 
     # ------------------------------------------------------------------
-    def correct(self, frame: YUV420Frame) -> YUV420Frame:
-        """Correct one planar frame (all three planes, one geometry)."""
+    @classmethod
+    def from_field(cls, field: RemapField, method: str = "bilinear",
+                   border: str = "constant", fill: int = 0,
+                   chroma_fill: int = 128, lut_cache=None,
+                   kernel: str = "numpy") -> "YUVCorrector":
+        """Build a corrector around an existing luma coordinate field.
+
+        The chroma field is derived from it; this is the constructor
+        the streaming paths use, so any field (perspective,
+        cylindrical, composed) can drive a planar pipeline.
+        """
+        self = cls.__new__(cls)
+        self._bind(field, method=method, border=border, fill=fill,
+                   chroma_fill=chroma_fill, lut_cache=lut_cache, kernel=kernel)
+        return self
+
+    def _bind(self, luma_field: RemapField, *, method, fill, chroma_fill,
+              lut_cache, kernel, border="constant") -> None:
+        self.luma_field = luma_field
+        self.chroma_field = chroma_half_field(luma_field)
+        if lut_cache is not None:
+            luma_lut = lut_cache.get(luma_field, method=method, border=border,
+                                     fill=fill)
+            chroma_lut = lut_cache.get(self.chroma_field, method="bilinear",
+                                       border=border, fill=chroma_fill)
+        else:
+            luma_lut = RemapLUT(luma_field, method=method, border=border,
+                                fill=fill)
+            chroma_lut = RemapLUT(self.chroma_field, method="bilinear",
+                                  border=border, fill=chroma_fill)
+        tier = resolve_tier(kernel)
+        if tier != "numpy":
+            luma_lut = luma_lut.with_tier(tier)
+            chroma_lut = chroma_lut.with_tier(tier)
+        self._luma_lut = luma_lut
+        self._chroma_lut = chroma_lut
+        self.out_shape = luma_field.shape
+        self._pool = None  # pooled output planes, sized on first frame
+
+    # ------------------------------------------------------------------
+    @property
+    def luma_lut(self) -> RemapLUT:
+        return self._luma_lut
+
+    @property
+    def chroma_lut(self) -> RemapLUT:
+        return self._chroma_lut
+
+    @property
+    def plane_luts(self) -> tuple:
+        """Per-plane LUTs in :data:`PLANE_NAMES` order (u and v share)."""
+        return (self._luma_lut, self._chroma_lut, self._chroma_lut)
+
+    # ------------------------------------------------------------------
+    def correct(self, frame: YUV420Frame, copy: bool = False) -> YUV420Frame:
+        """Correct one planar frame (all three planes, one geometry).
+
+        The three output planes are pooled and written with
+        :meth:`~repro.core.remap.RemapLUT.apply_into` — the steady
+        state performs zero per-frame allocations.  With the default
+        ``copy=False`` the returned frame aliases the pool (consume or
+        copy before the next ``correct``, like any zero-copy decoder
+        API); ``copy=True`` returns an owning frame.
+        """
         if (frame.height, frame.width) != (self.luma_field.src_height,
                                            self.luma_field.src_width):
             raise MappingError(
                 f"frame {frame.width}x{frame.height} does not match corrector "
                 f"source {self.luma_field.src_width}x{self.luma_field.src_height}")
-        return YUV420Frame(
-            y=self._luma_lut.apply(frame.y),
-            u=self._chroma_lut.apply(frame.u),
-            v=self._chroma_lut.apply(frame.v),
-        )
+        pool = self._pool
+        if pool is None or pool[0].dtype != frame.y.dtype:
+            h, w = self.out_shape
+            shapes = YUV420Frame.plane_shapes(h, w)
+            pool = self._pool = tuple(
+                np.empty(s, dtype=frame.y.dtype) for s in shapes)
+        self._luma_lut.apply_into(frame.y, pool[0])
+        self._chroma_lut.apply_into(frame.u, pool[1])
+        self._chroma_lut.apply_into(frame.v, pool[2])
+        if copy:
+            return YUV420Frame(pool[0].copy(), pool[1].copy(), pool[2].copy())
+        return YUV420Frame(*pool)
 
     def work_pixels(self) -> int:
         """Output pixels remapped per frame (luma + both chroma planes).
@@ -170,3 +258,51 @@ class YUVCorrector:
         """
         h, w = self.out_shape
         return h * w + 2 * (h // 2) * (w // 2)
+
+    def traffic_per_frame(self) -> dict:
+        """Summed per-frame host byte ledger over all three planes.
+
+        Gather + LUT-entry + output bytes per plane (see
+        :meth:`~repro.core.remap.RemapLUT.traffic_per_frame`), the
+        measured-side counterpart of the Cell model's
+        :func:`~repro.accel.cellbe.planar_dma_profile`.
+        """
+        ledgers = {
+            "y": self._luma_lut.traffic_per_frame(),
+            "u": self._chroma_lut.traffic_per_frame(),
+            "v": self._chroma_lut.traffic_per_frame(),
+        }
+        total = {key: sum(l[key] for l in ledgers.values())
+                 for key in ("pixels", "gather_bytes", "lut_bytes",
+                             "out_bytes", "total_bytes")}
+        total["planes"] = ledgers
+        return total
+
+
+def to_yuv420_stream(frames):
+    """Adapt a grayscale frame stream into :class:`YUV420Frame` items.
+
+    Each 2-D source frame becomes the luma plane; the chroma planes
+    carry a deterministic offset-binary gradient (horizontal for U,
+    vertical for V) so the planar path moves real, checkable chroma
+    data without needing a colour source.  Used by ``repro stream
+    --pixfmt yuv420`` to drive the zero-copy planar pipeline from the
+    synthetic renderer.
+    """
+    chroma = None
+    for item in frames:
+        data = getattr(item, "data", item)
+        data = np.asarray(data)
+        if data.ndim != 2:
+            raise ImageFormatError(
+                f"to_yuv420_stream expects 2-D gray frames, got {data.shape}")
+        if chroma is None or chroma[0].shape[0] * 2 != data.shape[0] \
+                or chroma[0].shape[1] * 2 != data.shape[1]:
+            hh, hw = data.shape[0] // 2, data.shape[1] // 2
+            xs = np.linspace(96, 160, hw, dtype=np.float64)
+            ys = np.linspace(96, 160, hh, dtype=np.float64)
+            u = np.broadcast_to(np.rint(xs).astype(data.dtype), (hh, hw)).copy()
+            v = np.broadcast_to(np.rint(ys).astype(data.dtype)[:, None],
+                                (hh, hw)).copy()
+            chroma = (u, v)
+        yield YUV420Frame(data, chroma[0], chroma[1])
