@@ -229,6 +229,47 @@ class CellModel(PlatformModel):
             "dma_setup_ns_total": setup,
         }
 
+    def fused_dma_profile(self, fused_workload: Workload,
+                          staged_workloads: dict,
+                          tile_rows: int | None = None,
+                          tile_cols: int | None = None,
+                          double_buffering: bool = True) -> dict:
+        """DMA ledger of a fused composed-map pass vs its staged twin.
+
+        ``fused_workload`` models the single correct+downscale gather
+        at the *delivered* resolution (one composed table); each entry
+        of ``staged_workloads`` (e.g. ``{"correct": ..., "downscale":
+        ...}``) models one pass of the naive pipeline, which also pays
+        the intermediate frame's store and re-load through the EIB.
+        Both sides are profiled with their own feasible tilings and
+        the ledgers compared: ``savings_ratio`` is staged/fused total
+        bytes — the modeled counterpart of the measured
+        ``bytes_gathered`` ratio gated by ``check_fused`` in
+        ``benchmarks/check_regression.py``.
+        """
+        fused = self.dma_profile(fused_workload, tile_rows=tile_rows,
+                                 tile_cols=tile_cols,
+                                 double_buffering=double_buffering)
+        stages = {}
+        staged_total = staged_setup = staged_tiles = 0
+        for name, workload in staged_workloads.items():
+            prof = self.dma_profile(workload, tile_cols=tile_cols,
+                                    double_buffering=double_buffering)
+            stages[name] = prof
+            staged_total += prof["total_bytes"]
+            staged_setup += prof["dma_setup_ns_total"]
+            staged_tiles += prof["tiles"]
+        return {
+            "fused": fused,
+            "stages": stages,
+            "staged_total_bytes": staged_total,
+            "staged_tiles": staged_tiles,
+            "staged_dma_setup_ns_total": staged_setup,
+            "savings_ratio": (staged_total / fused["total_bytes"]
+                              if fused["total_bytes"] else float("inf")),
+            "bytes_saved": staged_total - fused["total_bytes"],
+        }
+
     #: Tiles replayed into the trace per ledger; a 1080p frame can tile
     #: into hundreds of jobs, far past what a timeline view needs.
     _TRACE_TILE_CAP = 64

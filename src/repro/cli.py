@@ -61,6 +61,16 @@ __all__ = ["main", "build_parser"]
 # ----------------------------------------------------------------------
 # helpers
 # ----------------------------------------------------------------------
+def _parse_size(value):
+    """Parse a ``WIDTHxHEIGHT`` CLI size (e.g. ``1280x720``)."""
+    try:
+        w, h = value.lower().split("x")
+        return int(w), int(h)
+    except (ValueError, AttributeError):
+        raise argparse.ArgumentTypeError(
+            f"expected WIDTHxHEIGHT (e.g. 1280x720), got {value!r}")
+
+
 def _sensor_for(image, focal, cx=None, cy=None):
     h, w = image.shape[:2]
     if focal is None:
@@ -192,9 +202,10 @@ def cmd_stream(args) -> int:
     world = urban(int(w * 1.5) + 64, int(h * 1.5) + 64, seed=args.seed)
     source = SyntheticStream(renderer, world, frames=args.frames, step=12)
 
+    out_size = args.out_size
     corrector = FisheyeCorrector.for_sensor(
         sensor, lens, w, h, zoom=args.zoom, method=args.method,
-        kernel=args.kernel)
+        kernel=args.kernel, out_size=out_size)
     engine = {"seq": "sync"}.get(args.engine, args.engine)
     engine_kwargs = {}
     if engine == "pipelined":
@@ -228,17 +239,19 @@ def cmd_stream(args) -> int:
                                        port=args.serve_metrics).start()
             print(f"serving metrics on {server.url} "
                   f"(/metrics /health /snapshot)", file=sys.stderr)
-        if args.pixfmt == "yuv420":
+        if args.pixfmt in ("yuv420", "nv12"):
             if engine not in ("sync", "ring"):
-                print("stream: --pixfmt yuv420 supports --engine seq or ring",
-                      file=sys.stderr)
+                print(f"stream: --pixfmt {args.pixfmt} supports --engine "
+                      f"seq or ring", file=sys.stderr)
                 return 2
             from .video.stream import corrected_stream
-            from .video.yuv import to_yuv420_stream
+            from .video.yuv import to_nv12_stream, to_yuv420_stream
+            wrap = (to_nv12_stream if args.pixfmt == "nv12"
+                    else to_yuv420_stream)
             it = corrected_stream(
-                to_yuv420_stream(source), corrector.field,
+                wrap(source), corrector.field,
                 method=args.method, kernel=args.kernel, engine=engine,
-                pixfmt="yuv420", **engine_kwargs)
+                pixfmt=args.pixfmt, out_size=out_size, **engine_kwargs)
         else:
             it = corrector.correct_stream(source, stats=stats, engine=engine,
                                           **engine_kwargs)
@@ -252,13 +265,15 @@ def cmd_stream(args) -> int:
         elif engine == "ring":
             detail = (f" workers={args.workers} depth={args.depth} "
                       f"schedule={args.schedule}")
-        if args.pixfmt == "yuv420":
-            # planar: 1.5 samples per output pixel across the 3 planes
-            mpx = frames * (w * h * 1.5) / wall / 1e6
+        ow, oh = out_size if out_size else (w, h)
+        if args.pixfmt in ("yuv420", "nv12"):
+            # planar: 1.5 samples per output pixel across the planes
+            mpx = frames * (ow * oh * 1.5) / wall / 1e6
         else:
             mpx = stats.mpixels_per_s
+        fused_note = f" out={ow}x{oh} fused" if out_size else ""
         print(f"engine={args.engine}{detail} kernel={corrector.kernel} "
-              f"pixfmt={args.pixfmt}: {frames} frames "
+              f"pixfmt={args.pixfmt}{fused_note}: {frames} frames "
               f"{w}x{h} {args.method} in {wall:.3f}s "
               f"-> {frames / wall:.1f} fps end-to-end "
               f"({mpx:.1f} Mpx/s in-engine)")
@@ -319,6 +334,13 @@ def cmd_serve(args) -> int:
                   f"(/metrics /health /snapshot)", file=sys.stderr)
         deadline_s = args.deadline_ms / 1e3 if args.deadline_ms else None
         t0 = time.perf_counter()
+        pixfmt = {"gray": "rgb"}.get(args.pixfmt, args.pixfmt)
+        if pixfmt == "rgb":
+            def wrap(src):
+                return src
+        else:
+            from .video.yuv import to_nv12_stream, to_yuv420_stream
+            wrap = to_nv12_stream if pixfmt == "nv12" else to_yuv420_stream
         with MultiStreamCorrector(workers=args.workers,
                                   slot_budget=args.slot_budget,
                                   schedule=args.schedule, chunk=args.chunk,
@@ -326,11 +348,12 @@ def cmd_serve(args) -> int:
                                   serve_metrics=server) as svc:
             sessions = [
                 svc.open_stream(
-                    SyntheticStream(renderer, world, frames=args.frames,
-                                    step=8 + 3 * i),
+                    wrap(SyntheticStream(renderer, world, frames=args.frames,
+                                         step=8 + 3 * i)),
                     corrector.field, method=args.method, kernel=args.kernel,
                     name=f"s{i}", depth=args.depth, weight=weights[i],
-                    deadline_s=deadline_s)
+                    deadline_s=deadline_s, pixfmt=pixfmt,
+                    out_size=args.out_size)
                 for i in range(args.streams)
             ]
             counts = {s.name: 0 for s in sessions}
@@ -338,8 +361,11 @@ def cmd_serve(args) -> int:
                 counts[name] += 1
         wall = time.perf_counter() - t0
         total = sum(counts.values())
+        fused_note = (f" out={args.out_size[0]}x{args.out_size[1]} fused"
+                      if args.out_size else "")
         print(f"serve: {args.streams} streams x {args.frames} frames "
-              f"{w}x{h} {args.method} through {args.workers} workers "
+              f"{w}x{h} {args.method} pixfmt={args.pixfmt}{fused_note} "
+              f"through {args.workers} workers "
               f"(budget {args.slot_budget} slots) in {wall:.3f}s "
               f"-> {total / wall:.1f} fps aggregate")
         for i in range(args.streams):
@@ -523,11 +549,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "installed, else numpy)")
     p.add_argument("--context", choices=["fork", "spawn"], default="fork",
                    help="ring worker start method")
-    p.add_argument("--pixfmt", choices=["gray", "yuv420"], default="gray",
+    p.add_argument("--pixfmt", choices=["gray", "yuv420", "nv12"],
+                   default="gray",
                    help="frame pixel format: gray drives 2-D frames through "
                         "the corrector; yuv420 wraps the stream as planar "
-                        "YUV 4:2:0 and corrects all three planes natively "
+                        "YUV 4:2:0 and corrects all three planes natively; "
+                        "nv12 is the same with one interleaved UV plane "
                         "(no RGB conversion, engines seq/ring)")
+    p.add_argument("--out-size", type=_parse_size, metavar="WxH", default=None,
+                   help="deliver at this size through one fused "
+                        "correct+downscale composed table (e.g. 1280x720); "
+                        "per-frame gather traffic scales with the delivered "
+                        "size, not the source")
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--serve-metrics", type=int, metavar="PORT", default=None,
                    help="serve /metrics /health /snapshot on 127.0.0.1:PORT "
@@ -577,6 +610,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline-ms", type=float, default=None,
                    help="per-frame e2e latency SLO counted per stream as "
                         "stream.deadline_miss{stream=...}")
+    p.add_argument("--pixfmt", choices=["gray", "yuv420", "nv12"],
+                   default="gray",
+                   help="session pixel format: gray packs 2-D frames; "
+                        "yuv420/nv12 run the planar per-plane band path")
+    p.add_argument("--out-size", type=_parse_size, metavar="WxH", default=None,
+                   help="deliver every session at this size through a fused "
+                        "correct+downscale composed table")
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--serve-metrics", type=int, metavar="PORT", default=None,
                    help="serve /metrics with per-stream labelled series on "

@@ -125,6 +125,24 @@ class LUTCache:
         tail = f"|{method}|{border}|{float(fill)!r}"
         return field_fingerprint(field) + hashlib.sha1(tail.encode()).hexdigest()[:8]
 
+    @staticmethod
+    def key_for_composed(outer: RemapField, inner: RemapField,
+                         method: str = "bilinear", border: str = "constant",
+                         fill: float = 0.0) -> str:
+        """Cache key of a fused ``inner after outer`` table.
+
+        Derived from the content hashes of the *constituent* fields
+        (plus the build parameters), so hitting the cache never pays
+        the composition itself, and any two callers composing
+        numerically identical stages share one fused table.
+        """
+        tail = f"|{method}|{border}|{float(fill)!r}"
+        h = hashlib.sha1(b"composed|")
+        h.update(field_fingerprint(outer).encode())
+        h.update(field_fingerprint(inner).encode())
+        h.update(tail.encode())
+        return "comp" + h.hexdigest()
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -152,8 +170,37 @@ class LUTCache:
     def get(self, field: RemapField, method: str = "bilinear",
             border: str = "constant", fill: float = 0.0) -> RemapLUT:
         """Return the LUT for this configuration, building at most once."""
-        tel = get_telemetry()
         key = self.key_for(field, method, border, fill)
+
+        def build() -> RemapLUT:
+            return RemapLUT(field, method=method, border=border, fill=fill)
+
+        return self._get_by_key(key, build)
+
+    def get_composed(self, outer: RemapField, inner: RemapField,
+                     method: str = "bilinear", border: str = "constant",
+                     fill: float = 0.0) -> RemapLUT:
+        """Return the fused LUT of ``inner after outer``.
+
+        The key comes from the constituent fields' content hashes
+        (:meth:`key_for_composed`), so a memory or disk hit skips both
+        the composition and the table build; a burst of concurrent
+        opens against the same composition single-flights into exactly
+        one build (``lutcache.builds`` increments once).
+        """
+        from .compose import compose_fields
+
+        key = self.key_for_composed(outer, inner, method, border, fill)
+
+        def build() -> RemapLUT:
+            field = compose_fields(outer, inner)
+            return RemapLUT(field, method=method, border=border, fill=fill)
+
+        return self._get_by_key(key, build)
+
+    def _get_by_key(self, key: str, build) -> RemapLUT:
+        """Two-tier single-flight fetch: ``build()`` runs at most once."""
+        tel = get_telemetry()
         with self._lock:
             lut = self._entries.get(key)
             if lut is not None:
@@ -181,7 +228,7 @@ class LUTCache:
             lut = self._load(key)
             if lut is None:
                 t0 = time.perf_counter() if tel.enabled else 0.0
-                lut = RemapLUT(field, method=method, border=border, fill=fill)
+                lut = build()
                 if tel.enabled:
                     tel.histogram("lutcache.build_seconds").observe(
                         time.perf_counter() - t0)

@@ -102,12 +102,22 @@ class FisheyeCorrector:
         unconditionally, so correctors sharing a cache (or restarting
         against its disk tier) skip the most expensive per-stream
         stage.
+    out_size:
+        Optional ``(width, height)`` to deliver at.  Builds one
+        **fused** correct+downscale table
+        (:func:`~repro.core.compose.composed_lut` over an area-style
+        :func:`~repro.core.compose.downscale_field`): every frame pays
+        a single gather pass whose traffic scales with the delivered
+        size, not the correction's intermediate.  With a ``lut_cache``
+        the fused table is keyed by the constituent fields' content
+        hashes, so it warm-starts like a plain one.
     """
 
     def __init__(self, field: RemapField, method: str = "bilinear",
                  border: str = "constant", fill: float = 0.0,
                  executor: Optional[RemapExecutor] = None,
-                 lut_cache=None, kernel: str = "numpy"):
+                 lut_cache=None, kernel: str = "numpy",
+                 out_size: Optional[tuple] = None):
         self.field = field
         self.method = method
         self.border = border
@@ -115,6 +125,14 @@ class FisheyeCorrector:
         self.kernel = kernel_tiers.resolve_tier(kernel)
         self.executor = executor or SequentialExecutor()
         self.lut_cache = lut_cache
+        if out_size is not None:
+            from .compose import downscale_field
+            fh, fw = field.shape
+            self._outer = downscale_field(int(out_size[0]), int(out_size[1]),
+                                          fw, fh)
+        else:
+            self._outer = None
+        self.fused = self._outer is not None
         self._lut: Optional[RemapLUT] = None
         self._frames_corrected = 0
         self._cache_hits = 0
@@ -130,7 +148,8 @@ class FisheyeCorrector:
                    method: str = "bilinear", border: str = "constant",
                    fill: float = 0.0,
                    executor: Optional[RemapExecutor] = None,
-                   lut_cache=None, kernel: str = "numpy") -> "FisheyeCorrector":
+                   lut_cache=None, kernel: str = "numpy",
+                   out_size: Optional[tuple] = None) -> "FisheyeCorrector":
         """Build a perspective-view corrector for a fisheye sensor.
 
         ``zoom`` scales the output focal length relative to the value
@@ -151,14 +170,26 @@ class FisheyeCorrector:
         )
         field = perspective_map(sensor, lens, out, yaw=yaw, pitch=pitch, roll=roll)
         return cls(field, method=method, border=border, fill=fill, executor=executor,
-                   lut_cache=lut_cache, kernel=kernel)
+                   lut_cache=lut_cache, kernel=kernel, out_size=out_size)
 
     # ------------------------------------------------------------------
     @property
     def lut(self) -> RemapLUT:
         """The frozen remap table (built lazily, reused across frames)."""
         if self._lut is None:
-            if self.lut_cache is not None:
+            if self._outer is not None:
+                from .compose import composed_lut
+                if self.lut_cache is not None:
+                    hits0 = self.lut_cache.hits
+                    misses0 = self.lut_cache.misses
+                self._lut = composed_lut(self._outer, self.field,
+                                         method=self.method,
+                                         border=self.border, fill=self.fill,
+                                         cache=self.lut_cache)
+                if self.lut_cache is not None:
+                    self._cache_hits += self.lut_cache.hits - hits0
+                    self._cache_misses += self.lut_cache.misses - misses0
+            elif self.lut_cache is not None:
                 hits0, misses0 = self.lut_cache.hits, self.lut_cache.misses
                 self._lut = self.lut_cache.get(self.field, method=self.method,
                                                border=self.border, fill=self.fill)
@@ -167,8 +198,10 @@ class FisheyeCorrector:
             else:
                 self._lut = RemapLUT(self.field, method=self.method,
                                      border=self.border, fill=self.fill)
-            if self.kernel != "numpy":
+            if self.kernel != "numpy" and hasattr(self._lut, "with_tier"):
                 # non-mutating: cache-fetched tables stay tier-neutral
+                # (a supersampled fused table has no Q-format twin and
+                # keeps the numpy path)
                 self._lut = self._lut.with_tier(self.kernel)
         return self._lut
 
@@ -188,6 +221,7 @@ class FisheyeCorrector:
         return {
             "frames_corrected": self._frames_corrected,
             "kernel": self.kernel,
+            "fused": self.fused,
             "lut_built": self._lut is not None,
             "cache_hits": self._cache_hits,
             "cache_misses": self._cache_misses,
@@ -197,7 +231,7 @@ class FisheyeCorrector:
 
     @property
     def out_shape(self):
-        return self.field.shape
+        return self._outer.shape if self._outer is not None else self.field.shape
 
     def coverage(self) -> float:
         """Fraction of output pixels with source data."""

@@ -82,7 +82,7 @@ from ..core.remap import RemapLUT
 from ..obs.flightrec import DEFAULT_FLIGHT_CAPACITY, FlightRecorder
 from ..obs.logsetup import get_logger
 from ..obs.telemetry import get_telemetry
-from ..video.yuv import PLANE_NAMES, YUV420Frame
+from ..video.yuv import NV12Frame, YUV420Frame, plane_names_for
 from .partition import row_bands
 from .shmseg import (
     FrameSegments,
@@ -212,10 +212,12 @@ def _ring_worker_main(rank, task_q, done_q, table_spec, lut_meta, slot_spec,
                 if planar:
                     if plane_counters is None:
                         from ..obs.export import labeled
+                        names = plane_names_for(
+                            lut_meta.get("pixfmt", "yuv420"))
                         plane_counters = [
-                            labeled("ring.bands", plane=n) for n in PLANE_NAMES]
-                    args["plane"] = PLANE_NAMES[plane]
-                    tel.counter(plane_counters[plane]).inc()
+                            (n, labeled("ring.bands", plane=n)) for n in names]
+                    args["plane"] = plane_counters[plane][0]
+                    tel.counter(plane_counters[plane][1]).inc()
                 tel.add_span("ring.band", wall0, dt, cat="ring", tid=track,
                              args=args)
                 delta = worker_delta()
@@ -283,7 +285,8 @@ class RingEngine:
                  stall_timeout_s: float | None = None,
                  flight_dir=None,
                  flight_capacity: int = DEFAULT_FLIGHT_CAPACITY,
-                 chroma_lut: RemapLUT | None = None):
+                 chroma_lut: RemapLUT | None = None,
+                 pixfmt: str = "yuv420"):
         if workers < 1:
             raise ScheduleError(f"workers must be >= 1, got {workers}")
         if depth < 1:
@@ -328,6 +331,9 @@ class RingEngine:
         self._streaming = False
 
         if self.planar:
+            if pixfmt not in ("yuv420", "nv12"):
+                raise ScheduleError(
+                    f"planar rings support yuv420/nv12, got {pixfmt!r}")
             if len(frame_shape) != 2:
                 raise ScheduleError(
                     f"planar rings take 2-D luma frame shapes, got {frame_shape}")
@@ -344,16 +350,21 @@ class RingEngine:
                 raise ScheduleError(
                     f"chroma LUT output {chroma_lut.out_shape} is not half "
                     f"the luma output {lut.out_shape}")
+            self.pixfmt = pixfmt
+            self._frame_cls = NV12Frame if pixfmt == "nv12" else YUV420Frame
             chroma_bands = plan_bands(oh // 2, workers, schedule,
                                       None if chunk is None else max(1, chunk // 2))
-            self.bands += [(plane, r0, r1) for plane in (1, 2)
+            # NV12 folds both chroma planes into one interleaved band
+            # set (plane 1); I420 schedules U and V separately (1, 2).
+            chroma_planes = (1,) if pixfmt == "nv12" else (1, 2)
+            self.bands += [(plane, r0, r1) for plane in chroma_planes
                            for r0, r1 in chroma_bands]
             self._slots = [
-                PlanarFrameSegments(YUV420Frame.plane_shapes(h, w),
+                PlanarFrameSegments(self._frame_cls.plane_shapes(h, w),
                                     self.frame_dtype,
-                                    YUV420Frame.plane_shapes(oh, ow))
+                                    self._frame_cls.plane_shapes(oh, ow))
                 for _ in range(depth)]
-            self._tables = SharedTables(lut, chroma=chroma_lut)
+            self._tables = SharedTables(lut, chroma=chroma_lut, pixfmt=pixfmt)
         else:
             self._slots = [FrameSegments(self.frame_shape, self.frame_dtype,
                                          self.out_shape) for _ in range(depth)]
@@ -519,9 +530,10 @@ class RingEngine:
                     except StopIteration:
                         break
                     if self.planar:
-                        if not isinstance(item, YUV420Frame):
+                        if not isinstance(item, self._frame_cls):
                             raise ScheduleError(
-                                f"planar ring expects YUV420Frame items, "
+                                f"planar ring expects "
+                                f"{self._frame_cls.__name__} items, "
                                 f"got {type(item).__name__}")
                         if (item.y.shape != self.frame_shape
                                 or item.y.dtype != self.frame_dtype):
@@ -600,7 +612,7 @@ class RingEngine:
                 if next_seq in completed:
                     slot = completed.pop(next_seq)
                     if self.planar:
-                        result = YUV420Frame(*self._slots[slot].dst_views)
+                        result = self._frame_cls(*self._slots[slot].dst_views)
                     else:
                         result = self._slots[slot].dst_view
                     item = slot_items[slot]
@@ -682,13 +694,20 @@ class RingEngine:
     def for_stream(cls, lut: RemapLUT, first_frame, **kwargs) -> "RingEngine":
         """Build an engine sized from the first frame of a stream.
 
-        A :class:`~repro.video.yuv.YUV420Frame` first frame selects the
-        planar ring (pass ``chroma_lut=`` alongside).
+        A :class:`~repro.video.yuv.YUV420Frame` or
+        :class:`~repro.video.yuv.NV12Frame` first frame selects the
+        planar ring (pass ``chroma_lut=`` alongside); NV12 pins
+        ``pixfmt="nv12"`` so band scheduling uses the single
+        interleaved chroma plane.
         """
-        if isinstance(first_frame, YUV420Frame):
+        if isinstance(first_frame, (YUV420Frame, NV12Frame)):
             if kwargs.get("chroma_lut") is None:
                 raise ScheduleError(
-                    "YUV420 streams need a chroma_lut for the planar ring")
+                    f"{type(first_frame).__name__} streams need a "
+                    "chroma_lut for the planar ring")
+            kwargs.setdefault(
+                "pixfmt",
+                "nv12" if isinstance(first_frame, NV12Frame) else "yuv420")
             return cls(lut, first_frame.y.shape, first_frame.y.dtype, **kwargs)
         data = first_frame.data if isinstance(first_frame, Frame) else np.asarray(first_frame)
         return cls(lut, data.shape, data.dtype, **kwargs)
@@ -700,8 +719,9 @@ def ring_stream(lut: RemapLUT, frames, copy: bool = False, **kwargs):
 
     The geometry is taken from the first frame (the engine binds to
     fixed shapes), so the source iterable may be a generator.  YUV420
-    sources (with ``chroma_lut=``) run through the planar ring and
-    yield :class:`~repro.video.yuv.YUV420Frame` results.
+    and NV12 sources (with ``chroma_lut=``) run through the planar
+    ring and yield :class:`~repro.video.yuv.YUV420Frame` /
+    :class:`~repro.video.yuv.NV12Frame` results respectively.
     """
     it = iter(frames)
     try:

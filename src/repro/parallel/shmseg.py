@@ -314,10 +314,15 @@ class SharedTables(_SegmentGroup):
     tables join the same spec under :data:`_CHROMA_PREFIX`-prefixed
     keys and ``meta["chroma"]`` carries the chroma LUT's scalars — one
     spec, one segment group, two zero-copy LUTs on the worker side
-    (:func:`attach_planar_tables`).
+    (:func:`attach_planar_tables`).  ``pixfmt`` records which planar
+    layout the tables serve (``"yuv420"``: three planes, u/v sharing
+    the chroma LUT; ``"nv12"``: two planes, the chroma LUT applied
+    once to the interleaved UV view) so the worker side recovers the
+    right per-plane LUT tuple without guessing.
     """
 
-    def __init__(self, lut: RemapLUT, chroma: RemapLUT | None = None):
+    def __init__(self, lut: RemapLUT, chroma: RemapLUT | None = None,
+                 pixfmt: str = "yuv420"):
         shms = []
         self.spec = {}
 
@@ -342,6 +347,7 @@ class SharedTables(_SegmentGroup):
         if chroma is not None:
             publish_lut(chroma, _CHROMA_PREFIX)
             self.meta["chroma"] = _lut_meta(chroma)
+            self.meta["pixfmt"] = pixfmt
         super().__init__(shms)
 
 
@@ -387,12 +393,17 @@ def attach_planar_tables(spec, meta):
     """Attach a planar publication: both LUTs from one spec.
 
     Returns ``(segments, luts)`` where ``luts`` is the per-plane LUT
-    tuple in :data:`~repro.video.yuv.PLANE_NAMES` order (u and v share
-    the chroma LUT).
+    tuple matching ``meta["pixfmt"]``: for ``"yuv420"`` (the default)
+    ``(luma, chroma, chroma)`` in :data:`~repro.video.yuv.PLANE_NAMES`
+    order, for ``"nv12"`` ``(luma, chroma)`` in
+    :data:`~repro.video.yuv.NV12_PLANE_NAMES` order — the single
+    chroma LUT serves the interleaved UV plane as one 2-channel apply.
     """
     if "chroma" not in meta:
         raise ValueError("spec/meta carry no chroma publication")
     segments = []
     _, luma = _attach_lut(spec, meta, segments)
     _, chroma = _attach_lut(spec, meta["chroma"], segments, _CHROMA_PREFIX)
+    if meta.get("pixfmt", "yuv420") == "nv12":
+        return segments, (luma, chroma)
     return segments, (luma, chroma, chroma)

@@ -142,22 +142,24 @@ def _serve_worker_main(rank, task_q, done_q, ctrl_q, telemetry_enabled):
     Unlike the single-stream ring worker, attachments are *lazy and
     cached*: the first band of a session attaches its slots (and its
     LUT tables — cached by calibration key, so sessions sharing one
-    calibration attach the tables once).  Planar (yuv420) sessions
-    publish a chroma LUT next to the luma one; the worker detects it
-    from the table metadata and indexes both slot views and LUTs by
-    the band's ``plane``.  ``ctrl_q`` broadcasts ``("forget", sid)``
-    when a session closes so the worker drops its mappings; a band
-    whose segments are already gone posts ``rows=-1`` and the
-    collector decides whether anyone still cares.
+    calibration attach the tables once).  Planar (yuv420/nv12)
+    sessions publish a chroma LUT next to the luma one; the worker
+    detects it from the table metadata, indexes both slot views and
+    LUTs by the band's ``plane``, and labels its spans with the
+    publication's plane names (``y``/``u``/``v`` or ``y``/``uv``).
+    ``ctrl_q`` broadcasts ``("forget", sid)`` when a session closes so
+    the worker drops its mappings; a band whose segments are already
+    gone posts ``rows=-1`` and the collector decides whether anyone
+    still cares.
     """
     from ..parallel.shmseg import (attach_any_slot, attach_planar_tables,
                                    attach_tables, init_worker_telemetry,
                                    worker_delta)
-    from ..video.yuv import PLANE_NAMES
+    from ..video.yuv import plane_names_for
 
     init_worker_telemetry(telemetry_enabled)
-    luts: dict = {}      # lut_key -> (segments, per-plane lut tuple)
-    sessions: dict = {}  # sid -> (segments, slots, plane luts, label)
+    luts: dict = {}      # lut_key -> (segments, per-plane lut tuple, names)
+    sessions: dict = {}  # sid -> (segments, slots, plane luts, label, names)
     track = f"serve-worker-{rank}"
 
     def forget(sid):
@@ -203,18 +205,22 @@ def _serve_worker_main(rank, task_q, done_q, ctrl_q, telemetry_enabled):
                         if "chroma" in meta:
                             segs, plane_luts = attach_planar_tables(
                                 dict(table_spec), meta)
+                            names = plane_names_for(
+                                meta.get("pixfmt", "yuv420"))
                         else:
                             segs, _, one = attach_tables(dict(table_spec),
                                                          meta)
                             plane_luts = (one,)
-                        cached = luts[lut_key] = (segs, plane_luts)
+                            names = ("y",)
+                        cached = luts[lut_key] = (segs, plane_luts, names)
                     slots, slot_segs = [], []
                     for spec in slot_spec:
                         segs, srcs, dsts = attach_any_slot(spec)
                         slot_segs += segs
                         slots.append((srcs, dsts))
-                    entry = sessions[sid] = (slot_segs, slots, cached[1], label)
-                _, slots, plane_luts, label = entry
+                    entry = sessions[sid] = (slot_segs, slots, cached[1],
+                                             label, cached[2])
+                _, slots, plane_luts, label, plane_names = entry
                 planar = len(plane_luts) > 1
                 srcs, dsts = slots[slot_idx]
                 lut = plane_luts[plane]
@@ -234,7 +240,7 @@ def _serve_worker_main(rank, task_q, done_q, ctrl_q, telemetry_enabled):
                 args = {"frame_id": seq, "stream": label,
                         "rows": rows, "tier": lut.tier}
                 if planar:
-                    args["plane"] = PLANE_NAMES[plane]
+                    args["plane"] = plane_names[plane]
                 tel.add_span("serve.band", wall0, dt, cat="serve", tid=track,
                              args=args)
                 delta = worker_delta()
@@ -242,7 +248,7 @@ def _serve_worker_main(rank, task_q, done_q, ctrl_q, telemetry_enabled):
     finally:
         for sid in list(sessions):
             forget(sid)
-        for segs, _ in luts.values():
+        for segs, _, _ in luts.values():
             for shm in segs:
                 try:
                     shm.close()
@@ -267,7 +273,8 @@ class StreamSession:
 
     def __init__(self, broker: "StreamBroker", sid: int, name: str,
                  source, depth: int, weight: int, copy: bool,
-                 deadline_s, bands, slots, desc, empty: bool = False):
+                 deadline_s, bands, slots, desc, empty: bool = False,
+                 pixfmt: str = "rgb"):
         self.broker = broker
         self.sid = sid
         self.name = name
@@ -276,11 +283,17 @@ class StreamSession:
         self.copy = copy
         self.deadline_s = deadline_s
         self.delivered = 0
+        self.pixfmt = pixfmt
         self._source = source
         self._bands = bands
         self._slots = slots
         self._desc = desc
         self._planar = bool(slots) and hasattr(slots[0], "plane_shapes")
+        if self._planar:
+            from ..video.yuv import NV12Frame, YUV420Frame
+            self._frame_cls = NV12Frame if pixfmt == "nv12" else YUV420Frame
+        else:
+            self._frame_cls = None
         self._cond = threading.Condition()
         self._free: _queue.Queue = _queue.Queue()
         for i in range(len(slots)):
@@ -321,11 +334,11 @@ class StreamSession:
                 t_dec = time.time()
                 slot0 = self._slots[0]
                 if self._planar:
-                    from ..video.yuv import YUV420Frame
-                    if not isinstance(item, YUV420Frame):
+                    if not isinstance(item, self._frame_cls):
                         raise ScheduleError(
-                            f"planar stream {self.name!r} expects YUV420Frame "
-                            f"items, got {type(item).__name__}")
+                            f"planar stream {self.name!r} expects "
+                            f"{self._frame_cls.__name__} items, "
+                            f"got {type(item).__name__}")
                     if (item.y.shape != slot0.plane_shapes[0]
                             or item.y.dtype != slot0.dtype):
                         raise ScheduleError(
@@ -429,8 +442,7 @@ class StreamSession:
             if not exhausted:
                 slot = self._completed.pop(self._next_seq)
                 if self._planar:
-                    from ..video.yuv import YUV420Frame
-                    result = YUV420Frame(*self._slots[slot].dst_views)
+                    result = self._frame_cls(*self._slots[slot].dst_views)
                 else:
                     result = self._slots[slot].dst_view
                 item = self._slot_items[slot]
@@ -606,7 +618,8 @@ class StreamBroker:
              fill: float = 0.0, kernel: str = "numpy", depth: int = 2,
              weight: int = 1, copy: bool = True,
              deadline_s: float | None = None,
-             pixfmt: str = "rgb") -> StreamSession:
+             pixfmt: str = "rgb",
+             out_size: tuple | None = None) -> StreamSession:
         """Admit a stream session; raises
         :class:`~repro.errors.AdmissionError` when ``depth`` slots do
         not fit the remaining budget.
@@ -625,17 +638,37 @@ class StreamBroker:
         :class:`~repro.core.lutcache.LUTCache`, every frame is
         scheduled as per-plane bands over the fleet, and the session
         yields corrected :class:`YUV420Frame`\\ s with no RGB
-        conversion anywhere on the path.
+        conversion anywhere on the path.  ``pixfmt="nv12"`` is the
+        same planar pipeline over
+        :class:`~repro.video.yuv.NV12Frame` items — the interleaved
+        UV plane runs as one 2-channel band set (plane 1) against the
+        same half-resolution chroma tables.
+
+        ``out_size=(width, height)`` delivers at a smaller size
+        through a **fused** correct+downscale table: the area-style
+        downscale map is composed with ``field`` (per plane on planar
+        sessions) via :meth:`~repro.core.lutcache.LUTCache
+        .get_composed`, so every frame pays one gather pass whose
+        traffic scales with the delivered size, and concurrent opens
+        of the same composition build the table once.
         """
         from ..parallel.shmseg import (FrameSegments, PlanarFrameSegments,
                                        SharedTables)
 
         if depth < 1:
             raise ScheduleError(f"depth must be >= 1, got {depth}")
-        if pixfmt not in ("rgb", "yuv420"):
+        if pixfmt not in ("rgb", "yuv420", "nv12"):
             raise ScheduleError(
-                f"unknown pixfmt {pixfmt!r}; known: rgb, yuv420")
-        planar = pixfmt == "yuv420"
+                f"unknown pixfmt {pixfmt!r}; known: rgb, yuv420, nv12")
+        planar = pixfmt in ("yuv420", "nv12")
+        if out_size is not None:
+            ow_, oh_ = int(out_size[0]), int(out_size[1])
+            if ow_ < 2 or oh_ < 2:
+                raise ScheduleError(
+                    f"out_size must be at least 2x2, got {ow_}x{oh_}")
+            if planar and (ow_ % 2 or oh_ % 2):
+                raise ScheduleError(
+                    f"planar out_size must be even, got {ow_}x{oh_}")
         tier = resolve_tier(kernel)
         with self._lock:
             if self._closed:
@@ -660,7 +693,28 @@ class StreamBroker:
             # single-flight shared build: concurrent opens on one
             # calibration build (and publish) exactly once
             chroma_lut = None
-            if planar:
+            if out_size is not None:
+                from ..core.compose import downscale_field
+                fh, fw = field.shape
+                # prefilter=False: the streaming path always runs the
+                # plain 4-tap fused table (exact 2x2 box at 2:1, the
+                # headline 4K->1080p case; see docs/kernel.md).
+                outer = downscale_field(ow_, oh_, fw, fh, prefilter=False)
+                lut = self.lut_cache.get_composed(
+                    outer, field, method=method, border=border, fill=fill)
+                if planar:
+                    from ..core.mapping import chroma_half_field
+                    outer_c = downscale_field(ow_ // 2, oh_ // 2,
+                                              fw // 2, fh // 2,
+                                              prefilter=False)
+                    chroma_lut = self.lut_cache.get_composed(
+                        outer_c, chroma_half_field(field),
+                        method="bilinear", border=border, fill=128.0)
+                if tier != "numpy":
+                    lut = lut.with_tier(tier)
+                    if chroma_lut is not None:
+                        chroma_lut = chroma_lut.with_tier(tier)
+            elif planar:
                 from ..video.yuv import YUVCorrector
                 corr = YUVCorrector.from_field(
                     field, method=method, border=border, fill=fill,
@@ -672,7 +726,9 @@ class StreamBroker:
                 if tier != "numpy":
                     lut = lut.with_tier(tier)
             lut_key = (self.lut_cache.key_for(field, method, border, fill)
-                       + f"|{tier}" + ("|yuv420" if planar else ""))
+                       + f"|{tier}" + (f"|{pixfmt}" if planar else "")
+                       + (f"|fused{ow_}x{oh_}" if out_size is not None
+                          else ""))
             it = iter(frames)
             try:
                 first = next(it)
@@ -682,12 +738,14 @@ class StreamBroker:
                 session = StreamSession(self, sid, name, iter(()), depth,
                                         weight, copy, deadline_s,
                                         bands=[], slots=[], desc=None,
-                                        empty=True)
+                                        empty=True, pixfmt=pixfmt)
             elif planar:
-                from ..video.yuv import YUV420Frame
-                if not isinstance(first, YUV420Frame):
+                from ..video.yuv import NV12Frame, YUV420Frame
+                frame_cls = NV12Frame if pixfmt == "nv12" else YUV420Frame
+                if not isinstance(first, frame_cls):
                     raise ScheduleError(
-                        f"planar stream {name!r} expects YUV420Frame items, "
+                        f"planar stream {name!r} expects "
+                        f"{frame_cls.__name__} items, "
                         f"got {type(first).__name__}")
                 if first.y.shape != lut.src_shape:
                     raise ScheduleError(
@@ -698,19 +756,21 @@ class StreamBroker:
                     shared = self._tables.get(lut_key)
                     if shared is None:
                         shared = self._tables[lut_key] = (
-                            SharedTables(lut, chroma=chroma_lut), lut)
+                            SharedTables(lut, chroma=chroma_lut,
+                                         pixfmt=pixfmt), lut)
                 tables = shared[0]
                 slots = [PlanarFrameSegments(
-                            YUV420Frame.plane_shapes(*first.y.shape),
+                            frame_cls.plane_shapes(*first.y.shape),
                             first.y.dtype,
-                            YUV420Frame.plane_shapes(oh, ow))
+                            frame_cls.plane_shapes(oh, ow))
                          for _ in range(depth)]
                 cchunk = (None if self.chunk is None
                           else max(1, self.chunk // 2))
+                chroma_planes = (1,) if pixfmt == "nv12" else (1, 2)
                 bands = ([(0, r0, r1) for r0, r1 in
                           plan_bands(oh, self.workers, self.schedule,
                                      self.chunk)]
-                         + [(p, r0, r1) for p in (1, 2) for r0, r1 in
+                         + [(p, r0, r1) for p in chroma_planes for r0, r1 in
                             plan_bands(oh // 2, self.workers, self.schedule,
                                        cchunk)])
                 desc = (lut_key, name,
@@ -744,7 +804,7 @@ class StreamBroker:
                 session = StreamSession(
                     self, sid, name, itertools.chain([first], it), depth,
                     weight, copy, deadline_s, bands=bands, slots=slots,
-                    desc=desc)
+                    desc=desc, pixfmt=pixfmt)
         except BaseException:
             with self._lock:
                 self._slots_used -= depth

@@ -87,16 +87,22 @@ class MultiStreamCorrector:
                     fill: float = 0.0, kernel: str = "numpy",
                     depth: int = 2, weight: int = 1, copy: bool = True,
                     deadline_s: float | None = None,
-                    pixfmt: str = "rgb") -> StreamSession:
+                    pixfmt: str = "rgb",
+                    out_size: tuple | None = None) -> StreamSession:
         """Admit one stream; see :meth:`StreamBroker.open`.
 
         ``pixfmt="yuv420"`` opens a planar zero-copy session over
-        :class:`~repro.video.yuv.YUV420Frame` items.
+        :class:`~repro.video.yuv.YUV420Frame` items;
+        ``pixfmt="nv12"`` the same over
+        :class:`~repro.video.yuv.NV12Frame` items.
+        ``out_size=(width, height)`` delivers through a fused
+        correct+downscale composed table.
         """
         return self.broker.open(frames, field, name=name, method=method,
                                 border=border, fill=fill, kernel=kernel,
                                 depth=depth, weight=weight, copy=copy,
-                                deadline_s=deadline_s, pixfmt=pixfmt)
+                                deadline_s=deadline_s, pixfmt=pixfmt,
+                                out_size=out_size)
 
     def merged(self, sessions):
         """Drain several sessions concurrently; yield ``(name, frame)``.

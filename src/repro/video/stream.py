@@ -61,14 +61,18 @@ def panning_crops(world: np.ndarray, width: int, height: int, frames: int,
         yield world[y0:y0 + height, x0:x0 + width]
 
 
-def _stream_telemetry(inner: Iterator, label: str | None = None) -> Iterator:
+def _stream_telemetry(inner: Iterator, label: str | None = None,
+                      fused: bool = False) -> Iterator:
     """Wrap a delegated engine with the standard stream metric surface.
 
     ``label`` additionally emits the per-stream labelled series
     (``stream.frames{stream="..."}`` etc., see
     :func:`repro.obs.export.labeled`) next to the aggregate ones;
-    planar :class:`~repro.video.yuv.YUV420Frame` items additionally
-    tick the per-plane ``stream.frames{plane="y"|"u"|"v"}`` counters.
+    planar :class:`~repro.video.yuv.YUV420Frame` /
+    :class:`~repro.video.yuv.NV12Frame` items additionally tick the
+    per-plane ``stream.frames{plane=...}`` counters (``y``/``u``/``v``
+    or ``y``/``uv``), and ``fused=True`` (a correct+downscale composed
+    table on the path) ticks ``stream.frames{fused="true"}``.
     Closing the wrapper (consumer ``break`` / ``GeneratorExit``)
     explicitly closes ``inner`` so a delegated engine tears down even
     when the generator chain is kept alive by a reference cycle.
@@ -80,12 +84,15 @@ def _stream_telemetry(inner: Iterator, label: str | None = None) -> Iterator:
             yield from it
             return
         from ..obs.export import labeled
-        from .yuv import PLANE_NAMES, YUV420Frame
+        from .yuv import NV12_PLANE_NAMES, NV12Frame, PLANE_NAMES, YUV420Frame
         frames_name = labeled("stream.frames", stream=label) if label \
             else "stream.frames"
         fps_name = labeled("stream.fps", stream=label) if label \
             else "stream.fps"
+        fused_name = labeled("stream.frames", fused="true") if fused else None
         plane_names = [labeled("stream.frames", plane=p) for p in PLANE_NAMES]
+        nv12_plane_names = [labeled("stream.frames", plane=p)
+                            for p in NV12_PLANE_NAMES]
         stream_t0 = time.perf_counter()
         frames_done = 0
         while True:
@@ -99,7 +106,12 @@ def _stream_telemetry(inner: Iterator, label: str | None = None) -> Iterator:
             tel.counter("stream.frames").inc()
             if label:
                 tel.counter(frames_name).inc()
-            if isinstance(item, YUV420Frame):
+            if fused_name:
+                tel.counter(fused_name).inc()
+            if isinstance(item, NV12Frame):
+                for name in nv12_plane_names:
+                    tel.counter(name).inc()
+            elif isinstance(item, YUV420Frame):
                 for name in plane_names:
                     tel.counter(name).inc()
             tel.histogram("stream.frame_seconds").observe(now - t0)
@@ -122,6 +134,7 @@ def corrected_stream(frames: Iterable, field: RemapField,
                      kernel: str = "numpy", serve_metrics=None,
                      stream_label: str | None = None,
                      pixfmt: str = "rgb",
+                     out_size: tuple | None = None,
                      **engine_kwargs) -> Iterator:
     """Correct a frame stream through the fused zero-allocation kernel.
 
@@ -181,16 +194,25 @@ def corrected_stream(frames: Iterable, field: RemapField,
         field/LUT is derived from it
         (:func:`~repro.core.mapping.chroma_half_field`) — no RGB
         round-trip ever happens, so a 1080p frame touches ~half the
-        bytes of the packed path.  Both engines support it; the ring
-        engine schedules per-plane bands.
+        bytes of the packed path.  ``"nv12"`` is the same planar
+        pipeline over :class:`~repro.video.yuv.NV12Frame` items: the
+        interleaved UV plane is corrected by one 2-channel apply of
+        the same chroma table.  Both engines support all three; the
+        ring engine schedules per-plane bands.
+    out_size:
+        Optional ``(width, height)`` to deliver at, through one
+        **fused** correct+downscale composed table (per plane on
+        planar formats) — the per-frame gather traffic then scales
+        with the delivered size, not the correction's intermediate.
+        Emits the ``stream.frames{fused="true"}`` series.
 
     Yields
     ------
     Corrected frames, same kind as the input items.
     """
-    if pixfmt not in ("rgb", "yuv420"):
+    if pixfmt not in ("rgb", "yuv420", "nv12"):
         raise ImageFormatError(
-            f"unknown pixfmt {pixfmt!r}; known: rgb, yuv420")
+            f"unknown pixfmt {pixfmt!r}; known: rgb, yuv420, nv12")
     tel = get_telemetry()
     server = None
     own_server = False
@@ -207,21 +229,42 @@ def corrected_stream(frames: Iterable, field: RemapField,
     try:
         yield from _corrected_stream(frames, field, method, border, fill,
                                      lut_cache, copy, engine, kernel, tel,
-                                     stream_label, pixfmt, **engine_kwargs)
+                                     stream_label, pixfmt, out_size,
+                                     **engine_kwargs)
     finally:
         if own_server:
             server.close()
 
 
+def _fused_lut(field, out_size, method, border, fill, lut_cache):
+    """The fused correct+downscale table of the streaming hot path.
+
+    Always the plain 4-tap composed table (``prefilter=False`` —
+    exact 2x2 box at the headline 2:1 ratio), so it shares the remap
+    kernel, the shared-memory publication format and the LUT cache's
+    content-hash keying with plain tables.
+    """
+    from ..core.compose import composed_lut, downscale_field
+    fh, fw = field.shape
+    outer = downscale_field(int(out_size[0]), int(out_size[1]), fw, fh,
+                            prefilter=False)
+    return composed_lut(outer, field, method=method, border=border,
+                        fill=fill, cache=lut_cache)
+
+
 def _corrected_stream(frames, field, method, border, fill, lut_cache, copy,
                       engine, kernel, tel, stream_label=None, pixfmt="rgb",
-                      **engine_kwargs):
-    if pixfmt == "yuv420":
+                      out_size=None, **engine_kwargs):
+    if pixfmt in ("yuv420", "nv12"):
         yield from _planar_stream(frames, field, method, border, fill,
                                   lut_cache, copy, engine, kernel,
-                                  stream_label, **engine_kwargs)
+                                  stream_label, pixfmt, out_size,
+                                  **engine_kwargs)
         return
-    if lut_cache is not None:
+    fused = out_size is not None
+    if fused:
+        lut = _fused_lut(field, out_size, method, border, fill, lut_cache)
+    elif lut_cache is not None:
         lut = lut_cache.get(field, method=method, border=border, fill=fill)
     else:
         lut = RemapLUT(field, method=method, border=border, fill=fill)
@@ -234,7 +277,7 @@ def _corrected_stream(frames, field, method, border, fill, lut_cache, copy,
         from ..parallel.ring import ring_stream
         yield from _stream_telemetry(
             ring_stream(lut, frames, copy=copy, **engine_kwargs),
-            label=stream_label)
+            label=stream_label, fused=fused)
         return
     if engine != "sync":
         raise ScheduleError(
@@ -245,11 +288,14 @@ def _corrected_stream(frames, field, method, border, fill, lut_cache, copy,
     buffer: Optional[np.ndarray] = None
     stream_t0 = time.perf_counter() if tel.enabled else 0.0
     frames_done = 0
-    frames_name = fps_name = None
-    if stream_label and tel.enabled:
+    frames_name = fps_name = fused_name = None
+    if tel.enabled:
         from ..obs.export import labeled
-        frames_name = labeled("stream.frames", stream=stream_label)
-        fps_name = labeled("stream.fps", stream=stream_label)
+        if stream_label:
+            frames_name = labeled("stream.frames", stream=stream_label)
+            fps_name = labeled("stream.fps", stream=stream_label)
+        if fused:
+            fused_name = labeled("stream.frames", fused="true")
     for item in frames:
         t0 = time.perf_counter() if tel.enabled else 0.0
         data = item.data if isinstance(item, Frame) else np.asarray(item)
@@ -264,6 +310,8 @@ def _corrected_stream(frames, field, method, border, fill, lut_cache, copy,
             tel.counter("stream.frames").inc()
             if frames_name:
                 tel.counter(frames_name).inc()
+            if fused_name:
+                tel.counter(fused_name).inc()
             tel.histogram("stream.frame_seconds").observe(now - t0)
             # end-to-end rate including the producer's time between frames
             if now > stream_t0:
@@ -277,19 +325,56 @@ def _corrected_stream(frames, field, method, border, fill, lut_cache, copy,
             yield result
 
 
+def _planar_luts(field, method, border, fill, lut_cache, kernel, out_size):
+    """Per-plane (luma, chroma) LUTs of a planar stream.
+
+    With ``out_size`` both tables are fused correct+downscale
+    compositions built at the delivered geometry (the chroma outer map
+    is the half-resolution twin of the luma one).
+    """
+    if out_size is None:
+        from .yuv import YUVCorrector
+        corr = YUVCorrector.from_field(field, method=method, border=border,
+                                       fill=fill, lut_cache=lut_cache,
+                                       kernel=kernel)
+        return corr.luma_lut, corr.chroma_lut
+    from ..core.compose import composed_lut, downscale_field
+    from ..core.mapping import chroma_half_field
+    ow, oh = int(out_size[0]), int(out_size[1])
+    if ow % 2 or oh % 2:
+        raise ImageFormatError(
+            f"planar out_size must be even, got {ow}x{oh}")
+    fh, fw = field.shape
+    outer = downscale_field(ow, oh, fw, fh, prefilter=False)
+    outer_c = downscale_field(ow // 2, oh // 2, fw // 2, fh // 2,
+                              prefilter=False)
+    luma = composed_lut(outer, field, method=method, border=border,
+                        fill=fill, cache=lut_cache)
+    chroma = composed_lut(outer_c, chroma_half_field(field),
+                          method="bilinear", border=border, fill=128.0,
+                          cache=lut_cache)
+    tier = resolve_tier(kernel)
+    if tier != "numpy":
+        luma = luma.with_tier(tier)
+        chroma = chroma.with_tier(tier)
+    return luma, chroma
+
+
 def _planar_stream(frames, field, method, border, fill, lut_cache, copy,
-                   engine, kernel, stream_label, **engine_kwargs):
-    """``pixfmt="yuv420"`` body: planar per-plane remap, no RGB leg."""
-    from .yuv import YUVCorrector
-    corr = YUVCorrector.from_field(field, method=method, border=border,
-                                   fill=fill, lut_cache=lut_cache,
-                                   kernel=kernel)
+                   engine, kernel, stream_label, pixfmt="yuv420",
+                   out_size=None, **engine_kwargs):
+    """``pixfmt="yuv420"``/``"nv12"`` body: per-plane remap, no RGB leg."""
+    from .yuv import NV12Frame, YUV420Frame
+    fused = out_size is not None
+    luma_lut, chroma_lut = _planar_luts(field, method, border, fill,
+                                        lut_cache, kernel, out_size)
     if engine == "ring":
         from ..parallel.ring import ring_stream
         yield from _stream_telemetry(
-            ring_stream(corr.luma_lut, frames, copy=copy,
-                        chroma_lut=corr.chroma_lut, **engine_kwargs),
-            label=stream_label)
+            ring_stream(luma_lut, frames, copy=copy,
+                        chroma_lut=chroma_lut, pixfmt=pixfmt,
+                        **engine_kwargs),
+            label=stream_label, fused=fused)
         return
     if engine != "sync":
         raise ScheduleError(
@@ -297,12 +382,29 @@ def _planar_stream(frames, field, method, border, fill, lut_cache, copy,
     if engine_kwargs:
         raise ScheduleError(
             f"engine 'sync' takes no options, got {sorted(engine_kwargs)}")
+    frame_cls = NV12Frame if pixfmt == "nv12" else YUV420Frame
 
     def inline():
+        pool = None
         for item in frames:
-            yield corr.correct(item, copy=copy)
+            if not isinstance(item, frame_cls):
+                raise ImageFormatError(
+                    f"pixfmt={pixfmt!r} streams expect "
+                    f"{frame_cls.__name__} items, got {type(item).__name__}")
+            if pool is None:
+                oh, ow = luma_lut.out_shape
+                pool = tuple(np.empty(s, dtype=item.y.dtype)
+                             for s in frame_cls.plane_shapes(oh, ow))
+            luma_lut.apply_into(item.y, pool[0])
+            if pixfmt == "nv12":
+                chroma_lut.apply_into(item.uv, pool[1])
+            else:
+                chroma_lut.apply_into(item.u, pool[1])
+                chroma_lut.apply_into(item.v, pool[2])
+            result = frame_cls(*pool)
+            yield result.copy() if copy else result
 
-    yield from _stream_telemetry(inline(), label=stream_label)
+    yield from _stream_telemetry(inline(), label=stream_label, fused=fused)
 
 
 @dataclass

@@ -31,11 +31,26 @@ from ..core.lens import LensModel
 from ..core.mapping import RemapField, chroma_half_field, perspective_map
 from ..core.remap import RemapLUT
 
-__all__ = ["YUV420Frame", "YUVCorrector", "PLANE_NAMES", "to_yuv420_stream"]
+__all__ = ["YUV420Frame", "NV12Frame", "YUVCorrector", "PLANE_NAMES",
+           "NV12_PLANE_NAMES", "plane_names_for", "to_yuv420_stream",
+           "to_nv12_stream"]
 
 #: canonical plane order/naming used by the planar engines and the
 #: ``plane=`` labelled telemetry series.
 PLANE_NAMES = ("y", "u", "v")
+
+#: NV12 keeps full-resolution luma but interleaves both chroma planes
+#: into one — two planes total, one chroma band per frame.
+NV12_PLANE_NAMES = ("y", "uv")
+
+
+def plane_names_for(pixfmt: str) -> tuple:
+    """Plane order/labels of a planar pixel format."""
+    if pixfmt == "yuv420":
+        return PLANE_NAMES
+    if pixfmt == "nv12":
+        return NV12_PLANE_NAMES
+    raise ImageFormatError(f"not a planar pixel format: {pixfmt!r}")
 
 
 @dataclass
@@ -106,6 +121,100 @@ class YUV420Frame:
         from ..core.color import yuv420_to_rgb
 
         return yuv420_to_rgb(self.y, self.u, self.v)
+
+
+@dataclass
+class NV12Frame:
+    """One NV12 frame: full-size ``y`` plus one interleaved ``uv`` plane.
+
+    NV12 is what hardware decoders actually emit: the chroma samples
+    are not split into U and V planes but interleaved row-wise
+    (``U0 V0 U1 V1 ...``).  The canonical in-memory form here is the
+    **strided 2-channel view** ``(h/2, w/2, 2)`` — ``uv[..., 0]`` is U
+    and ``uv[..., 1]`` is V — which is byte-identical to the decoder's
+    packed ``(h/2, w)`` row layout, so :meth:`from_packed` /
+    :attr:`packed_uv` reshape without copying.  Correction runs the
+    half-resolution chroma LUT *once* over the 2-channel view (the
+    gather kernel vectorizes over trailing channels), against two
+    applies for I420.
+    """
+
+    y: np.ndarray
+    uv: np.ndarray
+
+    def __post_init__(self):
+        self.y = np.asarray(self.y)
+        self.uv = np.asarray(self.uv)
+        if self.y.ndim != 2:
+            raise ImageFormatError("NV12 luma plane must be 2-D")
+        h, w = self.y.shape
+        if h % 2 or w % 2:
+            raise ImageFormatError(f"luma size must be even, got {w}x{h}")
+        if self.uv.shape != (h // 2, w // 2, 2):
+            raise ImageFormatError(
+                f"uv plane must be ({h // 2}, {w // 2}, 2), got {self.uv.shape}")
+
+    @property
+    def width(self) -> int:
+        return self.y.shape[1]
+
+    @property
+    def height(self) -> int:
+        return self.y.shape[0]
+
+    @property
+    def planes(self) -> tuple:
+        """``(y, uv)`` in :data:`NV12_PLANE_NAMES` order."""
+        return (self.y, self.uv)
+
+    @property
+    def nbytes(self) -> int:
+        return self.y.nbytes + self.uv.nbytes
+
+    @property
+    def packed_uv(self) -> np.ndarray:
+        """The decoder's row-packed ``(h/2, w)`` view (zero copy)."""
+        return self.uv.reshape(self.uv.shape[0], -1)
+
+    @staticmethod
+    def plane_shapes(height: int, width: int) -> tuple:
+        """Plane shapes of a ``width x height`` NV12 frame."""
+        if height % 2 or width % 2:
+            raise ImageFormatError(
+                f"luma size must be even, got {width}x{height}")
+        return ((height, width), (height // 2, width // 2, 2))
+
+    def copy(self) -> "NV12Frame":
+        return NV12Frame(self.y.copy(), self.uv.copy())
+
+    @classmethod
+    def from_packed(cls, y: np.ndarray, uv_rows: np.ndarray) -> "NV12Frame":
+        """Wrap decoder output: ``uv_rows`` is the packed ``(h/2, w)``
+        chroma plane; the reshape to 2-channel is zero-copy."""
+        uv_rows = np.asarray(uv_rows)
+        if uv_rows.ndim != 2 or uv_rows.shape[1] % 2:
+            raise ImageFormatError(
+                f"packed uv plane must be 2-D with even width, got "
+                f"{uv_rows.shape}")
+        return cls(y, uv_rows.reshape(uv_rows.shape[0],
+                                      uv_rows.shape[1] // 2, 2))
+
+    @classmethod
+    def from_yuv420(cls, frame: YUV420Frame) -> "NV12Frame":
+        """Interleave an I420 frame's chroma planes."""
+        return cls(frame.y, np.stack((frame.u, frame.v), axis=-1))
+
+    def to_yuv420(self) -> YUV420Frame:
+        """De-interleave into planar I420 (copies the chroma planes)."""
+        return YUV420Frame(self.y, np.ascontiguousarray(self.uv[..., 0]),
+                           np.ascontiguousarray(self.uv[..., 1]))
+
+    @classmethod
+    def from_rgb(cls, rgb: np.ndarray) -> "NV12Frame":
+        return cls.from_yuv420(YUV420Frame.from_rgb(rgb))
+
+    def to_rgb(self) -> np.ndarray:
+        return self.to_yuv420().to_rgb()
 
 
 class YUVCorrector:
@@ -221,6 +330,16 @@ class YUVCorrector:
         """Per-plane LUTs in :data:`PLANE_NAMES` order (u and v share)."""
         return (self._luma_lut, self._chroma_lut, self._chroma_lut)
 
+    @property
+    def nv12_plane_luts(self) -> tuple:
+        """Per-plane LUTs in :data:`NV12_PLANE_NAMES` order.
+
+        The single chroma LUT serves the interleaved UV plane as one
+        2-channel apply — same tables as the I420 path, one fewer
+        kernel launch per frame.
+        """
+        return (self._luma_lut, self._chroma_lut)
+
     # ------------------------------------------------------------------
     def correct(self, frame: YUV420Frame, copy: bool = False) -> YUV420Frame:
         """Correct one planar frame (all three planes, one geometry).
@@ -249,6 +368,33 @@ class YUVCorrector:
         if copy:
             return YUV420Frame(pool[0].copy(), pool[1].copy(), pool[2].copy())
         return YUV420Frame(*pool)
+
+    def correct_nv12(self, frame: NV12Frame, copy: bool = False) -> NV12Frame:
+        """Correct one NV12 frame: two applies, not three.
+
+        Luma runs exactly as in :meth:`correct`; the interleaved UV
+        plane goes through the half-resolution chroma LUT *once* as a
+        strided 2-channel view — the gather kernel fans out over the
+        trailing channel axis, producing output bit-identical to
+        correcting the de-interleaved U and V planes separately.
+        Pooled like :meth:`correct`: ``copy=False`` aliases the pool.
+        """
+        if (frame.height, frame.width) != (self.luma_field.src_height,
+                                           self.luma_field.src_width):
+            raise MappingError(
+                f"frame {frame.width}x{frame.height} does not match corrector "
+                f"source {self.luma_field.src_width}x{self.luma_field.src_height}")
+        pool = self._nv12_pool = getattr(self, "_nv12_pool", None)
+        if pool is None or pool[0].dtype != frame.y.dtype:
+            h, w = self.out_shape
+            shapes = NV12Frame.plane_shapes(h, w)
+            pool = self._nv12_pool = tuple(
+                np.empty(s, dtype=frame.y.dtype) for s in shapes)
+        self._luma_lut.apply_into(frame.y, pool[0])
+        self._chroma_lut.apply_into(frame.uv, pool[1])
+        if copy:
+            return NV12Frame(pool[0].copy(), pool[1].copy())
+        return NV12Frame(*pool)
 
     def work_pixels(self) -> int:
         """Output pixels remapped per frame (luma + both chroma planes).
@@ -306,3 +452,14 @@ def to_yuv420_stream(frames):
                                 (hh, hw)).copy()
             chroma = (u, v)
         yield YUV420Frame(data, chroma[0], chroma[1])
+
+
+def to_nv12_stream(frames):
+    """Adapt a grayscale frame stream into :class:`NV12Frame` items.
+
+    Same deterministic chroma gradients as :func:`to_yuv420_stream`,
+    interleaved into the single NV12 UV plane — what ``repro stream
+    --pixfmt nv12`` feeds the zero-copy planar pipeline.
+    """
+    for frame in to_yuv420_stream(frames):
+        yield NV12Frame.from_yuv420(frame)

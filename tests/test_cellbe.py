@@ -136,3 +136,23 @@ class TestSimulation:
         t8 = cell.simulate(wl, spes=8).frame_ns
         # dma-bound: near-zero benefit from more SPEs
         assert t8 > t4 * 0.7
+
+
+class TestFusedDMAProfile:
+    def test_fused_ledger_beats_staged(self, small_field):
+        from repro.core.compose import compose_fields, downscale_field
+
+        fh, fw = small_field.shape
+        outer = downscale_field(fw // 2, fh // 2, fw, fh, prefilter=False)
+        fused_wl = Workload.from_field(compose_fields(outer, small_field))
+        prof = CellModel().fused_dma_profile(
+            fused_wl,
+            {"correct": Workload.from_field(small_field),
+             "downscale": Workload.from_field(outer)})
+        assert set(prof["stages"]) == {"correct", "downscale"}
+        assert prof["staged_total_bytes"] == sum(
+            s["total_bytes"] for s in prof["stages"].values())
+        # the fused single pass moves strictly fewer bytes
+        assert prof["savings_ratio"] > 1.0
+        assert prof["bytes_saved"] == (prof["staged_total_bytes"]
+                                       - prof["fused"]["total_bytes"])

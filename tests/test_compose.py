@@ -1,9 +1,13 @@
 """Coordinate-field composition tests."""
 
+import threading
+
 import numpy as np
 import pytest
 
-from repro.core.compose import affine_field, compose_fields, crop_field
+from repro.core.compose import (affine_field, compose_fields, composed_lut,
+                                crop_field, downscale_field)
+from repro.core.lutcache import LUTCache
 from repro.core.mapping import identity_map
 from repro.core.remap import RemapLUT
 from repro.errors import MappingError
@@ -98,3 +102,149 @@ class TestComposeFields:
         field = compose_fields(stabilize, small_field)
         out = RemapLUT(field).apply(random_image)
         assert out.shape == (64, 64)
+
+
+class TestNonFiniteParams:
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_crop_nonfinite_origin(self, bad):
+        with pytest.raises(MappingError):
+            crop_field(4, 4, bad, 0.0, 8, 8)
+        with pytest.raises(MappingError):
+            crop_field(4, 4, 0.0, bad, 8, 8)
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf])
+    def test_crop_nonfinite_scale(self, bad):
+        with pytest.raises(MappingError):
+            crop_field(4, 4, 0.0, 0.0, 8, 8, scale=bad)
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_affine_nonfinite_matrix(self, bad):
+        with pytest.raises(MappingError):
+            affine_field(4, 4, [[1.0, 0.0, bad], [0.0, 1.0, 0.0]], 4, 4)
+
+
+class TestDownscaleField:
+    def test_area_convention_centres(self):
+        # output pixel j covers source span [j*s, (j+1)*s) and samples
+        # its centre: at 2:1 pixel 0 samples 0.5, pixel 1 samples 2.5
+        f = downscale_field(4, 4, 8, 8)
+        assert f.map_x[0, 0] == 0.5 and f.map_x[0, 1] == 2.5
+        assert f.map_y[1, 0] == 2.5
+
+    def test_two_to_one_is_box_average(self):
+        rng = np.random.default_rng(0)
+        img = rng.uniform(0, 255, (8, 8))
+        out = RemapLUT(downscale_field(4, 4, 8, 8, prefilter=False)).apply(img)
+        box = img.reshape(4, 2, 4, 2).mean(axis=(1, 3))
+        np.testing.assert_allclose(out, box, atol=1e-9)
+
+    def test_prefilter_hint(self):
+        assert downscale_field(4, 4, 8, 8).prefilter_factor == 1
+        assert downscale_field(4, 4, 16, 16).prefilter_factor == 2
+        assert downscale_field(4, 4, 16, 16,
+                               prefilter=False).prefilter_factor == 1
+
+    def test_upscale_rejected(self):
+        with pytest.raises(MappingError):
+            downscale_field(16, 16, 8, 8)
+
+
+class TestComposedLut:
+    def test_matches_direct_composition(self, small_field, random_image):
+        outer = downscale_field(32, 32, 64, 64, prefilter=False)
+        lut = composed_lut(outer, small_field)
+        direct = RemapLUT(compose_fields(outer, small_field))
+        assert np.array_equal(lut.apply(random_image),
+                              direct.apply(random_image))
+
+    def test_cache_key_and_reuse(self, small_field):
+        outer = downscale_field(32, 32, 64, 64, prefilter=False)
+        cache = LUTCache()
+        a = composed_lut(outer, small_field, cache=cache)
+        b = composed_lut(outer, small_field, cache=cache)
+        assert a is b
+        assert cache.misses == 1 and cache.hits == 1
+        # a different outer keys a different entry
+        other = downscale_field(16, 16, 64, 64, prefilter=False)
+        c = composed_lut(other, small_field, cache=cache)
+        assert c is not a
+
+    def test_composed_build_single_flight(self, small_field):
+        from repro.obs.telemetry import Telemetry, scoped
+
+        outer = downscale_field(32, 32, 64, 64, prefilter=False)
+        cache = LUTCache()
+        got = []
+        barrier = threading.Barrier(4)
+        tel = Telemetry()
+
+        def build():
+            # scoped() is context-local: enter it per thread
+            with scoped(tel):
+                barrier.wait()
+                got.append(cache.get_composed(outer, small_field))
+
+        threads = [threading.Thread(target=build) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(got) == 4
+        assert all(g is got[0] for g in got)
+        assert tel.snapshot()["counters"]["lutcache.builds"] == 1
+
+    def test_antialias_factor_supersamples(self, small_field):
+        from repro.core.antialias import SupersampledLUT
+
+        outer = downscale_field(16, 16, 64, 64)  # 4:1 -> hint factor 2
+        lut = composed_lut(outer, small_field)
+        assert isinstance(lut, SupersampledLUT)
+        # the same call with antialias=False pins the plain table
+        plain = composed_lut(outer, small_field, antialias=False)
+        assert isinstance(plain, RemapLUT)
+
+
+class TestNanPropagationStages:
+    def test_outer_out_of_range_goes_nan(self, small_field):
+        # outer samples beyond inner's output: those pixels are invalid
+        outer = crop_field(8, 8, 60.0, 60.0, 64, 64)
+        composed = compose_fields(outer, small_field)
+        mask = composed.valid_mask()
+        assert not mask[-1, -1]
+        assert mask[0, 0]
+
+    def test_inner_invalid_survives_downscale(self, tilted_field):
+        outer = downscale_field(32, 32, 64, 64, prefilter=False)
+        composed = compose_fields(outer, tilted_field)
+        frac_inner = 1.0 - tilted_field.valid_mask().mean()
+        frac_comp = 1.0 - composed.valid_mask().mean()
+        # the tilted field's out-of-FOV share survives composition
+        # (bilinear sampling of nan borders only widens it slightly)
+        assert frac_comp >= frac_inner * 0.8
+        assert frac_comp <= frac_inner + 0.2
+
+    def test_double_composition_associates(self, small_field):
+        # crop ∘ (down ∘ correct) == (crop ∘ down) ∘ correct: both
+        # orders collapse affine outers exactly
+        down = downscale_field(32, 32, 64, 64, prefilter=False)
+        crop = crop_field(16, 16, 8.0, 8.0, 32, 32)
+        left = compose_fields(crop, compose_fields(down, small_field))
+        right = compose_fields(compose_fields(crop, down), small_field)
+        mask = left.valid_mask() & right.valid_mask()
+        np.testing.assert_allclose(left.map_x[mask], right.map_x[mask],
+                                   atol=1e-9)
+        np.testing.assert_allclose(left.map_y[mask], right.map_y[mask],
+                                   atol=1e-9)
+
+    def test_fused_tracks_two_pass_reference(self, small_field):
+        from scipy import ndimage
+
+        rng = np.random.default_rng(2)
+        img = ndimage.gaussian_filter(
+            rng.uniform(0, 255, (64, 64)), 1.5)
+        outer = downscale_field(32, 32, 64, 64, prefilter=False)
+        fused = RemapLUT(compose_fields(outer, small_field)).apply(img)
+        two_pass = RemapLUT(outer).apply(RemapLUT(small_field).apply(img))
+        mse = np.mean((fused - two_pass) ** 2)
+        psnr = 10.0 * np.log10(255.0 ** 2 / mse)
+        assert psnr > 30.0

@@ -1,0 +1,256 @@
+"""NV12: the interleaved-chroma decoder format as a first-class pixfmt.
+
+Covers the frame container (packed-row zero-copy views, I420
+round-trips), the single strided 2-channel chroma apply and its
+bit-equality with the per-plane I420 path, per-plane band delivery
+through the ring engine and a broker session, and the fused
+correct+downscale delivery path with its ``fused=`` / ``plane=``
+telemetry labels.
+"""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.compose import compose_fields, downscale_field
+from repro.core.mapping import chroma_half_field
+from repro.core.remap import RemapLUT
+from repro.errors import ImageFormatError
+from repro.video.stream import corrected_stream
+from repro.video.yuv import (NV12_PLANE_NAMES, NV12Frame, YUV420Frame,
+                             YUVCorrector, plane_names_for, to_nv12_stream)
+
+
+def _frames(rng, n, h=64, w=64):
+    for _ in range(n):
+        yield NV12Frame(
+            rng.integers(0, 256, (h, w), dtype=np.uint8),
+            rng.integers(0, 256, (h // 2, w // 2, 2), dtype=np.uint8))
+
+
+# ----------------------------------------------------------------------
+# the frame container
+# ----------------------------------------------------------------------
+class TestNV12Frame:
+    def test_plane_shapes(self):
+        assert NV12Frame.plane_shapes(16, 12) == ((16, 12), (8, 6, 2))
+        assert plane_names_for("nv12") == NV12_PLANE_NAMES == ("y", "uv")
+
+    def test_odd_size_rejected(self):
+        with pytest.raises(ImageFormatError):
+            NV12Frame.plane_shapes(15, 16)
+        with pytest.raises(ImageFormatError):
+            NV12Frame(np.zeros((15, 16), dtype=np.uint8),
+                      np.zeros((7, 8, 2), dtype=np.uint8))
+
+    def test_mismatched_uv_rejected(self):
+        with pytest.raises(ImageFormatError):
+            NV12Frame(np.zeros((16, 16), dtype=np.uint8),
+                      np.zeros((8, 8), dtype=np.uint8))
+
+    def test_packed_roundtrip_zero_copy(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 256, (16, 16), dtype=np.uint8)
+        packed = rng.integers(0, 256, (8, 16), dtype=np.uint8)
+        f = NV12Frame.from_packed(y, packed)
+        # the 2-channel view is the same memory as the decoder rows
+        assert np.shares_memory(f.uv, packed)
+        assert np.array_equal(f.packed_uv, packed)
+        # interleaving order: U0 V0 U1 V1 ...
+        assert f.uv[0, 0, 0] == packed[0, 0]
+        assert f.uv[0, 0, 1] == packed[0, 1]
+
+    def test_from_packed_rejects_odd_width(self):
+        with pytest.raises(ImageFormatError):
+            NV12Frame.from_packed(np.zeros((16, 16), dtype=np.uint8),
+                                  np.zeros((8, 15), dtype=np.uint8))
+
+    def test_yuv420_roundtrip(self):
+        rng = np.random.default_rng(1)
+        i420 = YUV420Frame(
+            rng.integers(0, 256, (16, 16), dtype=np.uint8),
+            rng.integers(0, 256, (8, 8), dtype=np.uint8),
+            rng.integers(0, 256, (8, 8), dtype=np.uint8))
+        back = NV12Frame.from_yuv420(i420).to_yuv420()
+        assert np.array_equal(back.y, i420.y)
+        assert np.array_equal(back.u, i420.u)
+        assert np.array_equal(back.v, i420.v)
+
+
+# ----------------------------------------------------------------------
+# the single strided chroma apply
+# ----------------------------------------------------------------------
+class TestCorrectNV12:
+    def test_bit_identical_to_i420_after_deinterleave(self, small_field):
+        corr = YUVCorrector.from_field(small_field)
+        rng = np.random.default_rng(2)
+        (f,) = list(_frames(rng, 1))
+        got = corr.correct_nv12(f, copy=True).to_yuv420()
+        want = corr.correct(f.to_yuv420(), copy=True)
+        assert np.array_equal(got.y, want.y)
+        assert np.array_equal(got.u, want.u)
+        assert np.array_equal(got.v, want.v)
+
+    def test_one_apply_covers_both_channels(self, small_field):
+        corr = YUVCorrector.from_field(small_field)
+        rng = np.random.default_rng(3)
+        (f,) = list(_frames(rng, 1))
+        out = corr.chroma_lut.apply(f.uv)
+        assert out.shape[-1] == 2
+        assert np.array_equal(out[..., 0],
+                              corr.chroma_lut.apply(f.uv[..., 0].copy()))
+        assert np.array_equal(out[..., 1],
+                              corr.chroma_lut.apply(f.uv[..., 1].copy()))
+
+    def test_nv12_plane_luts_order(self, small_field):
+        corr = YUVCorrector.from_field(small_field)
+        luma, chroma = corr.nv12_plane_luts
+        assert luma is corr.luma_lut
+        assert chroma is corr.chroma_lut
+
+    def test_to_nv12_stream_adapts_gray(self):
+        gray = [np.full((16, 16), k, dtype=np.uint8) for k in range(3)]
+        out = list(to_nv12_stream(gray))
+        assert len(out) == 3
+        for k, f in enumerate(out):
+            assert np.array_equal(f.y, gray[k])
+            assert f.uv.shape == (8, 8, 2)
+
+
+# ----------------------------------------------------------------------
+# per-plane band delivery: ring and broker
+# ----------------------------------------------------------------------
+class TestNV12Delivery:
+    def test_ring_matches_sync_bit_exact(self, small_field):
+        rng = np.random.default_rng(4)
+        frames = list(_frames(rng, 5))
+        corr = YUVCorrector.from_field(small_field)
+        want = [corr.correct_nv12(f, copy=True) for f in frames]
+        got = list(corrected_stream(iter(frames), small_field,
+                                    pixfmt="nv12", engine="ring",
+                                    workers=2, depth=2, copy=True))
+        assert len(got) == len(want)
+        for g, e in zip(got, want):
+            assert isinstance(g, NV12Frame)
+            assert np.array_equal(g.y, e.y)
+            assert np.array_equal(g.uv, e.uv)
+
+    def test_broker_session_in_order(self, small_field):
+        from repro.serve.broker import StreamBroker
+
+        rng = np.random.default_rng(5)
+        frames = list(_frames(rng, 5))
+        corr = YUVCorrector.from_field(small_field)
+        want = [corr.correct_nv12(f, copy=True) for f in frames]
+        with StreamBroker(workers=2, slot_budget=4) as broker:
+            got = list(broker.open(iter(frames), small_field,
+                                   name="nv12-test", pixfmt="nv12",
+                                   depth=2))
+        assert len(got) == len(want)
+        for g, e in zip(got, want):
+            assert isinstance(g, NV12Frame)
+            assert np.array_equal(g.y, e.y)
+            assert np.array_equal(g.uv, e.uv)
+
+    def test_plane_counters_use_uv_label(self, small_field):
+        from repro.obs.export import labeled
+        from repro.obs.telemetry import Telemetry, scoped
+
+        rng = np.random.default_rng(6)
+        frames = list(_frames(rng, 3))
+        tel = Telemetry()
+        with scoped(tel):
+            list(corrected_stream(iter(frames), small_field,
+                                  pixfmt="nv12", copy=True))
+        counters = tel.snapshot()["counters"]
+        for plane in NV12_PLANE_NAMES:
+            assert counters[labeled("stream.frames", plane=plane)] == 3
+        assert labeled("stream.frames", plane="u") not in counters
+
+
+# ----------------------------------------------------------------------
+# fused correct+downscale delivery
+# ----------------------------------------------------------------------
+class TestFusedDelivery:
+    def _oracle_luts(self, field, ow, oh):
+        fh, fw = field.shape
+        outer = downscale_field(ow, oh, fw, fh, prefilter=False)
+        luma = RemapLUT(compose_fields(outer, field))
+        outer_c = downscale_field(ow // 2, oh // 2, fw // 2, fh // 2,
+                                  prefilter=False)
+        chroma = RemapLUT(compose_fields(outer_c, chroma_half_field(field)),
+                          fill=128.0)
+        return luma, chroma
+
+    def test_sync_fused_matches_composed_oracle(self, small_field):
+        rng = np.random.default_rng(7)
+        frames = list(_frames(rng, 3))
+        luma, chroma = self._oracle_luts(small_field, 32, 32)
+        got = list(corrected_stream(iter(frames), small_field,
+                                    pixfmt="nv12", out_size=(32, 32),
+                                    copy=True))
+        for g, f in zip(got, frames):
+            assert g.y.shape == (32, 32)
+            assert np.array_equal(g.y, luma.apply(f.y))
+            assert np.array_equal(g.uv, chroma.apply(f.uv))
+
+    def test_ring_fused_matches_sync(self, small_field):
+        rng = np.random.default_rng(8)
+        frames = list(_frames(rng, 4))
+        sync = list(corrected_stream(iter(frames), small_field,
+                                     pixfmt="nv12", out_size=(32, 32),
+                                     copy=True))
+        ring = list(corrected_stream(iter(frames), small_field,
+                                     pixfmt="nv12", out_size=(32, 32),
+                                     engine="ring", workers=2, depth=2,
+                                     copy=True))
+        for a, b in zip(sync, ring):
+            assert np.array_equal(a.y, b.y)
+            assert np.array_equal(a.uv, b.uv)
+
+    def test_fused_label_emitted(self, small_field):
+        from repro.obs.export import labeled
+        from repro.obs.telemetry import Telemetry, scoped
+
+        rng = np.random.default_rng(9)
+        frames = list(_frames(rng, 3))
+        tel = Telemetry()
+        with scoped(tel):
+            list(corrected_stream(iter(frames), small_field,
+                                  pixfmt="nv12", out_size=(32, 32),
+                                  copy=True))
+        counters = tel.snapshot()["counters"]
+        assert counters[labeled("stream.frames", fused="true")] == 3
+
+    def test_broker_fused_session(self, small_field):
+        from repro.serve.broker import StreamBroker
+
+        rng = np.random.default_rng(10)
+        frames = list(_frames(rng, 4))
+        luma, chroma = self._oracle_luts(small_field, 32, 32)
+        with StreamBroker(workers=2, slot_budget=4) as broker:
+            got = list(broker.open(iter(frames), small_field,
+                                   name="nv12-fused", pixfmt="nv12",
+                                   out_size=(32, 32), depth=2))
+        assert len(got) == len(frames)
+        for g, f in zip(got, frames):
+            assert np.array_equal(g.y, luma.apply(f.y))
+            assert np.array_equal(g.uv, chroma.apply(f.uv))
+
+    def test_odd_out_size_rejected(self, small_field):
+        with pytest.raises(ImageFormatError):
+            list(corrected_stream(iter(()), small_field, pixfmt="nv12",
+                                  out_size=(33, 32)))
+
+    def test_cli_pixfmt_nv12_fused(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "stream", "--pixfmt", "nv12",
+             "--out-size", "32x32", "--frames", "3", "--width", "64",
+             "--height", "64"],
+            capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        assert "pixfmt=nv12" in proc.stdout
+        assert "out=32x32" in proc.stdout
+        assert "fused" in proc.stdout

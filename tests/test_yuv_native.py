@@ -312,7 +312,7 @@ class TestPlanarRing:
 class TestPixfmtFrontEnds:
     def test_unknown_pixfmt_rejected(self, small_field):
         with pytest.raises(ImageFormatError):
-            list(corrected_stream(iter(()), small_field, pixfmt="nv12"))
+            list(corrected_stream(iter(()), small_field, pixfmt="bogus"))
 
     def test_sync_stream_yields_planar_frames(self, small_field):
         rng = np.random.default_rng(9)
@@ -371,7 +371,7 @@ class TestPixfmtFrontEnds:
 
         with StreamBroker(workers=1, slot_budget=4) as broker:
             with pytest.raises(ScheduleError):
-                broker.open(iter(()), small_field, pixfmt="nv12")
+                broker.open(iter(()), small_field, pixfmt="bogus")
 
     def test_to_yuv420_stream_adapts_gray(self):
         gray = [np.full((16, 16), k, dtype=np.uint8) for k in range(3)]
